@@ -1,0 +1,37 @@
+"""Figure 3a: (log) evaluation time vs sample size on the wikikg2 analogue.
+
+Paper shape: sampled evaluation time grows roughly linearly in the sample
+size and sits far below the full-evaluation line; Static grows slowest
+because its pools are capped at the candidate-set size.
+"""
+
+from repro.bench import fig3a_time_vs_samples, render_series
+
+FRACTIONS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.4)
+
+
+def test_fig3a_time_vs_samples(benchmark, emit):
+    result = benchmark.pedantic(
+        fig3a_time_vs_samples,
+        kwargs={"dataset_name": "wikikg2-lite", "fractions": FRACTIONS},
+        rounds=1,
+        iterations=1,
+    )
+    series = {name: values for name, values in result.seconds_by_strategy.items()}
+    series["full (flat line)"] = [result.full_seconds] * len(FRACTIONS)
+    emit(
+        "fig3a_time_vs_samples",
+        render_series(
+            result.fractions,
+            series,
+            x_label="sample fraction",
+            title="Figure 3a: evaluation time (s) vs sample size, wikikg2-lite",
+        ),
+    )
+    for strategy, seconds in result.seconds_by_strategy.items():
+        # Every sampled point is faster than the full evaluation.
+        assert max(seconds) < result.full_seconds, strategy
+    # Static stays at or below random's cost once pools saturate.
+    assert result.seconds_by_strategy["static"][-1] <= (
+        result.seconds_by_strategy["random"][-1] * 1.5
+    )

@@ -1,0 +1,61 @@
+"""Figure 3b + Figure 6: estimated metric vs sample size on wikikg2-lite.
+
+Paper shape: Random converges to the true value only as the sample
+approaches |E| and over-estimates badly below that; Probabilistic and
+Static land near the truth already at ~2% and coincide with it by ~10-20%.
+The same pattern holds for Hits@1/3/10 (Figure 6).
+"""
+
+from repro.bench import fig3b_metric_vs_samples, render_series
+
+FRACTIONS = (0.01, 0.02, 0.05, 0.1, 0.2)
+
+
+def _check_and_render(result):
+    random_err = [abs(v - result.true_value) for v in result.estimates_by_strategy["random"]]
+    static_err = [abs(v - result.true_value) for v in result.estimates_by_strategy["static"]]
+    prob_err = [
+        abs(v - result.true_value) for v in result.estimates_by_strategy["probabilistic"]
+    ]
+    for i in range(len(FRACTIONS)):
+        assert random_err[i] > static_err[i], (result.metric, FRACTIONS[i])
+        assert random_err[i] > prob_err[i], (result.metric, FRACTIONS[i])
+    # Guided estimates are within a few percent of the truth by 20%.
+    assert static_err[-1] < 0.05
+    series = dict(result.estimates_by_strategy)
+    series["true (flat line)"] = [result.true_value] * len(FRACTIONS)
+    return render_series(
+        result.fractions,
+        series,
+        x_label="sample fraction",
+        title=f"Figure {'3b' if result.metric == 'mrr' else '6'}: "
+        f"estimated {result.metric} vs sample size, wikikg2-lite "
+        f"(true = {result.true_value:.3f})",
+    )
+
+
+def test_fig3b_mrr_vs_samples(benchmark, emit):
+    result = benchmark.pedantic(
+        fig3b_metric_vs_samples,
+        kwargs={"dataset_name": "wikikg2-lite", "fractions": FRACTIONS, "metric": "mrr"},
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig3b_mrr_vs_samples", _check_and_render(result))
+
+
+def test_fig6_hits_vs_samples(benchmark, emit):
+    sections = []
+
+    def sweep_all():
+        return [
+            fig3b_metric_vs_samples(
+                dataset_name="wikikg2-lite", fractions=FRACTIONS, metric=metric
+            )
+            for metric in ("hits@1", "hits@3", "hits@10")
+        ]
+
+    results = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+    for result in results:
+        sections.append(_check_and_render(result))
+    emit("fig6_hits_vs_samples", "\n\n".join(sections))

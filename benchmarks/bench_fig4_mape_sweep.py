@@ -1,0 +1,67 @@
+"""Figures 4 / 5: MAPE of the estimate vs max sample size, per recommender.
+
+Paper shape: all recommenders' MAPE falls toward 0 as the sample grows;
+PT is the recommender most likely to flatten above 0 (it cannot cover
+unseen candidates); the curves are otherwise close together — "good
+enough" recommenders all estimate similarly (the paper's Section 6
+observation).
+"""
+
+from repro.bench import fig4_mape_sweep, render_series
+
+RECOMMENDERS = ("pt", "dbh-t", "l-wd", "l-wd-t", "ontosim", "pie")
+FRACTIONS = (0.01, 0.05, 0.1, 0.2, 0.3)
+
+
+def _render(result):
+    series = {
+        name: [interval.mean for interval in curve]
+        for name, curve in result.mape_by_recommender.items()
+    }
+    series_ci = {
+        f"{name} ±": [interval.half_width for interval in curve]
+        for name, curve in result.mape_by_recommender.items()
+    }
+    return render_series(
+        result.fractions,
+        {**series, **series_ci},
+        x_label="sample fraction",
+        title=f"Figure 4: MAPE (%) vs sample size, {result.dataset_name} "
+        f"(true MRR = {result.true_value:.3f})",
+    )
+
+
+def test_fig4_mape_sweep_fb15k237(benchmark, emit):
+    result = benchmark.pedantic(
+        fig4_mape_sweep,
+        kwargs={
+            "dataset_name": "fb15k237-lite",
+            "recommender_names": RECOMMENDERS,
+            "fractions": FRACTIONS,
+            "repeats": 3,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig4_mape_fb15k237", _render(result))
+    for name, curve in result.mape_by_recommender.items():
+        assert curve[0].mean > curve[-1].mean, name  # MAPE falls with n_s
+    # At the largest sample, every recommender estimates within ~15%.
+    assert all(curve[-1].mean < 15.0 for curve in result.mape_by_recommender.values())
+
+
+def test_fig5_mape_sweep_codex_m(benchmark, emit):
+    result = benchmark.pedantic(
+        fig4_mape_sweep,
+        kwargs={
+            "dataset_name": "codex-m-lite",
+            "recommender_names": RECOMMENDERS,
+            "fractions": FRACTIONS,
+            "repeats": 3,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig5_mape_codex_m", _render(result))
+    for name, curve in result.mape_by_recommender.items():
+        assert curve[0].mean > curve[-1].mean, name

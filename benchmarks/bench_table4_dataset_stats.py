@@ -1,0 +1,15 @@
+"""Table 4: statistics of every zoo dataset (the paper's dataset table)."""
+
+from repro.bench import render_table, table4_dataset_statistics
+
+
+def test_table4_dataset_statistics(benchmark, emit):
+    rows = benchmark.pedantic(table4_dataset_statistics, rounds=1, iterations=1)
+    emit(
+        "table4_dataset_statistics",
+        render_table(rows, title="Table 4: zoo dataset statistics"),
+    )
+    assert len(rows) == 8
+    for row in rows:
+        assert row["Train"] > 0 and row["Test"] > 0
+        assert row["|TS|"] >= row["|E|"]  # every entity carries >= 1 type

@@ -1,0 +1,33 @@
+"""Table 6 / Table 15: MAE of the estimated filtered metrics per strategy.
+
+Paper shape: Random's MAE is one to two orders of magnitude larger than
+Probabilistic/Static on every (dataset, model) pair; Static is usually the
+best absolute estimator.  MAEs are measured against the true filtered
+validation metrics across training epochs.
+"""
+
+from repro.bench import render_table, table6_mae
+
+
+def test_table6_mae_mrr(benchmark, emit, studies):
+    rows = benchmark.pedantic(table6_mae, args=(studies,), rounds=1, iterations=1)
+    emit(
+        "table6_mae",
+        render_table(rows, title="Table 6: MAE of estimated filtered MRR (R / P / S)"),
+    )
+    for row in rows:
+        assert row["R"] > row["P"], row
+        assert row["R"] > row["S"], row
+
+
+def test_table15_mae_hits(benchmark, emit, studies):
+    sections = []
+    for metric in ("hits@1", "hits@3", "hits@10"):
+        rows = table6_mae(studies, metric=metric)
+        sections.append(
+            render_table(rows, title=f"Table 15 ({metric}): MAE of estimates")
+        )
+        for row in rows:
+            assert row["R"] >= row["P"] or row["R"] >= row["S"], (metric, row)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit("table15_mae_hits", "\n\n".join(sections))

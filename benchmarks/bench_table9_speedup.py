@@ -1,0 +1,65 @@
+"""Tables 9 / 11: evaluation speed-up over the full filtered ranking.
+
+Paper shape: small datasets leave little room (2-8x, sometimes < 1 for
+KP variants); the wikikg2 column reaches two orders of magnitude.  The
+scale trend is benched separately in fig3a; here we reproduce the
+per-(dataset, model) table on the training studies plus one large-scale
+row measured directly.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench import render_table, table9_speedup
+from repro.core import EvaluationProtocol
+from repro.datasets import load
+from repro.models import build_model
+
+
+def test_table9_speedup_small_datasets(benchmark, emit, studies):
+    rows = benchmark.pedantic(table9_speedup, args=(studies,), rounds=1, iterations=1)
+    emit(
+        "table9_speedup",
+        render_table(rows, title="Table 9: evaluation speed-up vs full ranking"),
+    )
+    assert len(rows) == len(studies)
+
+
+def test_table9_large_scale_row(benchmark, emit):
+    """The ogbl-wikikg2 column: speed-up grows with scale."""
+
+    def measure():
+        results = []
+        for name, fraction in (("wikikg2-lite", 0.02), ("wikikg2-xl", 0.02)):
+            graph = load(name).graph
+            model = build_model("complex", graph.num_entities, graph.num_relations, dim=32)
+            protocol = EvaluationProtocol(
+                graph, strategy="probabilistic", sample_fraction=fraction, seed=0
+            )
+            protocol.prepare()
+            start = time.perf_counter()
+            sampled = protocol.evaluate(model)
+            sampled_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            protocol.evaluate_full(model)
+            full_seconds = time.perf_counter() - start
+            results.append(
+                {
+                    "Dataset": name,
+                    "|E|": graph.num_entities,
+                    "Full eval (s)": round(full_seconds, 2),
+                    "Sampled (s)": round(sampled_seconds, 3),
+                    "Speed-up (x)": round(full_seconds / sampled_seconds, 1),
+                }
+            )
+        return results
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "table9_large_scale",
+        render_table(rows, title="Table 9 (large-scale): probabilistic @ 2% of |E|"),
+    )
+    speedups = [row["Speed-up (x)"] for row in rows]
+    assert all(s > 2.0 for s in speedups)
+    assert speedups[-1] > speedups[0]  # grows with |E|

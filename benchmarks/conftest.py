@@ -1,0 +1,75 @@
+"""Benchmark fixtures: result emission and the shared training-study cache.
+
+Benchmarks print their paper-style tables *and* persist them under
+``benchmarks/results/`` so a run leaves a durable reproduction record
+(``EXPERIMENTS.md`` quotes those files).
+
+The training studies behind Tables 6-9 are expensive (train a model,
+evaluate it fully every epoch), so they are computed once per pytest
+process and shared by every bench that consumes them.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+
+import pytest
+
+from repro.bench import run_training_study
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The (dataset, model) grid the correlation/MAE/speed-up benches train.
+STUDY_GRID: tuple[tuple[str, str], ...] = (
+    ("codex-s-lite", "transe"),
+    ("codex-s-lite", "distmult"),
+    ("codex-s-lite", "complex"),
+    ("codex-s-lite", "rescal"),
+    ("codex-m-lite", "complex"),
+    ("codex-m-lite", "conve"),
+)
+
+STUDY_EPOCHS = 6
+
+
+@lru_cache(maxsize=None)
+def _study(dataset_name: str, model_name: str):
+    return run_training_study(
+        dataset_name,
+        model_name,
+        epochs=STUDY_EPOCHS,
+        dim=16,
+        sample_fraction=0.1,
+        with_kp=True,
+        kp_triples=150,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def studies():
+    """All grid studies (trained lazily, cached for the whole session)."""
+    return [_study(dataset, model) for dataset, model in STUDY_GRID]
+
+
+@pytest.fixture(scope="session")
+def codex_s_studies():
+    """The >= 3-model single-dataset slice Table 8 needs."""
+    return [
+        _study(dataset, model)
+        for dataset, model in STUDY_GRID
+        if dataset == "codex-s-lite"
+    ]
+
+
+@pytest.fixture
+def emit():
+    """Print a rendered table and persist it under benchmarks/results/."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n")
+
+    return _emit

@@ -1,0 +1,67 @@
+"""Large-scale evaluation: the paper's headline 'seconds instead of minutes'.
+
+On the biggest zoo dataset, compare the wall-clock cost and the accuracy
+of the full evaluation against probabilistic sampling at 2% of |E| —
+the operating point the paper highlights on ogbl-wikikg2 ("accurate
+estimations of the full, filtered ranking in 20 seconds instead of 30
+minutes").
+
+Run:  python examples/large_scale_evaluation.py
+"""
+
+import time
+
+from repro.core import EvaluationProtocol
+from repro.datasets import load
+from repro.models import OracleModel
+
+
+def main() -> None:
+    dataset = load("wikikg2-xl")
+    graph = dataset.graph
+    print(f"Dataset: {graph}")
+
+    # A pre-trained model stand-in whose true MRR sits in the usual range.
+    model = OracleModel(graph, skill=1.0, seed=0)
+
+    protocol = EvaluationProtocol(
+        graph,
+        recommender="l-wd",
+        strategy="probabilistic",
+        sample_fraction=0.02,  # 2% of all entities, as in the paper
+        seed=0,
+    )
+    preparation = protocol.prepare()
+    print(
+        f"Preparation (once per dataset): recommender fit {preparation.fit_seconds:.2f}s, "
+        f"pool draws {preparation.pools_seconds:.2f}s"
+    )
+
+    start = time.perf_counter()
+    estimate = protocol.evaluate(model)
+    estimate_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    truth = protocol.evaluate_full(model)
+    full_seconds = time.perf_counter() - start
+
+    print(
+        f"\nFull filtered ranking : MRR={truth.metrics.mrr:.3f}  "
+        f"{full_seconds:6.2f}s  ({truth.num_scored:,} scores)"
+    )
+    print(
+        f"Probabilistic @ 2%    : MRR={estimate.metrics.mrr:.3f}  "
+        f"{estimate_seconds:6.2f}s  ({estimate.num_scored:,} scores)"
+    )
+    print(
+        f"\nSpeed-up: {full_seconds / estimate_seconds:.0f}x, "
+        f"absolute MRR error: {abs(estimate.metrics.mrr - truth.metrics.mrr):.3f}"
+    )
+    print(
+        "The speed-up grows with |E|: on the paper's 2.5M-entity "
+        "ogbl-wikikg2 the same protocol reaches two orders of magnitude."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""The theory behind the bias — Equation 1 and Theorem 1, empirically.
+
+Prints the paper's two analytical results next to Monte-Carlo simulations:
+
+* Equation 1: sampling ``n_s`` uniform candidates, the expected number
+  that outrank the truth is ``n_s * |E_(h,r)| / |E|`` — so the smaller the
+  sample, the fewer competitors are seen and the rosier the metric;
+* Theorem 1: restricting the sample to the relation's range set never
+  moves the estimate *away* from the true rank (``E[Y] >= 0``), and the
+  gain is largest exactly when the range set is small — the regime real
+  KGs live in.
+
+Run:  python examples/theory_playground.py
+"""
+
+import numpy as np
+
+from repro.bench import render_series
+from repro.core import expected_gain, expected_outranking
+
+NUM_ENTITIES = 10_000
+NUM_BETTER = 40  # entities truly outranking the query's answer
+RANGE_SIZE = 500  # the relation's range set (contains all competitors)
+TRIALS = 4_000
+
+
+def simulate_uniform(num_samples: int, rng: np.random.Generator) -> float:
+    draws = rng.choice(NUM_ENTITIES, size=(TRIALS, num_samples))
+    return float((draws < NUM_BETTER).sum(axis=1).mean())
+
+
+def simulate_in_range(num_samples: int, rng: np.random.Generator) -> float:
+    take = min(num_samples, RANGE_SIZE)
+    outranking = np.empty(TRIALS)
+    for trial in range(TRIALS):
+        draw = rng.choice(RANGE_SIZE, size=take, replace=False)
+        outranking[trial] = (draw < NUM_BETTER).sum()
+    return float(outranking.mean())
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    sample_sizes = [50, 200, 500, 2_000, 10_000]
+
+    print(
+        f"Setup: |E| = {NUM_ENTITIES:,}, |E_(h,r)| = {NUM_BETTER} true competitors, "
+        f"range set |RS_r| = {RANGE_SIZE}\n"
+    )
+
+    eq1_analytic = [expected_outranking(NUM_BETTER, NUM_ENTITIES, n) for n in sample_sizes]
+    eq1_simulated = [simulate_uniform(n, rng) for n in sample_sizes]
+    print(
+        render_series(
+            sample_sizes,
+            {
+                "E[X_u] (Eq. 1)": eq1_analytic,
+                "simulated": eq1_simulated,
+            },
+            x_label="n_s",
+            title="Equation 1: expected competitors seen under uniform sampling",
+        )
+    )
+    print(
+        "\n-> At n_s = 50 a uniform sample sees 0.2 of the 40 competitors on "
+        "average: the estimated rank is ~1 and the MRR estimate is wildly "
+        "optimistic.  Only at n_s = |E| does it see all 40.\n"
+    )
+
+    gain_analytic = [
+        expected_gain(NUM_BETTER, NUM_ENTITIES, RANGE_SIZE, n) for n in sample_sizes
+    ]
+    gain_simulated = [
+        simulate_in_range(n, rng) - simulate_uniform(n, rng) for n in sample_sizes
+    ]
+    print(
+        render_series(
+            sample_sizes,
+            {
+                "E[Y] (Theorem 1)": gain_analytic,
+                "simulated": gain_simulated,
+            },
+            x_label="n_s",
+            title="Theorem 1: rank accuracy gained by sampling inside the range set",
+        )
+    )
+    print(
+        "\n-> The gain is non-negative everywhere (Theorem 1) and peaks while "
+        "n_s < |RS_r|: in-range sampling sees almost every competitor long "
+        "before uniform sampling does.  That is the entire framework in one "
+        "number."
+    )
+
+
+if __name__ == "__main__":
+    main()

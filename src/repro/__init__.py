@@ -1,0 +1,17 @@
+"""repro — reproduction of "Are We Wasting Time? A Fast, Accurate
+Performance Evaluation Framework for Knowledge Graph Link Predictors"
+(Cornell et al., ICDE 2025).
+
+Subpackages
+-----------
+``repro.kg``            knowledge-graph data model
+``repro.datasets``      typed synthetic dataset generator + zoo
+``repro.models``        numpy KGE models and trainer
+``repro.recommenders``  relation recommenders (L-WD, PT, DBH, OntoSim, PIE)
+``repro.core``          the evaluation framework (the paper's contribution)
+``repro.kp``            Knowledge Persistence baseline
+``repro.metrics``       ranking + agreement metrics
+``repro.bench``         experiment drivers for every paper table/figure
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,442 @@
+"""A minimal reverse-mode automatic differentiation engine over numpy.
+
+This substrate replaces PyTorch for the KGE models in :mod:`repro.models`.
+It implements exactly the operator set those models need — embedding
+gathers, broadcasting arithmetic, binary ``einsum``, element-wise
+non-linearities and reductions — with a topological-sort backward pass.
+
+Design notes
+------------
+* A :class:`Tensor` wraps a float64 numpy array, its gradient, and the
+  closure that routes output gradients to its parents.
+* Broadcasting is supported in arithmetic ops; gradients are "unbroadcast"
+  (summed over expanded axes) on the way back.
+* ``einsum`` is binary-only, and every index of each operand must appear in
+  the output or the other operand (always true for the contractions KGE
+  scoring needs); the backward pass is then itself an einsum.
+* Embedding lookups are :func:`gather` along axis 0, with scatter-add
+  backward — the only sparse-ish operation training needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+Array = np.ndarray
+
+
+def _as_array(value: "Tensor | Array | float") -> Array:
+    if isinstance(value, Tensor):
+        raise TypeError("expected raw array, got Tensor")
+    return np.asarray(value, dtype=np.float64)
+
+
+def _unbroadcast(grad: Array, shape: tuple[int, ...]) -> Array:
+    """Sum ``grad`` down to ``shape`` (inverse of numpy broadcasting)."""
+    # Remove leading broadcast axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were expanded from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A node in the computation graph."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward")
+
+    def __init__(
+        self,
+        data: Array | float | Sequence[float],
+        requires_grad: bool = False,
+        parents: tuple["Tensor", ...] = (),
+        backward: Callable[[Array], None] | None = None,
+    ):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Array | None = None
+        self.requires_grad = requires_grad or any(p.requires_grad for p in parents)
+        self._parents = parents
+        self._backward = backward
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def accumulate_grad(self, grad: Array) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self) -> None:
+        """Backpropagate from this scalar tensor."""
+        if self.data.size != 1:
+            raise ValueError("backward() requires a scalar loss tensor")
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+
+        def visit(node: Tensor) -> None:
+            stack = [node]
+            order: list[tuple[Tensor, bool]] = [(node, False)]
+            # Iterative DFS to avoid recursion limits on deep graphs.
+            order = []
+            stack2: list[tuple[Tensor, bool]] = [(node, False)]
+            while stack2:
+                current, processed = stack2.pop()
+                if processed:
+                    topo.append(current)
+                    continue
+                if id(current) in visited:
+                    continue
+                visited.add(id(current))
+                stack2.append((current, True))
+                for parent in current._parents:
+                    if parent.requires_grad and id(parent) not in visited:
+                        stack2.append((parent, False))
+
+        visit(self)
+        self.grad = np.ones_like(self.data)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # Operator overloads
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Tensor | float") -> "Tensor":
+        return add(self, _lift(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Tensor | float") -> "Tensor":
+        return sub(self, _lift(other))
+
+    def __rsub__(self, other: "Tensor | float") -> "Tensor":
+        return sub(_lift(other), self)
+
+    def __mul__(self, other: "Tensor | float") -> "Tensor":
+        return mul(self, _lift(other))
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        return neg(self)
+
+    def __repr__(self) -> str:
+        grad_flag = ", grad" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+
+def _lift(value: "Tensor | float | Array") -> Tensor:
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=np.float64))
+
+
+def parameter(data: Array) -> Tensor:
+    """A leaf tensor that accumulates gradients."""
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=True)
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+# ----------------------------------------------------------------------
+def add(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data + b.data
+
+    def backward(grad: Array) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(grad, a.shape))
+        if b.requires_grad:
+            b.accumulate_grad(_unbroadcast(grad, b.shape))
+
+    return Tensor(out_data, parents=(a, b), backward=backward)
+
+
+def sub(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data - b.data
+
+    def backward(grad: Array) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(grad, a.shape))
+        if b.requires_grad:
+            b.accumulate_grad(_unbroadcast(-grad, b.shape))
+
+    return Tensor(out_data, parents=(a, b), backward=backward)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data * b.data
+
+    def backward(grad: Array) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(grad * b.data, a.shape))
+        if b.requires_grad:
+            b.accumulate_grad(_unbroadcast(grad * a.data, b.shape))
+
+    return Tensor(out_data, parents=(a, b), backward=backward)
+
+
+def neg(a: Tensor) -> Tensor:
+    def backward(grad: Array) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(-grad)
+
+    return Tensor(-a.data, parents=(a,), backward=backward)
+
+
+# ----------------------------------------------------------------------
+# Element-wise non-linearities
+# ----------------------------------------------------------------------
+def abs_(a: Tensor) -> Tensor:
+    sign = np.sign(a.data)
+
+    def backward(grad: Array) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * sign)
+
+    return Tensor(np.abs(a.data), parents=(a,), backward=backward)
+
+
+def relu(a: Tensor) -> Tensor:
+    mask = a.data > 0
+
+    def backward(grad: Array) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * mask)
+
+    return Tensor(a.data * mask, parents=(a,), backward=backward)
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    value = 1.0 / (1.0 + np.exp(-np.clip(a.data, -60.0, 60.0)))
+
+    def backward(grad: Array) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * value * (1.0 - value))
+
+    return Tensor(value, parents=(a,), backward=backward)
+
+
+def softplus(a: Tensor) -> Tensor:
+    """Numerically stable ``log(1 + exp(x))``."""
+    x = a.data
+    value = np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+    sig = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+    def backward(grad: Array) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * sig)
+
+    return Tensor(value, parents=(a,), backward=backward)
+
+
+def sqrt(a: Tensor, eps: float = 1e-12) -> Tensor:
+    value = np.sqrt(a.data + eps)
+
+    def backward(grad: Array) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * 0.5 / value)
+
+    return Tensor(value, parents=(a,), backward=backward)
+
+
+def square(a: Tensor) -> Tensor:
+    def backward(grad: Array) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * 2.0 * a.data)
+
+    return Tensor(a.data**2, parents=(a,), backward=backward)
+
+
+def tanh(a: Tensor) -> Tensor:
+    value = np.tanh(a.data)
+
+    def backward(grad: Array) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * (1.0 - value**2))
+
+    return Tensor(value, parents=(a,), backward=backward)
+
+
+def sin(a: Tensor) -> Tensor:
+    cos_data = np.cos(a.data)
+
+    def backward(grad: Array) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * cos_data)
+
+    return Tensor(np.sin(a.data), parents=(a,), backward=backward)
+
+
+def cos(a: Tensor) -> Tensor:
+    sin_data = np.sin(a.data)
+
+    def backward(grad: Array) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(-grad * sin_data)
+
+    return Tensor(np.cos(a.data), parents=(a,), backward=backward)
+
+
+def dropout(a: Tensor, rate: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout; identity when not training or rate is 0."""
+    if not training or rate <= 0.0:
+        return a
+    keep = 1.0 - rate
+    mask = (rng.random(a.shape) < keep) / keep
+
+    def backward(grad: Array) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * mask)
+
+    return Tensor(a.data * mask, parents=(a,), backward=backward)
+
+
+# ----------------------------------------------------------------------
+# Reductions and shape ops
+# ----------------------------------------------------------------------
+def sum_(a: Tensor, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> Tensor:
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad: Array) -> None:
+        if not a.requires_grad:
+            return
+        g = grad
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        a.accumulate_grad(np.broadcast_to(g, a.shape).copy())
+
+    return Tensor(out_data, parents=(a,), backward=backward)
+
+
+def mean(a: Tensor, axis: int | None = None) -> Tensor:
+    count = a.data.size if axis is None else a.data.shape[axis]
+    return mul(sum_(a, axis=axis), _lift(1.0 / count))
+
+
+def reshape(a: Tensor, shape: tuple[int, ...]) -> Tensor:
+    original = a.shape
+
+    def backward(grad: Array) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad.reshape(original))
+
+    return Tensor(a.data.reshape(shape), parents=(a,), backward=backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    sizes = [t.data.shape[axis] for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: Array) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer: list[slice] = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                tensor.accumulate_grad(grad[tuple(slicer)])
+
+    return Tensor(out_data, parents=tuple(tensors), backward=backward)
+
+
+def gather(table: Tensor, indices: Array) -> Tensor:
+    """Row lookup ``table[indices]`` with scatter-add backward.
+
+    ``indices`` may be any integer array shape; the result has shape
+    ``indices.shape + table.shape[1:]``.  This is the embedding-lookup
+    primitive.
+    """
+    idx = np.asarray(indices, dtype=np.int64)
+    out_data = table.data[idx]
+
+    def backward(grad: Array) -> None:
+        if not table.requires_grad:
+            return
+        full = np.zeros_like(table.data)
+        np.add.at(full, idx.reshape(-1), grad.reshape(-1, *table.data.shape[1:]))
+        table.accumulate_grad(full)
+
+    return Tensor(out_data, parents=(table,), backward=backward)
+
+
+def gather_cols(a: Tensor, indices: Array) -> Tensor:
+    """Column lookup ``a[:, indices]`` on a 2-D tensor, scatter-add backward.
+
+    ``indices`` may repeat (as in im2col patch extraction); the result has
+    shape ``(a.shape[0],) + indices.shape``.  This is the primitive that
+    lets ConvE's 2-D convolution be expressed as gather + einsum.
+    """
+    if a.ndim != 2:
+        raise ValueError(f"gather_cols expects a 2-D tensor, got ndim={a.ndim}")
+    idx = np.asarray(indices, dtype=np.int64)
+    out_data = a.data[:, idx.reshape(-1)].reshape(a.data.shape[0], *idx.shape)
+
+    def backward(grad: Array) -> None:
+        if not a.requires_grad:
+            return
+        full = np.zeros_like(a.data)
+        np.add.at(
+            full.T, idx.reshape(-1), grad.reshape(a.data.shape[0], -1).T
+        )
+        a.accumulate_grad(full)
+
+    return Tensor(out_data, parents=(a,), backward=backward)
+
+
+def einsum(subscripts: str, a: Tensor, b: Tensor) -> Tensor:
+    """Binary einsum with einsum-based backward.
+
+    Requirement: every index of each operand appears in the output or in
+    the other operand (no lone summed indices), which makes
+    ``grad_A = einsum(out->A-spec, grad_out, B)`` exact.
+    """
+    lhs, out_spec = subscripts.replace(" ", "").split("->")
+    spec_a, spec_b = lhs.split(",")
+    for spec, other in ((spec_a, spec_b), (spec_b, spec_a)):
+        lonely = set(spec) - set(out_spec) - set(other)
+        if lonely:
+            raise ValueError(
+                f"einsum {subscripts!r}: indices {sorted(lonely)} appear only in one "
+                "operand; insert an explicit sum instead"
+            )
+    out_data = np.einsum(subscripts, a.data, b.data)
+
+    def backward(grad: Array) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(
+                np.einsum(f"{out_spec},{spec_b}->{spec_a}", grad, b.data)
+            )
+        if b.requires_grad:
+            b.accumulate_grad(
+                np.einsum(f"{out_spec},{spec_a}->{spec_b}", grad, a.data)
+            )
+
+    return Tensor(out_data, parents=(a, b), backward=backward)
+
+
+def stack_parameters(params: Iterable[Tensor]) -> list[Tensor]:
+    """Validate and list parameter tensors (leaves with requires_grad)."""
+    result = []
+    for param in params:
+        if param._parents:
+            raise ValueError("parameters must be leaf tensors")
+        if not param.requires_grad:
+            raise ValueError("parameters must require gradients")
+        result.append(param)
+    return result

@@ -1,0 +1,64 @@
+"""Experiment drivers and reporting shared by ``benchmarks/`` and examples."""
+
+from repro.bench.experiments import (
+    MapeSweepResult,
+    MetricSweepResult,
+    TimeSweepResult,
+    fig3a_time_vs_samples,
+    fig3b_metric_vs_samples,
+    fig3c_training_curve,
+    fig4_mape_sweep,
+    table2_easy_negatives,
+    table3_sampling_complexity,
+    table4_dataset_statistics,
+    table5_recommenders,
+    table6_mae,
+    table7_correlation,
+    table8_kendall,
+    table9_speedup,
+    table10_false_negative_audit,
+)
+from repro.bench.ablations import (
+    ablation_include_observed,
+    ablation_training_negatives,
+    ablation_type_quality,
+)
+from repro.bench.runner import (
+    DEFAULT_LOSSES,
+    EarlyStopping,
+    EpochEvaluation,
+    StudyResult,
+    evaluate_epoch,
+    run_training_study,
+)
+from repro.bench.tables import render_series, render_table
+
+__all__ = [
+    "DEFAULT_LOSSES",
+    "EarlyStopping",
+    "EpochEvaluation",
+    "ablation_include_observed",
+    "ablation_training_negatives",
+    "ablation_type_quality",
+    "MapeSweepResult",
+    "MetricSweepResult",
+    "StudyResult",
+    "TimeSweepResult",
+    "evaluate_epoch",
+    "fig3a_time_vs_samples",
+    "fig3b_metric_vs_samples",
+    "fig3c_training_curve",
+    "fig4_mape_sweep",
+    "render_series",
+    "render_table",
+    "run_training_study",
+    "table10_false_negative_audit",
+    "table2_easy_negatives",
+    "table3_sampling_complexity",
+    "table4_dataset_statistics",
+    "table5_recommenders",
+    "table6_mae",
+    "table7_correlation",
+    "table8_kendall",
+    "table9_speedup",
+]

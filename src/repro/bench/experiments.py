@@ -1,0 +1,420 @@
+"""One driver per paper table and figure (the experiment index of DESIGN.md).
+
+Each function returns printable rows (list-of-dicts for tables, series
+mappings for figures); the ``benchmarks/`` targets time the drivers and
+print their output, and ``EXPERIMENTS.md`` records paper-vs-measured.
+
+Model choices per experiment follow the cost/fidelity trade-off the
+drivers document inline: accuracy-shaped experiments (estimator bias,
+MAPE sweeps) use :class:`~repro.models.oracle.OracleModel`, whose true
+metrics are controllable without training; timing-shaped experiments
+(speed-ups, time-vs-samples) use a real factorisation model whose
+``score_candidates`` cost is genuinely proportional to the candidate
+count; correlation experiments train real models via
+:func:`~repro.bench.runner.run_training_study`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.runner import StudyResult
+from repro.core.candidates import build_static_candidates, evaluate_tradeoff
+from repro.core.easy_negatives import EasyNegativeReport, mine_easy_negatives
+from repro.core.complexity import sampling_complexity
+from repro.core.estimators import evaluate_sampled
+from repro.core.ranking import evaluate_full
+from repro.core.sampling import STRATEGIES, Strategy, build_pools
+from repro.datasets.zoo import available_datasets, load
+from repro.kg.stats import dataset_statistics
+from repro.metrics.agreement import (
+    IntervalEstimate,
+    kendall_tau,
+    mae,
+    mean_confidence_interval,
+    pearson,
+)
+from repro.models import build_model
+from repro.models.oracle import OracleModel
+from repro.recommenders.registry import available_recommenders, build_recommender
+
+DEFAULT_TABLE2_DATASETS = ("fb15k237-lite", "yago310-lite", "wikikg2-lite")
+DEFAULT_TABLE3_DATASETS = ("yago310-lite", "codex-l-lite", "wikikg2-lite")
+DEFAULT_TABLE5_DATASETS = ("fb15k237-lite", "yago310-lite", "wikikg2-lite")
+
+
+# ----------------------------------------------------------------------
+# Table 2 + Table 10: easy negatives and the false-negative audit
+# ----------------------------------------------------------------------
+def table2_easy_negatives(
+    dataset_names: tuple[str, ...] = DEFAULT_TABLE2_DATASETS,
+    recommender: str = "l-wd",
+) -> tuple[list[dict], list[EasyNegativeReport]]:
+    """Mine zero-score slots with L-WD on each dataset (Table 2).
+
+    Returns the printable rows and the full reports, whose false-negative
+    lists are the Table 10 audit.
+    """
+    rows: list[dict] = []
+    reports: list[EasyNegativeReport] = []
+    for name in dataset_names:
+        dataset = load(name)
+        fitted = build_recommender(recommender).fit(dataset.graph, dataset.types)
+        report = mine_easy_negatives(fitted, dataset.graph)
+        reports.append(report)
+        rows.append(report.as_row())
+    return rows, reports
+
+
+def table10_false_negative_audit(
+    reports: list[EasyNegativeReport],
+) -> list[dict]:
+    """Expand the Table 10 rows: every false easy negative, labelled."""
+    rows: list[dict] = []
+    for report in reports:
+        dataset = load(report.dataset_name)
+        for false_negative in report.false_easy_negatives:
+            head, relation, tail = false_negative.labelled(dataset.graph)
+            rows.append(
+                {
+                    "Dataset": report.dataset_name,
+                    "Head": head,
+                    "Relation": relation,
+                    "Tail": tail,
+                    "Split": false_negative.split,
+                    "Zero side": false_negative.zero_side,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 3: sampling complexity
+# ----------------------------------------------------------------------
+def table3_sampling_complexity(
+    dataset_names: tuple[str, ...] = DEFAULT_TABLE3_DATASETS,
+    sample_fraction: float = 0.025,
+) -> list[dict]:
+    """Entity-aware vs relational sampling cost at 2.5% (Table 3)."""
+    return [
+        sampling_complexity(load(name).graph, sample_fraction).as_row()
+        for name in dataset_names
+    ]
+
+
+# ----------------------------------------------------------------------
+# Table 4: dataset statistics
+# ----------------------------------------------------------------------
+def table4_dataset_statistics(
+    dataset_names: tuple[str, ...] | None = None,
+) -> list[dict]:
+    """The Table 4 row of every zoo dataset."""
+    names = dataset_names or tuple(available_datasets())
+    rows = []
+    for name in names:
+        dataset = load(name)
+        rows.append(dataset_statistics(dataset.graph, dataset.types).as_row())
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 5: recommender CR / RR / runtime
+# ----------------------------------------------------------------------
+def table5_recommenders(
+    dataset_names: tuple[str, ...] = DEFAULT_TABLE5_DATASETS,
+    recommender_names: tuple[str, ...] | None = None,
+) -> list[dict]:
+    """Candidate Recall (Test/Unseen), RR and fit runtime per recommender."""
+    names = recommender_names or tuple(available_recommenders())
+    rows: list[dict] = []
+    for dataset_name in dataset_names:
+        dataset = load(dataset_name)
+        for rec_name in names:
+            fitted = build_recommender(rec_name).fit(dataset.graph, dataset.types)
+            sets = build_static_candidates(fitted, dataset.graph)
+            report = evaluate_tradeoff(
+                sets, dataset.graph, fit_seconds=fitted.fit_seconds
+            )
+            row = {"Dataset": dataset_name, **report.as_row()}
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Tables 6-9 consume training studies from repro.bench.runner
+# ----------------------------------------------------------------------
+def table6_mae(studies: list[StudyResult], metric: str = "mrr") -> list[dict]:
+    """MAE of estimating the true metric per strategy (Tables 6 / 15)."""
+    rows: list[dict] = []
+    for study in studies:
+        truth = study.series("true", metric)
+        row: dict = {"Dataset": study.dataset_name, "Model": study.model_name}
+        for strategy in STRATEGIES:
+            label = {"random": "R", "probabilistic": "P", "static": "S"}[strategy]
+            row[label] = round(mae(study.series(strategy, metric), truth), 3)
+        rows.append(row)
+    return rows
+
+
+def table7_correlation(studies: list[StudyResult], metric: str = "mrr") -> list[dict]:
+    """Pearson correlation of KP and rank estimates with the true metric
+    across training epochs (Tables 7 / 12 / 13 / 14)."""
+    rows: list[dict] = []
+    for study in studies:
+        truth = study.series("true", metric)
+        row: dict = {"Dataset": study.dataset_name, "Model": study.model_name}
+        for strategy in STRATEGIES:
+            label = {"random": "R", "probabilistic": "P", "static": "S"}[strategy]
+            row[f"KP {label}"] = round(pearson(study.series(f"kp:{strategy}"), truth), 3)
+        for strategy in STRATEGIES:
+            label = {"random": "R", "probabilistic": "P", "static": "S"}[strategy]
+            row[f"Rank {label}"] = round(
+                pearson(study.series(strategy, metric), truth), 3
+            )
+        rows.append(row)
+    return rows
+
+
+def table8_kendall(
+    studies: list[StudyResult], metric: str = "mrr"
+) -> list[dict]:
+    """Average per-epoch Kendall-tau of the *model ordering* (Table 8).
+
+    All studies must share the dataset and epoch count; at every epoch the
+    models are ranked by each estimator and by the truth, and the taus are
+    averaged over epochs.
+    """
+    if len(studies) < 2:
+        raise ValueError("Kendall-tau needs at least two models to order")
+    datasets = {study.dataset_name for study in studies}
+    if len(datasets) != 1:
+        raise ValueError(f"studies span several datasets: {sorted(datasets)}")
+    num_epochs = min(len(study.records) for study in studies)
+    sources: dict[str, str] = {
+        "KP R": "kp:random",
+        "KP P": "kp:probabilistic",
+        "KP S": "kp:static",
+        "Rank R": "random",
+        "Rank P": "probabilistic",
+        "Rank S": "static",
+    }
+    row: dict = {"Dataset": studies[0].dataset_name, "Models": len(studies)}
+    for label, source in sources.items():
+        taus = []
+        for epoch in range(num_epochs):
+            truth_order = [study.series("true", metric)[epoch] for study in studies]
+            estimate_order = [
+                study.series(source, metric if not source.startswith("kp:") else "mrr")[epoch]
+                for study in studies
+            ]
+            taus.append(kendall_tau(estimate_order, truth_order))
+        row[label] = round(float(np.mean(taus)), 3)
+    return [row]
+
+
+def table9_speedup(studies: list[StudyResult]) -> list[dict]:
+    """Average evaluation speed-up vs the full ranking (Tables 9 / 11)."""
+    rows: list[dict] = []
+    for study in studies:
+        full_mean, full_std = study.mean_full_seconds()
+        row: dict = {
+            "Dataset": study.dataset_name,
+            "Model": study.model_name,
+            "Full eval (s)": f"{full_mean:.2f} ± {full_std:.2f}",
+        }
+        for strategy in STRATEGIES:
+            label = {"random": "R", "probabilistic": "P", "static": "S"}[strategy]
+            mean, std = study.mean_speedup(strategy)
+            row[f"Rank {label} (x)"] = f"{mean:.1f} ± {std:.1f}"
+            kp_mean, kp_std = study.mean_kp_speedup(strategy)
+            if np.isfinite(kp_mean):
+                row[f"KP {label} (x)"] = f"{kp_mean:.1f} ± {kp_std:.1f}"
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 3a: evaluation time vs sample size
+# ----------------------------------------------------------------------
+@dataclass
+class TimeSweepResult:
+    """Series behind Figure 3a."""
+
+    fractions: list[float]
+    seconds_by_strategy: dict[Strategy, list[float]]
+    full_seconds: float
+
+
+def fig3a_time_vs_samples(
+    dataset_name: str = "wikikg2-lite",
+    fractions: tuple[float, ...] = (0.01, 0.02, 0.05, 0.1, 0.2, 0.4),
+    dim: int = 32,
+    seed: int = 0,
+) -> TimeSweepResult:
+    """Wall-clock sampled-eval time per strategy vs the full evaluation.
+
+    Uses an (untrained) ComplEx model: evaluation cost depends only on the
+    scoring shape, not on the parameter values.
+    """
+    dataset = load(dataset_name)
+    graph = dataset.graph
+    model = build_model("complex", graph.num_entities, graph.num_relations, dim=dim)
+    fitted = build_recommender("l-wd").fit(graph, dataset.types)
+    candidates = build_static_candidates(fitted, graph)
+    rng = np.random.default_rng(seed)
+    seconds: dict[Strategy, list[float]] = {s: [] for s in STRATEGIES}
+    for fraction in fractions:
+        for strategy in STRATEGIES:
+            pools = build_pools(
+                graph,
+                strategy,
+                rng=rng,
+                sample_fraction=fraction,
+                fitted=fitted,
+                candidates=candidates,
+            )
+            result = evaluate_sampled(model, graph, pools, split="test")
+            seconds[strategy].append(result.seconds)
+    full = evaluate_full(model, graph, split="test")
+    return TimeSweepResult(
+        fractions=list(fractions),
+        seconds_by_strategy=seconds,
+        full_seconds=full.seconds,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3b / Figure 6: estimated metric vs sample size
+# ----------------------------------------------------------------------
+@dataclass
+class MetricSweepResult:
+    """Series behind Figures 3b and 6."""
+
+    fractions: list[float]
+    estimates_by_strategy: dict[Strategy, list[float]]
+    true_value: float
+    metric: str
+
+
+def fig3b_metric_vs_samples(
+    dataset_name: str = "wikikg2-lite",
+    fractions: tuple[float, ...] = (0.01, 0.025, 0.05, 0.1, 0.15, 0.2),
+    metric: str = "mrr",
+    skill: float = 2.0,
+    seed: int = 0,
+) -> MetricSweepResult:
+    """Estimated metric per strategy as the sample grows (Figure 3b / 6).
+
+    Uses the oracle model so the true metric is in the paper's typical
+    range without training; the estimator bias being measured is purely a
+    property of the sampling, not of the model family.
+    """
+    dataset = load(dataset_name)
+    graph = dataset.graph
+    model = OracleModel(graph, skill=skill, seed=seed)
+    fitted = build_recommender("l-wd").fit(graph, dataset.types)
+    candidates = build_static_candidates(fitted, graph)
+    rng = np.random.default_rng(seed)
+    estimates: dict[Strategy, list[float]] = {s: [] for s in STRATEGIES}
+    for fraction in fractions:
+        for strategy in STRATEGIES:
+            pools = build_pools(
+                graph,
+                strategy,
+                rng=rng,
+                sample_fraction=fraction,
+                fitted=fitted,
+                candidates=candidates,
+            )
+            result = evaluate_sampled(model, graph, pools, split="test")
+            estimates[strategy].append(result.metrics.metric(metric))
+    true_value = evaluate_full(model, graph, split="test").metrics.metric(metric)
+    return MetricSweepResult(
+        fractions=list(fractions),
+        estimates_by_strategy=estimates,
+        true_value=true_value,
+        metric=metric,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3c: estimated validation MRR across training
+# ----------------------------------------------------------------------
+def fig3c_training_curve(study: StudyResult, metric: str = "mrr") -> dict[str, list[float]]:
+    """Per-epoch estimated and true series of one training study."""
+    series = {"True": study.series("true", metric)}
+    for strategy in STRATEGIES:
+        label = {"random": "Random", "probabilistic": "Probabilistic", "static": "Static"}[
+            strategy
+        ]
+        series[label] = study.series(strategy, metric)
+    return series
+
+
+# ----------------------------------------------------------------------
+# Figures 4 / 5: MAPE vs sample size per recommender
+# ----------------------------------------------------------------------
+@dataclass
+class MapeSweepResult:
+    """Series behind Figures 4 and 5: MAPE with CIs per recommender."""
+
+    dataset_name: str
+    fractions: list[float]
+    mape_by_recommender: dict[str, list[IntervalEstimate]]
+    true_value: float
+
+
+def fig4_mape_sweep(
+    dataset_name: str,
+    recommender_names: tuple[str, ...] | None = None,
+    fractions: tuple[float, ...] = (0.01, 0.05, 0.1, 0.2, 0.3),
+    repeats: int = 5,
+    metric: str = "mrr",
+    skill: float = 2.0,
+    seed: int = 0,
+) -> MapeSweepResult:
+    """MAPE of the estimated metric vs sample size, per recommender.
+
+    Five repeated samplings per point, pooling the probabilistic and
+    static strategies as the paper does; the CI half-widths are the shaded
+    bands of Figure 4.
+    """
+    dataset = load(dataset_name)
+    graph = dataset.graph
+    model = OracleModel(graph, skill=skill, seed=seed)
+    true_value = evaluate_full(model, graph, split="test").metrics.metric(metric)
+    names = recommender_names or tuple(available_recommenders())
+    mape_by_recommender: dict[str, list[IntervalEstimate]] = {}
+    for rec_name in names:
+        fitted = build_recommender(rec_name).fit(graph, dataset.types)
+        candidates = build_static_candidates(fitted, graph)
+        curve: list[IntervalEstimate] = []
+        for fraction in fractions:
+            errors: list[float] = []
+            for repeat in range(repeats):
+                rng = np.random.default_rng(seed + 1000 * repeat)
+                for strategy in ("probabilistic", "static"):
+                    pools = build_pools(
+                        graph,
+                        strategy,  # type: ignore[arg-type]
+                        rng=rng,
+                        sample_fraction=fraction,
+                        fitted=fitted,
+                        candidates=candidates,
+                    )
+                    estimate = evaluate_sampled(
+                        model, graph, pools, split="test"
+                    ).metrics.metric(metric)
+                    if true_value != 0:
+                        errors.append(abs(estimate - true_value) / true_value * 100.0)
+            curve.append(mean_confidence_interval(errors))
+        mape_by_recommender[rec_name] = curve
+    return MapeSweepResult(
+        dataset_name=dataset_name,
+        fractions=list(fractions),
+        mape_by_recommender=mape_by_recommender,
+        true_value=true_value,
+    )

@@ -1,0 +1,82 @@
+"""Fixed-width plain-text table rendering for experiment reports.
+
+Every bench target prints its paper table through :func:`render_table`, so
+outputs are alignable with the paper's rows by eye and greppable by the
+reproduction log in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+Cell = str | int | float
+
+
+def format_cell(value: Cell, float_digits: int = 3) -> str:
+    """Render one cell: floats to fixed digits, everything else via str."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Cell]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    float_digits: int = 3,
+) -> str:
+    """Render dict rows as a fixed-width table.
+
+    ``columns`` fixes the column order; by default the first row's key
+    order is used and missing cells render empty.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        [format_cell(row.get(col, ""), float_digits) for col in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(width) for col, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        for line in rendered
+    )
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([header, separator, body])
+    return "\n".join(parts)
+
+
+def render_series(
+    xs: Iterable[float],
+    series: Mapping[str, Iterable[float]],
+    x_label: str = "x",
+    title: str | None = None,
+    float_digits: int = 4,
+) -> str:
+    """Render figure data as a table with one column per series.
+
+    Figures in the paper become printable series: the x sweep in the first
+    column and each strategy/recommender curve in its own column.
+    """
+    names = list(series.keys())
+    columns = [x_label, *names]
+    materialised = {name: list(values) for name, values in series.items()}
+    rows = []
+    for i, x in enumerate(xs):
+        row: dict[str, Cell] = {x_label: format_cell(x, float_digits)}
+        for name in names:
+            values = materialised[name]
+            row[name] = values[i] if i < len(values) else ""
+        rows.append(row)
+    return render_table(rows, columns=columns, title=title, float_digits=float_digits)

@@ -1,0 +1,273 @@
+"""Command-line interface: the framework without writing Python.
+
+``repro <command>`` exposes the workflows a downstream user reaches for
+first:
+
+* ``datasets``        — list the zoo with Table 4 statistics;
+* ``generate``        — export a zoo dataset (triples + types) as TSV;
+* ``recommenders``    — CR/RR/runtime comparison on one dataset (Table 5);
+* ``easy-negatives``  — zero-score mining + false-negative audit (Tables 2/10);
+* ``complexity``      — sampling-cost accounting (Table 3);
+* ``evaluate``        — train a model, then compare the full ranking
+  against the random and guided estimates (the quickstart as one command).
+
+Every command prints the same fixed-width tables the benchmark suite
+writes, so CLI output and ``benchmarks/results/`` are directly comparable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.experiments import (
+    table2_easy_negatives,
+    table4_dataset_statistics,
+    table5_recommenders,
+    table10_false_negative_audit,
+)
+from repro.bench.tables import render_table
+from repro.core.complexity import sampling_complexity
+from repro.core.protocol import EvaluationProtocol
+from repro.datasets.zoo import available_datasets, load
+from repro.kg.io import save_graph_dir, write_types
+from repro.models import Trainer, TrainingConfig, available_models, build_model
+from repro.recommenders.registry import available_recommenders
+
+
+def _add_dataset_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        default="codex-s-lite",
+        choices=available_datasets(),
+        help="zoo dataset name",
+    )
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = table4_dataset_statistics()
+    print(render_table(rows, title="Zoo datasets (Table 4 statistics)"))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = load(args.dataset)
+    out = Path(args.out)
+    save_graph_dir(dataset.graph, out)
+    write_types(out / "types.tsv", dataset.types, dataset.graph.entities)
+    print(
+        f"Wrote {dataset.graph.name}: train/valid/test.tsv + types.tsv under {out}"
+    )
+    return 0
+
+
+def _cmd_recommenders(args: argparse.Namespace) -> int:
+    names = tuple(args.recommenders) if args.recommenders else None
+    rows = table5_recommenders((args.dataset,), names)
+    print(render_table(rows, title=f"Recommenders on {args.dataset} (Table 5)"))
+    return 0
+
+
+def _cmd_easy_negatives(args: argparse.Namespace) -> int:
+    rows, reports = table2_easy_negatives((args.dataset,))
+    print(render_table(rows, title=f"Easy negatives on {args.dataset} (Table 2)"))
+    audit = table10_false_negative_audit(reports)
+    print()
+    print(render_table(audit, title="False easy negatives (Table 10 audit)"))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.kg.analysis import (
+        connectivity_summary,
+        relation_profiles,
+        unseen_candidate_exposure,
+    )
+
+    dataset = load(args.dataset)
+    graph = dataset.graph
+    profiles = relation_profiles(graph)
+    print(
+        render_table(
+            [p.as_row() for p in profiles],
+            title=f"Relation cardinality profiles of {graph.name}",
+        )
+    )
+    counts: dict[str, int] = {}
+    for profile in profiles:
+        counts[profile.cardinality.value] = counts.get(profile.cardinality.value, 0) + 1
+    print(
+        "\nCardinality classes: "
+        + ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+    )
+    exposure = unseen_candidate_exposure(graph)
+    print(
+        f"Unseen test answers (the mass PT cannot recall): "
+        f"heads {exposure['head']:.1%}, tails {exposure['tail']:.1%}"
+    )
+    print()
+    print(
+        render_table(
+            [connectivity_summary(graph).as_row()],
+            title="Connectivity of the training graph",
+        )
+    )
+    return 0
+
+
+def _cmd_complexity(args: argparse.Namespace) -> int:
+    row = sampling_complexity(load(args.dataset).graph, args.fraction).as_row()
+    print(
+        render_table(
+            [row], title=f"Sampling complexity at {args.fraction:.1%} (Table 3)"
+        )
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = load(args.dataset)
+    graph = dataset.graph
+    model = build_model(
+        args.model, graph.num_entities, graph.num_relations, dim=args.dim, seed=args.seed
+    )
+    config = TrainingConfig(epochs=args.epochs, lr=args.lr, loss=args.loss, seed=args.seed)
+    print(f"Training {args.model} on {graph.name} for {args.epochs} epochs ...")
+    history = Trainer(config).fit(model, graph)
+    if history.losses:
+        print(f"loss: {history.losses[0]:.3f} -> {history.losses[-1]:.3f}")
+    if args.save:
+        from repro.models import save_model
+
+        save_model(model, args.save)
+        print(f"Saved checkpoint to {args.save}")
+
+    guided = EvaluationProtocol(
+        graph,
+        recommender=args.recommender,
+        strategy=args.strategy,
+        sample_fraction=args.fraction,
+        types=dataset.types,
+        seed=args.seed,
+    )
+    guided.prepare()
+    random_protocol = EvaluationProtocol(
+        graph, strategy="random", sample_fraction=args.fraction, seed=args.seed
+    )
+    truth = guided.evaluate_full(model)
+    random_estimate = random_protocol.evaluate(model)
+    guided_estimate = guided.evaluate(model)
+    rows = [
+        {
+            "Protocol": "full filtered ranking",
+            "MRR": truth.metrics.mrr,
+            "Hits@10": truth.metrics.hits_at(10),
+            "Seconds": truth.seconds,
+            "Scores": truth.num_scored,
+        },
+        {
+            "Protocol": f"random @ {args.fraction:.0%}",
+            "MRR": random_estimate.metrics.mrr,
+            "Hits@10": random_estimate.metrics.hits_at(10),
+            "Seconds": random_estimate.seconds,
+            "Scores": random_estimate.num_scored,
+        },
+        {
+            "Protocol": f"{args.strategy} ({args.recommender}) @ {args.fraction:.0%}",
+            "MRR": guided_estimate.metrics.mrr,
+            "Hits@10": guided_estimate.metrics.hits_at(10),
+            "Seconds": guided_estimate.seconds,
+            "Scores": guided_estimate.num_scored,
+        },
+    ]
+    print()
+    print(render_table(rows, title="Evaluation comparison"))
+    random_error = abs(random_estimate.metrics.mrr - truth.metrics.mrr)
+    guided_error = abs(guided_estimate.metrics.mrr - truth.metrics.mrr)
+    print(
+        f"\nMRR error: random={random_error:.3f}, guided={guided_error:.3f}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fast, accurate evaluation of knowledge graph link predictors.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list zoo datasets with statistics")
+
+    generate = commands.add_parser("generate", help="export a dataset as TSV")
+    _add_dataset_argument(generate)
+    generate.add_argument("--out", required=True, help="output directory")
+
+    recommenders = commands.add_parser(
+        "recommenders", help="compare relation recommenders (Table 5)"
+    )
+    _add_dataset_argument(recommenders)
+    recommenders.add_argument(
+        "--recommenders",
+        nargs="+",
+        choices=available_recommenders(),
+        help="subset to compare (default: all)",
+    )
+
+    easy = commands.add_parser(
+        "easy-negatives", help="mine easy negatives + audit (Tables 2/10)"
+    )
+    _add_dataset_argument(easy)
+
+    complexity = commands.add_parser(
+        "complexity", help="sampling-cost accounting (Table 3)"
+    )
+    _add_dataset_argument(complexity)
+    complexity.add_argument("--fraction", type=float, default=0.025)
+
+    analyze = commands.add_parser(
+        "analyze", help="relation cardinalities + connectivity of a dataset"
+    )
+    _add_dataset_argument(analyze)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="train a model and compare evaluation protocols"
+    )
+    _add_dataset_argument(evaluate)
+    evaluate.add_argument("--model", default="complex", choices=available_models())
+    evaluate.add_argument("--epochs", type=int, default=8)
+    evaluate.add_argument("--dim", type=int, default=32)
+    evaluate.add_argument("--lr", type=float, default=0.05)
+    evaluate.add_argument("--loss", default="softplus")
+    evaluate.add_argument(
+        "--recommender", default="l-wd", choices=available_recommenders()
+    )
+    evaluate.add_argument(
+        "--strategy", default="static", choices=("random", "probabilistic", "static")
+    )
+    evaluate.add_argument("--fraction", type=float, default=0.1)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--save", help="write the trained model to this .npz path")
+    return parser
+
+
+_HANDLERS = {
+    "datasets": _cmd_datasets,
+    "generate": _cmd_generate,
+    "recommenders": _cmd_recommenders,
+    "easy-negatives": _cmd_easy_negatives,
+    "complexity": _cmd_complexity,
+    "analyze": _cmd_analyze,
+    "evaluate": _cmd_evaluate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv if argv is not None else sys.argv[1:])
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

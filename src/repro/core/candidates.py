@@ -1,0 +1,230 @@
+"""Static candidate sets: thresholded domains & ranges (paper Section 4.1).
+
+The Static estimator narrows each relation's head/tail candidate pool by
+thresholding the recommender's score column.  Per column, the threshold is
+chosen to optimize the Candidate Recall / Reduction Rate trade-off — the
+smallest Euclidean distance to the ideal point ``(CR, RR) = (1, 1)`` —
+using only *training* evidence, so test truths never leak into the sets.
+
+The final evaluation-time candidate set is the thresholded set **union
+the observed (PT) entities**, mirroring the paper's remark that in
+practice one always folds the already-seen candidates in.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kg.graph import HEAD, SIDES, TAIL, KnowledgeGraph, Side, TripleSet
+from repro.metrics.tradeoff import TradeoffPoint
+from repro.recommenders.base import FittedRecommender
+
+
+@dataclass
+class CandidateSets:
+    """Per-(relation, side) entity candidate sets with their thresholds."""
+
+    sets: dict[Side, dict[int, np.ndarray]]
+    thresholds: dict[Side, dict[int, float]]
+    num_entities: int
+    recommender_name: str = "?"
+    build_seconds: float = 0.0
+
+    def candidates(self, relation: int, side: Side) -> np.ndarray:
+        """Sorted entity ids admissible for ``(relation, side)``."""
+        return self.sets[side].get(relation, np.empty(0, dtype=np.int64))
+
+    def contains(self, entity: int, relation: int, side: Side) -> bool:
+        pool = self.candidates(relation, side)
+        index = int(np.searchsorted(pool, entity))
+        return index < pool.size and int(pool[index]) == entity
+
+    def set_size(self, relation: int, side: Side) -> int:
+        return int(self.candidates(relation, side).size)
+
+    def mean_reduction_rate(self) -> float:
+        """Unweighted mean RR over all (relation, side) columns."""
+        sizes = [
+            self.set_size(relation, side)
+            for side in SIDES
+            for relation in self.sets[side]
+        ]
+        if not sizes:
+            return 0.0
+        return float(np.mean([1.0 - size / self.num_entities for size in sizes]))
+
+    def __repr__(self) -> str:
+        total = sum(len(self.sets[side]) for side in SIDES)
+        return (
+            f"CandidateSets({self.recommender_name!r}, {total} columns, "
+            f"mean RR={self.mean_reduction_rate():.3f})"
+        )
+
+
+def _training_truths(graph: KnowledgeGraph, relation: int, side: Side) -> np.ndarray:
+    """Entities observed on ``side`` of ``relation`` in train + valid."""
+    seen = set(graph.observed(relation, side).tolist())
+    for h, r, t in graph.valid:
+        if r == relation:
+            seen.add(h if side == HEAD else t)
+    return np.asarray(sorted(seen), dtype=np.int64)
+
+
+def choose_threshold(
+    scores: np.ndarray,
+    truths: np.ndarray,
+    num_thresholds: int = 32,
+) -> tuple[float, TradeoffPoint]:
+    """Pick the score threshold minimizing distance to ``(CR, RR) = (1, 1)``.
+
+    ``scores`` is one dense column; ``truths`` are the training-time true
+    entities of the column.  Candidate thresholds are quantiles of the
+    positive scores.  An empty/zero column returns threshold ``inf`` (an
+    empty set) with CR defined as 1 when there are no truths.
+    """
+    positive = scores[scores > 0]
+    if positive.size == 0:
+        return np.inf, TradeoffPoint(candidate_recall=1.0 if truths.size == 0 else 0.0, reduction_rate=1.0)
+    quantiles = np.unique(
+        np.quantile(positive, np.linspace(0.0, 1.0, num_thresholds))
+    )
+    num_entities = scores.shape[0]
+    truth_scores = scores[truths] if truths.size else np.empty(0)
+    best_threshold = float(quantiles[0])
+    best_point = None
+    best_distance = np.inf
+    for threshold in quantiles:
+        kept = int(np.count_nonzero(scores >= threshold))
+        recall = (
+            float(np.count_nonzero(truth_scores >= threshold)) / truths.size
+            if truths.size
+            else 1.0
+        )
+        point = TradeoffPoint(
+            candidate_recall=recall,
+            reduction_rate=1.0 - kept / num_entities,
+        )
+        distance = point.distance_to_ideal()
+        if distance < best_distance:
+            best_distance = distance
+            best_threshold = float(threshold)
+            best_point = point
+    assert best_point is not None
+    return best_threshold, best_point
+
+
+def build_static_candidates(
+    fitted: FittedRecommender,
+    graph: KnowledgeGraph,
+    include_observed: bool = True,
+    num_thresholds: int = 32,
+) -> CandidateSets:
+    """Threshold every score column into a static candidate set.
+
+    ``include_observed`` unions in the PT (seen-in-training) entities after
+    thresholding — the paper's practical default.
+    """
+    start = time.perf_counter()
+    sets: dict[Side, dict[int, np.ndarray]] = {side: {} for side in SIDES}
+    thresholds: dict[Side, dict[int, float]] = {side: {} for side in SIDES}
+    for side in SIDES:
+        for relation in range(graph.num_relations):
+            column = fitted.column(relation, side)
+            truths = _training_truths(graph, relation, side)
+            threshold, _ = choose_threshold(column, truths, num_thresholds)
+            selected = np.flatnonzero(column >= threshold).astype(np.int64)
+            if include_observed:
+                observed = graph.observed(relation, side)
+                if observed.size:
+                    selected = np.union1d(selected, observed)
+            sets[side][relation] = np.sort(selected)
+            thresholds[side][relation] = threshold
+    return CandidateSets(
+        sets=sets,
+        thresholds=thresholds,
+        num_entities=graph.num_entities,
+        recommender_name=fitted.name,
+        build_seconds=time.perf_counter() - start,
+    )
+
+
+@dataclass
+class TradeoffReport:
+    """Table 5 row: CR (Test / Unseen) and RR of one candidate generator."""
+
+    recommender_name: str
+    candidate_recall_test: float
+    candidate_recall_unseen: float
+    reduction_rate: float
+    num_test_pairs: int
+    num_unseen_pairs: int
+    fit_seconds: float = 0.0
+
+    def as_row(self) -> dict[str, float | str | int]:
+        return {
+            "Model": self.recommender_name,
+            "CR Test": round(self.candidate_recall_test, 3),
+            "CR Unseen": round(self.candidate_recall_unseen, 3),
+            "RR": round(self.reduction_rate, 3),
+            "Runtime (s)": round(self.fit_seconds, 3),
+        }
+
+
+def _test_pairs(
+    graph: KnowledgeGraph, split: str
+) -> dict[Side, set[tuple[int, int]]]:
+    """Distinct (entity, relation) combinations per side in a split."""
+    triples: TripleSet = getattr(graph, split)
+    pairs: dict[Side, set[tuple[int, int]]] = {side: set() for side in SIDES}
+    for h, r, t in triples:
+        pairs[HEAD].add((h, r))
+        pairs[TAIL].add((t, r))
+    return pairs
+
+
+def evaluate_tradeoff(
+    sets: CandidateSets,
+    graph: KnowledgeGraph,
+    split: str = "test",
+    fit_seconds: float = 0.0,
+) -> TradeoffReport:
+    """Measure CR Test / CR Unseen / RR of candidate sets on a split.
+
+    CR Test covers every distinct (entity, relation-side) combination the
+    split contains; CR Unseen restricts to combinations absent from train
+    and valid.  RR is weighted by test queries: the average fraction of
+    entities a query's candidate set filters out, which is exactly the
+    scoring-work reduction the evaluation realises.
+    """
+    pairs = _test_pairs(graph, split)
+    seen: dict[Side, set[tuple[int, int]]] = {side: set() for side in SIDES}
+    for source in ("train", "valid"):
+        for side, combos in _test_pairs(graph, source).items():
+            seen[side] |= combos
+
+    hits_test = 0
+    total_test = 0
+    hits_unseen = 0
+    total_unseen = 0
+    rr_terms: list[float] = []
+    for side in SIDES:
+        for entity, relation in sorted(pairs[side]):
+            covered = sets.contains(entity, relation, side)
+            total_test += 1
+            hits_test += int(covered)
+            if (entity, relation) not in seen[side]:
+                total_unseen += 1
+                hits_unseen += int(covered)
+            rr_terms.append(1.0 - sets.set_size(relation, side) / sets.num_entities)
+    return TradeoffReport(
+        recommender_name=sets.recommender_name,
+        candidate_recall_test=hits_test / total_test if total_test else 1.0,
+        candidate_recall_unseen=hits_unseen / total_unseen if total_unseen else 1.0,
+        reduction_rate=float(np.mean(rr_terms)) if rr_terms else 0.0,
+        num_test_pairs=total_test,
+        num_unseen_pairs=total_unseen,
+        fit_seconds=fit_seconds,
+    )

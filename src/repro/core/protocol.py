@@ -1,0 +1,185 @@
+"""The one-call evaluation framework API (the library's front door).
+
+:class:`EvaluationProtocol` packages the paper's pipeline — fit a relation
+recommender, build candidate sets, draw per-(relation, side) pools, rank
+the test queries against them — behind two calls::
+
+    protocol = EvaluationProtocol(graph, recommender="l-wd", strategy="static")
+    protocol.prepare()                      # recommender + pools (once)
+    estimate = protocol.evaluate(model)     # fast, per model/epoch
+    truth = protocol.evaluate_full(model)   # the expensive ground truth
+
+``prepare`` is deliberately split out: its cost is paid once per dataset
+while ``evaluate`` runs per model per epoch, which is where the paper's
+90-fold speed-up on large graphs comes from.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.candidates import CandidateSets, build_static_candidates
+from repro.core.estimators import SampledEvaluationResult, evaluate_sampled
+from repro.core.ranking import FullEvaluationResult, evaluate_full
+from repro.core.sampling import NegativePools, Strategy, build_pools
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.typing import TypeStore
+from repro.metrics.ranking import HITS_AT
+from repro.models.base import KGEModel
+from repro.recommenders.base import FittedRecommender, RelationRecommender
+from repro.recommenders.registry import build_recommender
+
+
+@dataclass
+class PreparationReport:
+    """Timings of the once-per-dataset preparation stage."""
+
+    recommender_name: str
+    strategy: str
+    fit_seconds: float
+    candidates_seconds: float
+    pools_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.fit_seconds + self.candidates_seconds + self.pools_seconds
+
+
+class EvaluationProtocol:
+    """Fast, accurate sampled evaluation of KGC models.
+
+    Parameters
+    ----------
+    graph:
+        The knowledge graph (train split fits the recommender; valid/test
+        splits are evaluated).
+    recommender:
+        Recommender name (see :func:`repro.recommenders.build_recommender`)
+        or an already-constructed :class:`RelationRecommender`.
+    strategy:
+        ``"random"``, ``"probabilistic"`` or ``"static"``.
+    num_samples / sample_fraction:
+        Per-pool sample size ``n_s`` — exactly one must be given.
+    types:
+        Entity types, required by the typed recommenders.
+    include_observed:
+        Union PT candidates into static sets (the paper's default).
+    seed:
+        Seed of the pool draws.
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        recommender: str | RelationRecommender = "l-wd",
+        strategy: Strategy = "static",
+        num_samples: int | None = None,
+        sample_fraction: float | None = None,
+        types: TypeStore | None = None,
+        include_observed: bool = True,
+        seed: int = 0,
+    ):
+        if num_samples is None and sample_fraction is None:
+            sample_fraction = 0.1  # the paper's default operating point
+        self.graph = graph
+        self.strategy: Strategy = strategy
+        self.num_samples = num_samples
+        self.sample_fraction = sample_fraction
+        self.types = types
+        self.include_observed = include_observed
+        self.seed = seed
+        if isinstance(recommender, str):
+            recommender = build_recommender(recommender)
+        self.recommender = recommender
+        self.fitted: FittedRecommender | None = None
+        self.candidates: CandidateSets | None = None
+        self.pools: NegativePools | None = None
+        self.preparation: PreparationReport | None = None
+
+    # ------------------------------------------------------------------
+    def prepare(self) -> PreparationReport:
+        """Fit the recommender and draw the pools (idempotent)."""
+        if self.preparation is not None:
+            return self.preparation
+        # Warm the filtered-ranking index: a once-per-dataset cost that
+        # belongs to preparation, not to any timed evaluation.
+        self.graph.filter_index  # noqa: B018 — deliberate cache warm-up
+        needs_recommender = self.strategy in ("probabilistic", "static")
+        fit_seconds = 0.0
+        if needs_recommender:
+            self.fitted = self.recommender.fit(self.graph, self.types)
+            fit_seconds = self.fitted.fit_seconds
+        candidates_seconds = 0.0
+        if self.strategy == "static":
+            assert self.fitted is not None
+            self.candidates = build_static_candidates(
+                self.fitted, self.graph, include_observed=self.include_observed
+            )
+            candidates_seconds = self.candidates.build_seconds
+        start = time.perf_counter()
+        self.pools = build_pools(
+            self.graph,
+            self.strategy,
+            rng=np.random.default_rng(self.seed),
+            num_samples=self.num_samples,
+            sample_fraction=self.sample_fraction,
+            fitted=self.fitted,
+            candidates=self.candidates,
+        )
+        pools_seconds = time.perf_counter() - start
+        self.preparation = PreparationReport(
+            recommender_name=self.recommender.name,
+            strategy=self.strategy,
+            fit_seconds=fit_seconds,
+            candidates_seconds=candidates_seconds,
+            pools_seconds=pools_seconds,
+        )
+        return self.preparation
+
+    def resample(self, seed: int) -> None:
+        """Redraw the pools with a new seed (for repeated-sampling CIs)."""
+        if self.preparation is None:
+            self.seed = seed
+            self.prepare()
+            return
+        self.pools = build_pools(
+            self.graph,
+            self.strategy,
+            rng=np.random.default_rng(seed),
+            num_samples=self.num_samples,
+            sample_fraction=self.sample_fraction,
+            fitted=self.fitted,
+            candidates=self.candidates,
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        model: KGEModel,
+        split: str = "test",
+        hits_at: tuple[int, ...] = HITS_AT,
+    ) -> SampledEvaluationResult:
+        """Fast sampled estimate of the filtered ranking metrics."""
+        if self.pools is None:
+            self.prepare()
+        assert self.pools is not None
+        return evaluate_sampled(model, self.graph, self.pools, split=split, hits_at=hits_at)
+
+    def evaluate_full(
+        self,
+        model: KGEModel,
+        split: str = "test",
+        hits_at: tuple[int, ...] = HITS_AT,
+    ) -> FullEvaluationResult:
+        """The full filtered ranking protocol (the expensive ground truth)."""
+        return evaluate_full(model, self.graph, split=split, hits_at=hits_at)
+
+    def __repr__(self) -> str:
+        size = self.num_samples if self.num_samples is not None else f"{self.sample_fraction:.0%}"
+        return (
+            f"EvaluationProtocol({self.graph.name!r}, recommender={self.recommender.name!r}, "
+            f"strategy={self.strategy!r}, n_s={size})"
+        )

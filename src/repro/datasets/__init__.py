@@ -1,0 +1,17 @@
+"""Synthetic dataset substrate: typed KG generator + named dataset zoo."""
+
+from repro.datasets.schema import Cardinality, RelationSchema
+from repro.datasets.synthetic import SyntheticConfig, SyntheticDataset, generate
+from repro.datasets.zoo import ZOO, available_datasets, clear_cache, load
+
+__all__ = [
+    "ZOO",
+    "Cardinality",
+    "RelationSchema",
+    "SyntheticConfig",
+    "SyntheticDataset",
+    "available_datasets",
+    "clear_cache",
+    "generate",
+    "load",
+]

@@ -1,0 +1,71 @@
+"""Relation schemas for the synthetic KG generator.
+
+Every relation in a realistic KG has a *type signature* — the entity types
+admissible as its head (domain) and tail (range) — and a *cardinality
+class* (1-1, 1-M, M-1, M-M).  Both properties drive the paper's findings:
+
+* type signatures are why uniformly sampled negatives are overwhelmingly
+  easy (a random entity is usually type-incompatible with the query);
+* cardinality is why the PT heuristic fails — for 1-1 relations like
+  ``isMarriedTo`` the correct candidate has often never been *seen* on that
+  side, so seen-only candidate sets miss it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Cardinality(enum.Enum):
+    """Relation cardinality classes, paper Section 2."""
+
+    ONE_TO_ONE = "1-1"
+    ONE_TO_MANY = "1-M"
+    MANY_TO_ONE = "M-1"
+    MANY_TO_MANY = "M-M"
+
+    @property
+    def head_repeats(self) -> bool:
+        """Whether one head may appear in many triples of the relation."""
+        return self in (Cardinality.ONE_TO_MANY, Cardinality.MANY_TO_MANY)
+
+    @property
+    def tail_repeats(self) -> bool:
+        """Whether one tail may appear in many triples of the relation."""
+        return self in (Cardinality.MANY_TO_ONE, Cardinality.MANY_TO_MANY)
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Blueprint for one synthetic relation.
+
+    Parameters
+    ----------
+    name:
+        Relation label.
+    domain_types, range_types:
+        Type ids admissible for heads / tails.
+    cardinality:
+        Cardinality class constraining how entities repeat.
+    weight:
+        Relative frequency of the relation in the generated triple stream.
+    """
+
+    name: str
+    domain_types: tuple[int, ...]
+    range_types: tuple[int, ...]
+    cardinality: Cardinality
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.domain_types or not self.range_types:
+            raise ValueError(f"relation {self.name!r} needs non-empty type signature")
+        if self.weight <= 0:
+            raise ValueError(f"relation {self.name!r} needs positive weight")
+
+    def admits(self, head_types: tuple[int, ...], tail_types: tuple[int, ...]) -> bool:
+        """Whether entities with the given types fit this relation."""
+        head_ok = any(t in self.domain_types for t in head_types)
+        tail_ok = any(t in self.range_types for t in tail_types)
+        return head_ok and tail_ok

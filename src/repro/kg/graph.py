@@ -1,0 +1,295 @@
+"""Core knowledge-graph data structures.
+
+A :class:`TripleSet` is an immutable ``(n, 3)`` integer array of
+``(head, relation, tail)`` triples with convenience accessors.  A
+:class:`KnowledgeGraph` bundles the train/valid/test triple sets with the
+entity/relation vocabularies and the index structures the evaluation
+framework needs:
+
+* *filter indexes* — for each ``(h, r)`` the set of known true tails across
+  all splits (and symmetrically for heads), used by filtered ranking;
+* *observed domains & ranges* — for each relation the entities seen as its
+  head (domain) or tail (range) in the training split, used by the PT
+  recommender and by candidate-recall bookkeeping.
+
+Heads and tails are handled uniformly through the ``side`` argument:
+``"head"`` means we predict the head of ``(?, r, t)`` and ``"tail"`` means we
+predict the tail of ``(h, r, ?)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Literal, Mapping
+
+import numpy as np
+
+from repro.kg.vocabulary import Vocabulary
+
+Side = Literal["head", "tail"]
+
+HEAD: Side = "head"
+TAIL: Side = "tail"
+SIDES: tuple[Side, Side] = (HEAD, TAIL)
+
+
+def _as_triple_array(triples: Iterable[tuple[int, int, int]] | np.ndarray) -> np.ndarray:
+    array = np.asarray(list(triples) if not isinstance(triples, np.ndarray) else triples)
+    if array.size == 0:
+        return np.empty((0, 3), dtype=np.int64)
+    if array.ndim != 2 or array.shape[1] != 3:
+        raise ValueError(f"triples must have shape (n, 3), got {array.shape}")
+    return array.astype(np.int64, copy=False)
+
+
+class TripleSet:
+    """An immutable collection of ``(head, relation, tail)`` integer triples."""
+
+    __slots__ = ("_array",)
+
+    def __init__(self, triples: Iterable[tuple[int, int, int]] | np.ndarray):
+        array = _as_triple_array(triples)
+        array.setflags(write=False)
+        self._array = array
+
+    @property
+    def array(self) -> np.ndarray:
+        """The underlying read-only ``(n, 3)`` int64 array."""
+        return self._array
+
+    @property
+    def heads(self) -> np.ndarray:
+        return self._array[:, 0]
+
+    @property
+    def relations(self) -> np.ndarray:
+        return self._array[:, 1]
+
+    @property
+    def tails(self) -> np.ndarray:
+        return self._array[:, 2]
+
+    def entities(self, side: Side) -> np.ndarray:
+        """Entity column for ``side`` (heads for ``"head"``, tails otherwise)."""
+        return self.heads if side == HEAD else self.tails
+
+    def unique_pairs(self, side: Side) -> int:
+        """Number of distinct ``(entity, relation)`` pairs on ``side``.
+
+        ``side == "tail"`` counts distinct ``(h, r)`` pairs — the number of
+        distinct *tail-prediction* queries — and ``side == "head"`` counts
+        distinct ``(r, t)`` pairs.
+        """
+        anchor = self.heads if side == TAIL else self.tails
+        pairs = np.stack([anchor, self.relations], axis=1)
+        return int(np.unique(pairs, axis=0).shape[0])
+
+    def subset(self, mask: np.ndarray) -> "TripleSet":
+        """A new :class:`TripleSet` of the rows selected by boolean ``mask``."""
+        return TripleSet(self._array[mask])
+
+    def concat(self, other: "TripleSet") -> "TripleSet":
+        return TripleSet(np.concatenate([self._array, other._array], axis=0))
+
+    def as_tuples(self) -> list[tuple[int, int, int]]:
+        return [tuple(int(x) for x in row) for row in self._array]
+
+    def __len__(self) -> int:
+        return int(self._array.shape[0])
+
+    def __iter__(self) -> Iterator[tuple[int, int, int]]:
+        for row in self._array:
+            yield int(row[0]), int(row[1]), int(row[2])
+
+    def __contains__(self, triple: object) -> bool:
+        if not (isinstance(triple, tuple) and len(triple) == 3):
+            return False
+        h, r, t = triple
+        matches = (
+            (self._array[:, 0] == h)
+            & (self._array[:, 1] == r)
+            & (self._array[:, 2] == t)
+        )
+        return bool(matches.any())
+
+    def __repr__(self) -> str:
+        return f"TripleSet({len(self)} triples)"
+
+
+@dataclass
+class KnowledgeGraph:
+    """A knowledge graph with train/valid/test splits and query indexes.
+
+    Parameters
+    ----------
+    entities, relations:
+        Vocabularies; ``num_entities``/``num_relations`` derive from them.
+    train, valid, test:
+        The three triple splits; ``valid`` and ``test`` may be empty.
+    name:
+        Human-readable dataset name for reports.
+    """
+
+    entities: Vocabulary
+    relations: Vocabulary
+    train: TripleSet
+    valid: TripleSet = field(default_factory=lambda: TripleSet([]))
+    test: TripleSet = field(default_factory=lambda: TripleSet([]))
+    name: str = "kg"
+
+    def __post_init__(self) -> None:
+        self._filter_index: dict[Side, dict[tuple[int, int], np.ndarray]] | None = None
+        self._observed: dict[Side, dict[int, np.ndarray]] | None = None
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_entities(self) -> int:
+        return len(self.entities)
+
+    @property
+    def num_relations(self) -> int:
+        return len(self.relations)
+
+    @property
+    def all_triples(self) -> TripleSet:
+        """Train, valid and test triples concatenated."""
+        return self.train.concat(self.valid).concat(self.test)
+
+    def _validate(self) -> None:
+        for split_name, split in (("train", self.train), ("valid", self.valid), ("test", self.test)):
+            if len(split) == 0:
+                continue
+            arr = split.array
+            if arr[:, [0, 2]].max() >= self.num_entities or arr.min() < 0:
+                raise ValueError(f"{split_name} split references entities outside the vocabulary")
+            if arr[:, 1].max() >= self.num_relations:
+                raise ValueError(f"{split_name} split references relations outside the vocabulary")
+
+    # ------------------------------------------------------------------
+    # Filter indexes (filtered ranking)
+    # ------------------------------------------------------------------
+    def _build_filter_index(self) -> dict[Side, dict[tuple[int, int], np.ndarray]]:
+        """Map ``(anchor_entity, relation) -> known true answers`` per side.
+
+        For ``side == "tail"`` the anchor is the head: the index answers
+        "which tails are known true for ``(h, r, ?)``" across *all* splits,
+        which is exactly the set filtered ranking must exclude (minus the
+        query's own answer).
+        """
+        index: dict[Side, dict[tuple[int, int], list[int]]] = {HEAD: {}, TAIL: {}}
+        for h, r, t in self.all_triples:
+            index[TAIL].setdefault((h, r), []).append(t)
+            index[HEAD].setdefault((t, r), []).append(h)
+        return {
+            side: {key: np.unique(np.asarray(vals, dtype=np.int64)) for key, vals in mapping.items()}
+            for side, mapping in index.items()
+        }
+
+    @property
+    def filter_index(self) -> dict[Side, dict[tuple[int, int], np.ndarray]]:
+        if self._filter_index is None:
+            self._filter_index = self._build_filter_index()
+        return self._filter_index
+
+    def true_answers(self, anchor: int, relation: int, side: Side) -> np.ndarray:
+        """All known true answers for a query, across every split.
+
+        ``side == "tail"``: true tails of ``(anchor, relation, ?)``.
+        ``side == "head"``: true heads of ``(?, relation, anchor)``.
+        """
+        return self.filter_index[side].get((anchor, relation), np.empty(0, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Observed domains & ranges (training split only)
+    # ------------------------------------------------------------------
+    def _build_observed(self) -> dict[Side, dict[int, np.ndarray]]:
+        observed: dict[Side, dict[int, set[int]]] = {HEAD: {}, TAIL: {}}
+        for h, r, t in self.train:
+            observed[HEAD].setdefault(r, set()).add(h)
+            observed[TAIL].setdefault(r, set()).add(t)
+        return {
+            side: {r: np.asarray(sorted(vals), dtype=np.int64) for r, vals in mapping.items()}
+            for side, mapping in observed.items()
+        }
+
+    @property
+    def observed_entities(self) -> dict[Side, dict[int, np.ndarray]]:
+        """Per relation, entities seen in training as its head / tail."""
+        if self._observed is None:
+            self._observed = self._build_observed()
+        return self._observed
+
+    def observed(self, relation: int, side: Side) -> np.ndarray:
+        """Entities observed in training on ``side`` of ``relation``."""
+        return self.observed_entities[side].get(relation, np.empty(0, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Degree statistics
+    # ------------------------------------------------------------------
+    def degree_counts(self, side: Side) -> np.ndarray:
+        """``(|E|, |R|)`` matrix counting training occurrences per side.
+
+        Entry ``(e, r)`` is the number of training triples in which entity
+        ``e`` appears on ``side`` of relation ``r`` — the raw statistic the
+        DBH heuristic scores entities with.
+        """
+        counts = np.zeros((self.num_entities, self.num_relations), dtype=np.int64)
+        entities = self.train.entities(side)
+        np.add.at(counts, (entities, self.train.relations), 1)
+        return counts
+
+    def relation_counts(self) -> np.ndarray:
+        """Number of training triples per relation."""
+        counts = np.zeros(self.num_relations, dtype=np.int64)
+        np.add.at(counts, self.train.relations, 1)
+        return counts
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def relabel(self, name: str) -> "KnowledgeGraph":
+        """A shallow copy under a different dataset name."""
+        return KnowledgeGraph(
+            entities=self.entities,
+            relations=self.relations,
+            train=self.train,
+            valid=self.valid,
+            test=self.test,
+            name=name,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"KnowledgeGraph(name={self.name!r}, |E|={self.num_entities}, "
+            f"|R|={self.num_relations}, train={len(self.train)}, "
+            f"valid={len(self.valid)}, test={len(self.test)})"
+        )
+
+
+def build_graph(
+    triples_by_split: Mapping[str, Iterable[tuple[str, str, str]]],
+    name: str = "kg",
+) -> KnowledgeGraph:
+    """Build a :class:`KnowledgeGraph` from labelled string triples.
+
+    ``triples_by_split`` maps split names (``"train"``, ``"valid"``,
+    ``"test"``) to iterables of ``(head_label, relation_label, tail_label)``.
+    Vocabularies are accumulated over all splits in encounter order.
+    """
+    entities = Vocabulary()
+    relations = Vocabulary()
+    encoded: dict[str, list[tuple[int, int, int]]] = {"train": [], "valid": [], "test": []}
+    for split in ("train", "valid", "test"):
+        for h, r, t in triples_by_split.get(split, ()):  # type: ignore[arg-type]
+            encoded[split].append((entities.add(h), relations.add(r), entities.add(t)))
+    return KnowledgeGraph(
+        entities=entities,
+        relations=relations,
+        train=TripleSet(encoded["train"]),
+        valid=TripleSet(encoded["valid"]),
+        test=TripleSet(encoded["test"]),
+        name=name,
+    )

@@ -1,0 +1,119 @@
+"""TSV input/output for triples and type assignments.
+
+File formats match the de-facto KGC conventions:
+
+* triples: one ``head<TAB>relation<TAB>tail`` per line (FB15k style);
+* types: one ``entity<TAB>type`` per line (one line per assignment).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable
+
+from repro.kg.graph import KnowledgeGraph, build_graph
+from repro.kg.typing import TypeStore, build_type_store
+from repro.kg.vocabulary import Vocabulary
+
+
+def read_triples(path: str | os.PathLike[str]) -> list[tuple[str, str, str]]:
+    """Read labelled triples from a TSV file; skip blank lines."""
+    triples: list[tuple[str, str, str]] = []
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 3 tab-separated fields, got {len(parts)}"
+                )
+            triples.append((parts[0], parts[1], parts[2]))
+    return triples
+
+
+def write_triples(path: str | os.PathLike[str], triples: Iterable[tuple[str, str, str]]) -> None:
+    """Write labelled triples to a TSV file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for h, r, t in triples:
+            handle.write(f"{h}\t{r}\t{t}\n")
+
+
+def load_graph_dir(directory: str | os.PathLike[str], name: str | None = None) -> KnowledgeGraph:
+    """Load ``train.tsv`` / ``valid.tsv`` / ``test.tsv`` from a directory.
+
+    ``valid.tsv`` and ``test.tsv`` are optional; a missing file yields an
+    empty split.
+    """
+    directory = Path(directory)
+    splits: dict[str, list[tuple[str, str, str]]] = {}
+    for split in ("train", "valid", "test"):
+        path = directory / f"{split}.tsv"
+        splits[split] = read_triples(path) if path.exists() else []
+    if not splits["train"]:
+        raise FileNotFoundError(f"no train.tsv with triples found in {directory}")
+    return build_graph(splits, name=name or directory.name)
+
+
+def save_graph_dir(graph: KnowledgeGraph, directory: str | os.PathLike[str]) -> None:
+    """Write a graph's splits as ``train/valid/test.tsv`` under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for split_name in ("train", "valid", "test"):
+        split = getattr(graph, split_name)
+        labelled = (
+            (
+                graph.entities.label_of(h),
+                graph.relations.label_of(r),
+                graph.entities.label_of(t),
+            )
+            for h, r, t in split
+        )
+        write_triples(directory / f"{split_name}.tsv", labelled)
+
+
+def read_types(
+    path: str | os.PathLike[str],
+    entities: Vocabulary,
+    strict: bool = False,
+) -> TypeStore:
+    """Read ``entity<TAB>type`` lines into a :class:`TypeStore`.
+
+    Unknown entities are skipped unless ``strict`` is set, mirroring how
+    published type files cover more entities than a benchmark subset.
+    """
+    assignments: dict[int, list[str]] = {}
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 2:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 2 tab-separated fields, got {len(parts)}"
+                )
+            entity_label, type_label = parts
+            entity_id = entities.get(entity_label)
+            if entity_id is None:
+                if strict:
+                    raise KeyError(f"{path}:{line_number}: unknown entity {entity_label!r}")
+                continue
+            assignments.setdefault(entity_id, []).append(type_label)
+    return build_type_store(assignments)
+
+
+def write_types(
+    path: str | os.PathLike[str],
+    store: TypeStore,
+    entities: Vocabulary,
+) -> None:
+    """Write a :class:`TypeStore` as ``entity<TAB>type`` lines."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for entity_id in sorted(store.assignments):
+            for type_id in store.assignments[entity_id]:
+                handle.write(
+                    f"{entities.label_of(entity_id)}\t{store.types.label_of(type_id)}\n"
+                )

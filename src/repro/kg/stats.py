@@ -1,0 +1,73 @@
+"""Dataset statistics — the columns of the paper's Table 4.
+
+For each dataset the paper reports ``|E|``, ``|R|``, ``|T|``, ``|TS|``,
+triple counts per split and the number of distinct (h,r)- & (r,t)-pairs in
+train and test.  :func:`dataset_statistics` computes all of them for any
+:class:`~repro.kg.graph.KnowledgeGraph` (+ optional
+:class:`~repro.kg.typing.TypeStore`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kg.graph import HEAD, TAIL, KnowledgeGraph, TripleSet
+from repro.kg.typing import TypeStore
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """One row of Table 4."""
+
+    name: str
+    num_entities: int
+    num_relations: int
+    num_types: int
+    num_type_assignments: int
+    train_triples: int
+    valid_triples: int
+    test_triples: int
+    train_pairs: int
+    test_pairs: int
+
+    def as_row(self) -> dict[str, int | str]:
+        return {
+            "Dataset": self.name,
+            "|E|": self.num_entities,
+            "|R|": self.num_relations,
+            "|T|": self.num_types,
+            "|TS|": self.num_type_assignments,
+            "Train": self.train_triples,
+            "Valid": self.valid_triples,
+            "Test": self.test_triples,
+            "Train pairs": self.train_pairs,
+            "Test pairs": self.test_pairs,
+        }
+
+
+def distinct_query_pairs(split: TripleSet) -> int:
+    """Number of distinct (h,r)- plus (r,t)-pairs in a split.
+
+    Each distinct pair is one ranking query in the standard protocol, so
+    this is the quantity the sampling-complexity analysis (Table 3) counts.
+    """
+    return split.unique_pairs(TAIL) + split.unique_pairs(HEAD)
+
+
+def dataset_statistics(
+    graph: KnowledgeGraph,
+    types: TypeStore | None = None,
+) -> DatasetStatistics:
+    """Compute the Table 4 row for ``graph`` (+ optional types)."""
+    return DatasetStatistics(
+        name=graph.name,
+        num_entities=graph.num_entities,
+        num_relations=graph.num_relations,
+        num_types=types.num_types if types is not None else 0,
+        num_type_assignments=types.num_assignments if types is not None else 0,
+        train_triples=len(graph.train),
+        valid_triples=len(graph.valid),
+        test_triples=len(graph.test),
+        train_pairs=distinct_query_pairs(graph.train),
+        test_pairs=distinct_query_pairs(graph.test),
+    )

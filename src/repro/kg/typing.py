@@ -1,0 +1,132 @@
+"""Entity typing substrate.
+
+The paper's typed recommenders (L-WD-T, DBH-T, OntoSim) consume entity type
+assignments (Wikidata ``P31`` style).  Real typing data is incomplete and
+noisy, and the paper explicitly discusses how that degrades type-based
+heuristics, so this module provides both the clean :class:`TypeStore` and
+controlled corruption: dropping assignments (incompleteness) and swapping
+types (noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.kg.vocabulary import Vocabulary
+
+
+@dataclass
+class TypeStore:
+    """Entity -> type assignments over dense integer ids.
+
+    Parameters
+    ----------
+    types:
+        Vocabulary of type labels.
+    assignments:
+        Mapping from entity id to a tuple of type ids.  Entities may carry
+        zero, one or several types.
+    """
+
+    types: Vocabulary
+    assignments: dict[int, tuple[int, ...]]
+
+    @property
+    def num_types(self) -> int:
+        return len(self.types)
+
+    @property
+    def num_assignments(self) -> int:
+        """Total number of (entity, type) pairs — ``|TS|`` in the paper."""
+        return sum(len(ts) for ts in self.assignments.values())
+
+    def types_of(self, entity: int) -> tuple[int, ...]:
+        return self.assignments.get(entity, ())
+
+    def entities_of_type(self, type_id: int) -> np.ndarray:
+        """All entity ids carrying ``type_id`` (sorted)."""
+        members = [e for e, ts in self.assignments.items() if type_id in ts]
+        return np.asarray(sorted(members), dtype=np.int64)
+
+    def membership_matrix(self, num_entities: int) -> sp.csr_matrix:
+        """Binary ``|E| x |T|`` sparse matrix of type membership."""
+        rows: list[int] = []
+        cols: list[int] = []
+        for entity, type_ids in self.assignments.items():
+            for type_id in type_ids:
+                rows.append(entity)
+                cols.append(type_id)
+        data = np.ones(len(rows), dtype=np.float64)
+        return sp.csr_matrix(
+            (data, (rows, cols)), shape=(num_entities, self.num_types)
+        )
+
+    # ------------------------------------------------------------------
+    # Corruption knobs (simulating real-world typing quality)
+    # ------------------------------------------------------------------
+    def drop_fraction(self, fraction: float, rng: np.random.Generator) -> "TypeStore":
+        """Remove ``fraction`` of all (entity, type) pairs uniformly.
+
+        Simulates typing *incompleteness* — entities missing ``P31`` values.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        pairs = [(e, t) for e, ts in self.assignments.items() for t in ts]
+        keep = rng.random(len(pairs)) >= fraction
+        surviving: dict[int, list[int]] = {}
+        for (entity, type_id), kept in zip(pairs, keep):
+            if kept:
+                surviving.setdefault(entity, []).append(type_id)
+        return TypeStore(
+            types=self.types,
+            assignments={e: tuple(ts) for e, ts in surviving.items()},
+        )
+
+    def corrupt_fraction(self, fraction: float, rng: np.random.Generator) -> "TypeStore":
+        """Replace ``fraction`` of type assignments with a random wrong type.
+
+        Simulates typing *noise* — erroneous ``P31`` values.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if self.num_types < 2:
+            return self
+        corrupted: dict[int, list[int]] = {}
+        for entity, type_ids in self.assignments.items():
+            new_types: list[int] = []
+            for type_id in type_ids:
+                if rng.random() < fraction:
+                    wrong = int(rng.integers(self.num_types - 1))
+                    if wrong >= type_id:
+                        wrong += 1
+                    new_types.append(wrong)
+                else:
+                    new_types.append(type_id)
+            corrupted[entity] = new_types
+        return TypeStore(
+            types=self.types,
+            assignments={e: tuple(dict.fromkeys(ts)) for e, ts in corrupted.items()},
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TypeStore({self.num_types} types, "
+            f"{len(self.assignments)} typed entities, "
+            f"{self.num_assignments} assignments)"
+        )
+
+
+def build_type_store(
+    labelled_assignments: Mapping[int, Iterable[str]],
+    types: Vocabulary | None = None,
+) -> TypeStore:
+    """Build a :class:`TypeStore` from ``entity_id -> type labels``."""
+    vocabulary = types if types is not None else Vocabulary()
+    assignments: dict[int, tuple[int, ...]] = {}
+    for entity, type_labels in labelled_assignments.items():
+        assignments[entity] = tuple(vocabulary.add(label) for label in type_labels)
+    return TypeStore(types=vocabulary, assignments=assignments)

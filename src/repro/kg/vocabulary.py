@@ -1,0 +1,84 @@
+"""Vocabularies mapping symbolic labels to dense integer ids.
+
+Knowledge graphs are manipulated internally as integer arrays; the
+:class:`Vocabulary` keeps the bidirectional mapping between human-readable
+labels (entity QIDs, relation names, type names) and the contiguous integer
+ids used by every array-based component in the library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+
+class Vocabulary:
+    """A bidirectional mapping ``label <-> contiguous int id``.
+
+    Ids are assigned in insertion order starting from zero, so a vocabulary
+    with ``n`` symbols always uses exactly the ids ``0 .. n-1``.  This is the
+    invariant every index structure in :mod:`repro.kg.graph` relies on.
+    """
+
+    __slots__ = ("_label_to_id", "_labels")
+
+    def __init__(self, labels: Iterable[str] = ()):
+        self._label_to_id: dict[str, int] = {}
+        self._labels: list[str] = []
+        for label in labels:
+            self.add(label)
+
+    def add(self, label: str) -> int:
+        """Add ``label`` if missing and return its id."""
+        existing = self._label_to_id.get(label)
+        if existing is not None:
+            return existing
+        new_id = len(self._labels)
+        self._label_to_id[label] = new_id
+        self._labels.append(label)
+        return new_id
+
+    def update(self, labels: Iterable[str]) -> None:
+        """Add every label in ``labels`` (idempotent)."""
+        for label in labels:
+            self.add(label)
+
+    def id_of(self, label: str) -> int:
+        """Return the id of ``label``; raise ``KeyError`` if absent."""
+        return self._label_to_id[label]
+
+    def get(self, label: str, default: int | None = None) -> int | None:
+        """Return the id of ``label`` or ``default`` when absent."""
+        return self._label_to_id.get(label, default)
+
+    def label_of(self, index: int) -> str:
+        """Return the label of ``index``; raise ``IndexError`` if absent."""
+        if index < 0:
+            raise IndexError(f"vocabulary ids are non-negative, got {index}")
+        return self._labels[index]
+
+    def labels(self) -> Sequence[str]:
+        """All labels in id order (read-only view by convention)."""
+        return tuple(self._labels)
+
+    def ids_of(self, labels: Iterable[str]) -> list[int]:
+        """Map many labels to ids, raising on the first unknown label."""
+        return [self._label_to_id[label] for label in labels]
+
+    def __contains__(self, label: object) -> bool:
+        return label in self._label_to_id
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._labels)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vocabulary):
+            return NotImplemented
+        return self._labels == other._labels
+
+    def __repr__(self) -> str:
+        preview = ", ".join(self._labels[:4])
+        suffix = ", ..." if len(self._labels) > 4 else ""
+        return f"Vocabulary({len(self)} symbols: [{preview}{suffix}])"

@@ -1,0 +1,20 @@
+"""Knowledge Persistence baseline: persistence diagrams + sliced Wasserstein."""
+
+from repro.kp.metric import KPResult, knowledge_persistence
+from repro.kp.persistence import (
+    PersistenceDiagram,
+    UnionFind,
+    h0_diagram,
+    score_graph_diagram,
+)
+from repro.kp.wasserstein import sliced_wasserstein
+
+__all__ = [
+    "KPResult",
+    "PersistenceDiagram",
+    "UnionFind",
+    "h0_diagram",
+    "knowledge_persistence",
+    "score_graph_diagram",
+    "sliced_wasserstein",
+]

@@ -1,0 +1,53 @@
+"""Sliced Wasserstein distance between persistence diagrams.
+
+KP compares the diagrams of its positive and negative score graphs with
+the sliced Wasserstein kernel distance of Carriere et al. (2017): project
+both diagrams onto ``num_slices`` directions through the half-plane, pad
+each diagram with the *diagonal projections* of the other's points (the
+transport target for unmatched points), sort the projections and average
+the L1 distances over slices.
+
+The diagonal padding is what makes the distance well-defined between
+diagrams of different cardinalities and gives it the metric properties our
+property-based tests check (symmetry, identity, triangle-ish behaviour).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kp.persistence import PersistenceDiagram
+
+
+def _diagonal_projection(points: np.ndarray) -> np.ndarray:
+    """Orthogonal projection of diagram points onto the diagonal y = x."""
+    if points.size == 0:
+        return points.reshape(0, 2)
+    mid = (points[:, 0] + points[:, 1]) / 2.0
+    return np.stack([mid, mid], axis=1)
+
+
+def sliced_wasserstein(
+    diagram_a: PersistenceDiagram,
+    diagram_b: PersistenceDiagram,
+    num_slices: int = 32,
+) -> float:
+    """Sliced 1-Wasserstein distance between two diagrams.
+
+    Deterministic: slice directions are evenly spaced over the half-circle
+    rather than sampled, so repeated calls agree exactly.
+    """
+    if num_slices <= 0:
+        raise ValueError(f"num_slices must be positive, got {num_slices}")
+    a = diagram_a.points
+    b = diagram_b.points
+    if a.size == 0 and b.size == 0:
+        return 0.0
+    # Augment each side with the diagonal projections of the other.
+    a_full = np.concatenate([a, _diagonal_projection(b)], axis=0)
+    b_full = np.concatenate([b, _diagonal_projection(a)], axis=0)
+    angles = np.linspace(-np.pi / 2.0, np.pi / 2.0, num_slices, endpoint=False)
+    directions = np.stack([np.cos(angles), np.sin(angles)], axis=1)  # (s, 2)
+    proj_a = np.sort(a_full @ directions.T, axis=0)  # (n, s)
+    proj_b = np.sort(b_full @ directions.T, axis=0)
+    return float(np.abs(proj_a - proj_b).sum(axis=0).mean())

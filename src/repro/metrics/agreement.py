@@ -1,0 +1,137 @@
+"""Agreement metrics between estimated and true metric series.
+
+The paper evaluates estimators along four axes:
+
+* **Pearson correlation** with the true metric across training epochs
+  (Tables 7, 12-14) — does the estimate track the true curve;
+* **MAE** (Tables 6, 15) — does the estimate land on the true value;
+* **MAPE** with confidence intervals (Figures 4, 5) — relative error as a
+  function of sample size;
+* **Kendall-tau** of the model ordering per epoch (Table 8) — would model
+  selection pick the same winner.
+
+All are implemented here from first principles on numpy arrays (no
+dependence on scipy.stats, so behaviour is fully pinned by our tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def _paired(a: Sequence[float], b: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(a, dtype=np.float64)
+    y = np.asarray(b, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError(f"need equal-length 1-D series, got {x.shape} vs {y.shape}")
+    return x, y
+
+
+def pearson(a: Sequence[float], b: Sequence[float]) -> float:
+    """Pearson correlation coefficient; 0.0 for degenerate inputs.
+
+    A constant series has undefined correlation; we return 0.0 so the
+    experiment tables stay total (matching how the paper reports unstable
+    KP correlations rather than dropping rows).
+    """
+    x, y = _paired(a, b)
+    if x.size < 2:
+        return 0.0
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = math.sqrt(float(xc @ xc) * float(yc @ yc))
+    if denom == 0.0:
+        return 0.0
+    return float(xc @ yc) / denom
+
+
+def kendall_tau(a: Sequence[float], b: Sequence[float]) -> float:
+    """Kendall tau-b rank correlation (tie-corrected).
+
+    tau-b = (C - D) / sqrt((n0 - n1)(n0 - n2)) with C/D the concordant /
+    discordant pair counts and n1/n2 tie corrections per series.
+    Returns 0.0 when either series is constant.
+    """
+    x, y = _paired(a, b)
+    n = x.size
+    if n < 2:
+        return 0.0
+    concordant = 0
+    discordant = 0
+    ties_x = 0
+    ties_y = 0
+    for i in range(n - 1):
+        dx = x[i + 1 :] - x[i]
+        dy = y[i + 1 :] - y[i]
+        sign = np.sign(dx) * np.sign(dy)
+        concordant += int(np.count_nonzero(sign > 0))
+        discordant += int(np.count_nonzero(sign < 0))
+        ties_x += int(np.count_nonzero(dx == 0))
+        ties_y += int(np.count_nonzero(dy == 0))
+    n0 = n * (n - 1) // 2
+    denom = math.sqrt((n0 - ties_x) * (n0 - ties_y))
+    if denom == 0.0:
+        return 0.0
+    return (concordant - discordant) / denom
+
+
+def mae(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """Mean absolute error of paired estimates."""
+    x, y = _paired(estimates, truths)
+    if x.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(x - y)))
+
+
+def mape(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """Mean absolute percentage error (in percent).
+
+    Pairs with a zero truth are skipped (relative error undefined), again
+    keeping the sweeps total.
+    """
+    x, y = _paired(estimates, truths)
+    mask = y != 0
+    if not mask.any():
+        return 0.0
+    return float(np.mean(np.abs((x[mask] - y[mask]) / y[mask]))) * 100.0
+
+
+@dataclass(frozen=True)
+class IntervalEstimate:
+    """A mean with a symmetric normal-approximation confidence interval."""
+
+    mean: float
+    half_width: float
+    num_samples: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __repr__(self) -> str:
+        return f"{self.mean:.3f} ± {self.half_width:.3f} (n={self.num_samples})"
+
+
+def mean_confidence_interval(values: Sequence[float], z: float = 1.96) -> IntervalEstimate:
+    """Mean with a ``z``-sigma CI half-width (95% by default).
+
+    This is the interval drawn as the shaded band in the paper's Figure 4
+    MAPE sweeps (five repeated samplings per point).
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        return IntervalEstimate(mean=0.0, half_width=0.0, num_samples=0)
+    if array.size == 1:
+        return IntervalEstimate(mean=float(array[0]), half_width=0.0, num_samples=1)
+    std_err = float(array.std(ddof=1)) / math.sqrt(array.size)
+    return IntervalEstimate(
+        mean=float(array.mean()), half_width=z * std_err, num_samples=int(array.size)
+    )

@@ -1,0 +1,159 @@
+"""Ranking metrics: ranks, MRR, Hits@K, mean rank, ROC-AUC.
+
+Conventions
+-----------
+* Ranks are 1-based: the best possible rank is 1.
+* "Realistic" rank handling for ties: the rank of the true answer among
+  scores ``s`` is ``1 + |better| + |ties| / 2`` (LibKGE's *mean* policy),
+  which avoids rewarding models that assign constant scores.
+* Filtered metrics remove known true answers (other than the query's own)
+  from the candidate list before ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+HITS_AT = (1, 3, 10)
+
+
+def rank_of(true_score: float, candidate_scores: np.ndarray) -> float:
+    """1-based rank of ``true_score`` among ``candidate_scores``.
+
+    ``candidate_scores`` must *exclude* the true answer's own score; ties
+    contribute half a position each (mean tie policy).
+    """
+    better = float(np.count_nonzero(candidate_scores > true_score))
+    ties = float(np.count_nonzero(candidate_scores == true_score))
+    return 1.0 + better + ties / 2.0
+
+
+def ranks_from_score_matrix(
+    scores: np.ndarray,
+    true_indices: np.ndarray,
+    filter_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Ranks of ``true_indices`` per row of a ``(q, n)`` score matrix.
+
+    ``filter_mask`` (same shape, boolean) marks candidates to exclude
+    (known true answers); the true answer's own column is never excluded.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    q = scores.shape[0]
+    rows = np.arange(q)
+    true_scores = scores[rows, true_indices]
+    if filter_mask is not None:
+        scores = np.where(filter_mask, -np.inf, scores)
+        # Ensure the true column survives filtering.
+        scores[rows, true_indices] = true_scores
+    better = (scores > true_scores[:, None]).sum(axis=1)
+    ties = (scores == true_scores[:, None]).sum(axis=1) - 1  # minus self
+    return 1.0 + better + ties / 2.0
+
+
+@dataclass(frozen=True)
+class RankingMetrics:
+    """Aggregated ranking metrics over a set of queries."""
+
+    mrr: float
+    hits: dict[int, float]
+    mean_rank: float
+    num_queries: int
+
+    def hits_at(self, k: int) -> float:
+        return self.hits[k]
+
+    def as_dict(self) -> dict[str, float]:
+        result = {"mrr": self.mrr, "mean_rank": self.mean_rank}
+        for k, value in sorted(self.hits.items()):
+            result[f"hits@{k}"] = value
+        return result
+
+    def metric(self, name: str) -> float:
+        """Look up a metric by name (``"mrr"`` or ``"hits@K"``)."""
+        if name == "mrr":
+            return self.mrr
+        if name == "mean_rank":
+            return self.mean_rank
+        if name.startswith("hits@"):
+            return self.hits[int(name.split("@", 1)[1])]
+        raise KeyError(f"unknown metric {name!r}")
+
+    def __repr__(self) -> str:
+        hits = ", ".join(f"h@{k}={v:.3f}" for k, v in sorted(self.hits.items()))
+        return f"RankingMetrics(mrr={self.mrr:.3f}, {hits}, n={self.num_queries})"
+
+
+def aggregate_ranks(ranks: Iterable[float], hits_at: tuple[int, ...] = HITS_AT) -> RankingMetrics:
+    """Aggregate raw ranks into :class:`RankingMetrics`."""
+    array = np.asarray(list(ranks), dtype=np.float64)
+    if array.size == 0:
+        return RankingMetrics(mrr=0.0, hits={k: 0.0 for k in hits_at}, mean_rank=0.0, num_queries=0)
+    if (array < 1.0).any():
+        raise ValueError("ranks must be >= 1")
+    return RankingMetrics(
+        mrr=float(np.mean(1.0 / array)),
+        hits={k: float(np.mean(array <= k)) for k in hits_at},
+        mean_rank=float(np.mean(array)),
+        num_queries=int(array.size),
+    )
+
+
+def merge_metrics(parts: Iterable[RankingMetrics]) -> RankingMetrics:
+    """Query-count-weighted merge of per-side / per-batch metrics."""
+    parts = [p for p in parts if p.num_queries > 0]
+    if not parts:
+        return RankingMetrics(mrr=0.0, hits={k: 0.0 for k in HITS_AT}, mean_rank=0.0, num_queries=0)
+    total = sum(p.num_queries for p in parts)
+    hits_keys = sorted(set().union(*(p.hits.keys() for p in parts)))
+    return RankingMetrics(
+        mrr=sum(p.mrr * p.num_queries for p in parts) / total,
+        hits={
+            k: sum(p.hits.get(k, 0.0) * p.num_queries for p in parts) / total
+            for k in hits_keys
+        },
+        mean_rank=sum(p.mean_rank * p.num_queries for p in parts) / total,
+        num_queries=total,
+    )
+
+
+def roc_auc(positive_scores: np.ndarray, negative_scores: np.ndarray) -> float:
+    """ROC-AUC via the rank-sum (Mann-Whitney) formulation.
+
+    This is the sampled metric some inductive KGC work reports instead of
+    full ranking (paper Section 1); exposed here so the framework can
+    estimate it over hard negatives as the paper's Section 7 proposes.
+    """
+    pos = np.asarray(positive_scores, dtype=np.float64)
+    neg = np.asarray(negative_scores, dtype=np.float64)
+    if pos.size == 0 or neg.size == 0:
+        raise ValueError("need at least one positive and one negative score")
+    wins = (pos[:, None] > neg[None, :]).sum()
+    ties = (pos[:, None] == neg[None, :]).sum()
+    return float((wins + 0.5 * ties) / (pos.size * neg.size))
+
+
+def average_precision(positive_scores: np.ndarray, negative_scores: np.ndarray) -> float:
+    """Area under the precision-recall curve (average precision)."""
+    pos = np.asarray(positive_scores, dtype=np.float64)
+    neg = np.asarray(negative_scores, dtype=np.float64)
+    if pos.size == 0 or neg.size == 0:
+        raise ValueError("need at least one positive and one negative score")
+    scores = np.concatenate([pos, neg])
+    labels = np.concatenate([np.ones(pos.size), np.zeros(neg.size)])
+    order = np.argsort(-scores, kind="stable")
+    labels = labels[order]
+    cum_pos = np.cumsum(labels)
+    precision = cum_pos / np.arange(1, labels.size + 1)
+    return float((precision * labels).sum() / pos.size)
+
+
+def metrics_from_rank_map(
+    ranks_by_query: Mapping[tuple[int, int, int], float],
+    hits_at: tuple[int, ...] = HITS_AT,
+) -> RankingMetrics:
+    """Aggregate a ``query -> rank`` mapping (convenience for reports)."""
+    return aggregate_ranks(ranks_by_query.values(), hits_at=hits_at)

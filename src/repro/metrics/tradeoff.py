@@ -1,0 +1,53 @@
+"""Candidate Recall / Reduction Rate trade-off metrics (paper Section 4.1).
+
+A candidate set for one (relation, side) keeps some entities and filters
+the rest.  Two conflicting objectives measure its quality:
+
+* **Candidate Recall (CR)** — fraction of *true* (entity, relation, side)
+  combinations whose entity survives the filter; the paper reports CR on
+  all test pairs ("Test") and on pairs never seen in train/valid
+  ("Unseen");
+* **Reduction Rate (RR)** — fraction of the full entity set filtered out.
+
+The static candidate construction picks the per-column threshold minimizing
+the Euclidean distance to the ideal point ``(CR, RR) = (1, 1)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One (CR, RR) operating point of a candidate generator."""
+
+    candidate_recall: float
+    reduction_rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.candidate_recall <= 1.0:
+            raise ValueError(f"CR must be in [0, 1], got {self.candidate_recall}")
+        if not 0.0 <= self.reduction_rate <= 1.0:
+            raise ValueError(f"RR must be in [0, 1], got {self.reduction_rate}")
+
+    def distance_to_ideal(self) -> float:
+        """l2 distance to the ideal point (1, 1) — lower is better."""
+        return math.hypot(1.0 - self.candidate_recall, 1.0 - self.reduction_rate)
+
+
+def candidate_recall(num_hits: int, num_truths: int) -> float:
+    """CR = covered true combinations / all true combinations."""
+    if num_truths < 0 or num_hits < 0 or num_hits > num_truths:
+        raise ValueError(f"invalid counts hits={num_hits}, truths={num_truths}")
+    if num_truths == 0:
+        return 1.0
+    return num_hits / num_truths
+
+
+def reduction_rate(kept: int, total: int) -> float:
+    """RR = 1 - kept / total (fraction of candidates filtered away)."""
+    if total <= 0 or kept < 0 or kept > total:
+        raise ValueError(f"invalid counts kept={kept}, total={total}")
+    return 1.0 - kept / total

@@ -1,0 +1,199 @@
+"""The KGE model interface every component of the framework scores through.
+
+A :class:`KGEModel` owns embedding parameters (as autodiff
+:class:`~repro.autodiff.engine.Tensor` leaves) and exposes two scoring
+surfaces:
+
+* a *training* surface — :meth:`score_triples` returns a differentiable
+  Tensor of scores for a batch of ``(h, r, t)`` triples, so losses can
+  backpropagate into the embeddings;
+* an *inference* surface — :meth:`score_all` and :meth:`score_candidates`
+  return plain numpy arrays computed outside the autodiff graph, because
+  evaluation scores millions of candidates and must not build graphs.
+
+Both surfaces must agree: ``score_all(anchor, r, side)[e]`` equals
+``score_triples`` of the corresponding triple.  The evaluation framework is
+agnostic to everything else about the model, which is the property the
+paper's "model-agnostic" claim rests on.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.autodiff.engine import Tensor, parameter
+from repro.kg.graph import HEAD, Side
+
+Array = np.ndarray
+
+
+def xavier_uniform(rng: np.random.Generator, shape: tuple[int, ...]) -> Array:
+    """Xavier/Glorot uniform initialisation used by all embedding tables."""
+    fan_in = shape[0] if len(shape) == 1 else shape[-2]
+    fan_out = shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+class KGEModel(abc.ABC):
+    """Base class for knowledge-graph embedding models.
+
+    Parameters
+    ----------
+    num_entities, num_relations:
+        Vocabulary sizes of the graph the model embeds.
+    dim:
+        Embedding dimensionality (interpretation is model-specific; complex
+        models use ``dim`` complex numbers stored as ``2 * dim`` reals).
+    seed:
+        Initialisation seed; two models built with the same arguments are
+        bit-identical.
+    """
+
+    name: str = "kge"
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int = 32, seed: int = 0):
+        if num_entities <= 0 or num_relations <= 0:
+            raise ValueError("model needs at least one entity and one relation")
+        if dim <= 0:
+            raise ValueError(f"embedding dim must be positive, got {dim}")
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.dim = dim
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._params: dict[str, Tensor] = {}
+        self.training = False
+        self._build_parameters(self._rng)
+
+    # ------------------------------------------------------------------
+    # Parameter management
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _build_parameters(self, rng: np.random.Generator) -> None:
+        """Create all parameter tensors via :meth:`_add_parameter`."""
+
+    def _add_parameter(self, name: str, data: Array) -> Tensor:
+        if name in self._params:
+            raise ValueError(f"duplicate parameter {name!r}")
+        tensor = parameter(data)
+        self._params[name] = tensor
+        return tensor
+
+    @property
+    def parameters(self) -> Mapping[str, Tensor]:
+        """All named parameter tensors."""
+        return dict(self._params)
+
+    def parameter_list(self) -> list[Tensor]:
+        """Parameters in insertion order (matches optimizer state order)."""
+        return list(self._params.values())
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.data.size for p in self._params.values())
+
+    def zero_grad(self) -> None:
+        for param in self._params.values():
+            param.zero_grad()
+
+    def train_mode(self, training: bool = True) -> "KGEModel":
+        """Toggle training mode (enables dropout in models that use it)."""
+        self.training = training
+        return self
+
+    # ------------------------------------------------------------------
+    # Scoring surfaces
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def score_triples(self, heads: Array, relations: Array, tails: Array) -> Tensor:
+        """Differentiable scores for a batch of triples (shape ``(b,)``)."""
+
+    @abc.abstractmethod
+    def score_all(self, anchor: int, relation: int, side: Side) -> Array:
+        """Scores of *every* entity as the missing side of one query.
+
+        ``side == "tail"`` scores all tails of ``(anchor, relation, ?)``;
+        ``side == "head"`` scores all heads of ``(?, relation, anchor)``.
+        Returns a ``(num_entities,)`` float64 array, no autodiff graph.
+        """
+
+    def score_candidates(
+        self, anchor: int, relation: int, side: Side, candidates: Array
+    ) -> Array:
+        """Scores of selected candidate entities for one query.
+
+        The default implementation slices :meth:`score_all`; subclasses
+        override it when scoring a small candidate set directly is cheaper
+        (all the factorisation models below do).
+        """
+        return self.score_all(anchor, relation, side)[np.asarray(candidates, dtype=np.int64)]
+
+    def score_candidates_batch(
+        self,
+        anchors: Array,
+        relation: int,
+        side: Side,
+        candidates: Array | None = None,
+    ) -> Array:
+        """``(b, k)`` scores for many queries of one (relation, side).
+
+        Row ``i`` holds the scores of ``candidates`` (all entities when
+        None) for the query anchored at ``anchors[i]``.  The default loops
+        over :meth:`score_candidates`; the factorisation models override
+        it with a single matrix product, which is what makes batched
+        sampled evaluation fast.  Callers chunk ``anchors`` to bound the
+        ``b * k`` intermediate.
+        """
+        anchors = check_ids(anchors, self.num_entities, "anchor")
+        if candidates is None:
+            candidates = np.arange(self.num_entities, dtype=np.int64)
+        return np.stack(
+            [
+                self.score_candidates(int(anchor), relation, side, candidates)
+                for anchor in anchors
+            ]
+        )
+
+    def score_triples_numpy(self, heads: Array, relations: Array, tails: Array) -> Array:
+        """Inference-path batch triple scores (no graph)."""
+        h = np.asarray(heads, dtype=np.int64)
+        r = np.asarray(relations, dtype=np.int64)
+        t = np.asarray(tails, dtype=np.int64)
+        return np.asarray(
+            [
+                self.score_candidates(int(hi), int(ri), "tail", np.asarray([ti]))[0]
+                for hi, ri, ti in zip(h, r, t)
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def _anchor_triples(
+        self, anchor: int, relation: int, side: Side, entities: Array
+    ) -> tuple[Array, Array, Array]:
+        """Expand one query into arrays of (h, r, t) over ``entities``."""
+        entities = np.asarray(entities, dtype=np.int64)
+        anchors = np.full(entities.shape, anchor, dtype=np.int64)
+        relations = np.full(entities.shape, relation, dtype=np.int64)
+        if side == HEAD:
+            return entities, relations, anchors
+        return anchors, relations, entities
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(|E|={self.num_entities}, |R|={self.num_relations}, "
+            f"dim={self.dim}, params={self.num_parameters()})"
+        )
+
+
+def check_ids(values: Iterable[int], limit: int, what: str) -> Array:
+    """Validate and convert an id array, raising a clear error on overflow."""
+    array = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=np.int64)
+    if array.size and (array.min() < 0 or array.max() >= limit):
+        raise IndexError(f"{what} ids must lie in [0, {limit}), got range [{array.min()}, {array.max()}]")
+    return array

@@ -1,0 +1,57 @@
+"""DistMult (Yang et al., 2014): bilinear-diagonal scoring ``<h, r, t>``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.engine import Tensor, gather, mul, sum_
+from repro.kg.graph import HEAD, Side
+from repro.models.base import Array, KGEModel, check_ids, xavier_uniform
+
+
+class DistMult(KGEModel):
+    """DistMult: ``score(h, r, t) = sum_d e_h[d] * w_r[d] * e_t[d]``.
+
+    The relation matrix is diagonal, which makes the model symmetric in
+    head/tail — a known expressiveness limit that shows up in its ranking
+    metrics but is irrelevant to the evaluation framework itself.
+    """
+
+    name = "distmult"
+
+    def _build_parameters(self, rng: np.random.Generator) -> None:
+        self.entity = self._add_parameter(
+            "entity", xavier_uniform(rng, (self.num_entities, self.dim))
+        )
+        self.relation = self._add_parameter(
+            "relation", xavier_uniform(rng, (self.num_relations, self.dim))
+        )
+
+    def score_triples(self, heads: Array, relations: Array, tails: Array) -> Tensor:
+        h = gather(self.entity, check_ids(heads, self.num_entities, "head"))
+        r = gather(self.relation, check_ids(relations, self.num_relations, "relation"))
+        t = gather(self.entity, check_ids(tails, self.num_entities, "tail"))
+        return sum_(mul(mul(h, r), t), axis=-1)
+
+    def score_all(self, anchor: int, relation: int, side: Side) -> Array:
+        del side  # DistMult is head/tail symmetric
+        query = self.entity.data[anchor] * self.relation.data[relation]
+        return self.entity.data @ query
+
+    def score_candidates(
+        self, anchor: int, relation: int, side: Side, candidates: Array
+    ) -> Array:
+        del side
+        candidates = check_ids(candidates, self.num_entities, "candidate")
+        query = self.entity.data[anchor] * self.relation.data[relation]
+        return self.entity.data[candidates] @ query
+
+    def score_candidates_batch(
+        self, anchors: Array, relation: int, side: Side, candidates: Array | None = None
+    ) -> Array:
+        del side
+        anchors = check_ids(anchors, self.num_entities, "anchor")
+        entities = self.entity.data
+        cand = entities if candidates is None else entities[check_ids(candidates, self.num_entities, "candidate")]
+        queries = entities[anchors] * self.relation.data[relation]
+        return queries @ cand.T

@@ -1,0 +1,104 @@
+"""Training losses for KGE models.
+
+All losses consume a ``(b,)`` Tensor of positive scores and a ``(b, k)``
+Tensor of negative scores (``k`` negatives per positive) and return a
+scalar Tensor.  The three standard KGC losses are provided:
+
+* margin ranking (TransE's original objective);
+* binary cross-entropy with logits (ConvE, TuckER);
+* softplus / logistic loss (ComplEx, DistMult as in Trouillon et al.).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.engine import Tensor, mean, relu, softplus, sub, sum_
+
+_LOSSES = {}
+
+
+def register_loss(name: str):
+    """Class-free registry decorator for loss functions."""
+
+    def wrap(fn):
+        _LOSSES[name] = fn
+        return fn
+
+    return wrap
+
+
+def available_losses() -> list[str]:
+    return sorted(_LOSSES)
+
+
+def get_loss(name: str):
+    """Look up a loss function by name."""
+    try:
+        return _LOSSES[name]
+    except KeyError:
+        raise KeyError(f"unknown loss {name!r}; available: {', '.join(available_losses())}") from None
+
+
+def _broadcast_positive(positive: Tensor, negative: Tensor) -> Tensor:
+    """Reshape ``(b,)`` positives to ``(b, 1)`` for row-wise comparison."""
+    if positive.ndim != 1:
+        raise ValueError(f"positive scores must be 1-D, got shape {positive.shape}")
+    if negative.ndim != 2 or negative.shape[0] != positive.shape[0]:
+        raise ValueError(
+            f"negative scores must be (b, k) with b={positive.shape[0]}, got {negative.shape}"
+        )
+    from repro.autodiff.engine import reshape
+
+    return reshape(positive, (positive.shape[0], 1))
+
+
+@register_loss("margin")
+def margin_ranking_loss(positive: Tensor, negative: Tensor, margin: float = 1.0) -> Tensor:
+    """``mean(relu(margin - pos + neg))`` over all (positive, negative) pairs."""
+    pos = _broadcast_positive(positive, negative)
+    return mean(relu(sub(negative, pos) + margin))
+
+
+@register_loss("bce")
+def bce_loss(positive: Tensor, negative: Tensor, margin: float = 0.0) -> Tensor:
+    """Binary cross-entropy with logits: positives toward 1, negatives toward 0.
+
+    ``BCE(x, y=1) = softplus(-x)`` and ``BCE(x, y=0) = softplus(x)``;
+    positives and negatives are weighted equally (per-element mean of each
+    block), matching the 1-vs-all style training of ConvE/TuckER without
+    materialising the all-entities label matrix.
+    """
+    del margin  # uniform signature across losses
+    pos_term = mean(softplus(-positive))
+    neg_term = mean(softplus(negative))
+    return pos_term + neg_term
+
+
+@register_loss("softplus")
+def softplus_loss(positive: Tensor, negative: Tensor, margin: float = 0.0) -> Tensor:
+    """Logistic loss of Trouillon et al.: ``softplus(-y * score)``."""
+    del margin
+    return mean(softplus(-positive)) + mean(softplus(negative))
+
+
+def l2_penalty(tensors: list[Tensor], coefficient: float) -> Tensor | None:
+    """Optional L2 regulariser over parameter tensors; None when disabled."""
+    if coefficient <= 0.0 or not tensors:
+        return None
+    total: Tensor | None = None
+    from repro.autodiff.engine import square
+
+    for tensor in tensors:
+        term = sum_(square(tensor))
+        total = term if total is None else total + term
+    assert total is not None
+    return total * coefficient
+
+
+def loss_value(loss: Tensor) -> float:
+    """Extract the scalar value of a loss tensor (guards NaN explosions)."""
+    value = float(loss.data)
+    if not np.isfinite(value):
+        raise FloatingPointError(f"loss diverged to {value}")
+    return value

@@ -1,0 +1,106 @@
+"""First-order optimizers over autodiff parameter tensors.
+
+Adam (the paper's training optimizer, Appendix D) and plain SGD.  State is
+kept per parameter tensor in the order the model registered them, so an
+optimizer is bound to exactly one model's parameter list.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.engine import Tensor, stack_parameters
+
+
+class Optimizer:
+    """Shared bookkeeping for gradient-based optimizers."""
+
+    def __init__(self, params: list[Tensor], lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = stack_parameters(params)
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Vanilla stochastic gradient descent (optional momentum)."""
+
+    def __init__(self, params: list[Tensor], lr: float = 0.1, momentum: float = 0.0):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum > 0.0:
+                velocity *= self.momentum
+                velocity += param.grad
+                update = velocity
+            else:
+                update = param.grad
+            param.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2014) with bias correction."""
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float = 1e-2,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must lie in [0, 1), got {betas}")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight decay must be non-negative, got {weight_decay}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for param, m, v in zip(self.params, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay > 0.0:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def build_optimizer(name: str, params: list[Tensor], lr: float, **kwargs) -> Optimizer:
+    """Factory: ``"adam"`` or ``"sgd"``."""
+    name = name.lower()
+    if name == "adam":
+        return Adam(params, lr=lr, **kwargs)
+    if name == "sgd":
+        return SGD(params, lr=lr, **kwargs)
+    raise KeyError(f"unknown optimizer {name!r}; available: adam, sgd")

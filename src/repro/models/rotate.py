@@ -1,0 +1,112 @@
+"""RotatE (Sun et al., 2019): relations as rotations in the complex plane.
+
+Entities are complex vectors (``2 * dim`` reals); relations are ``dim``
+phases.  ``score(h, r, t) = -sum_d |h_d * e^{i theta_d} - t_d|`` — the
+negative L1 norm of complex moduli, so higher is better.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.engine import (
+    Tensor,
+    cos,
+    gather,
+    gather_cols,
+    mul,
+    neg,
+    sin,
+    sqrt,
+    square,
+    sub,
+    sum_,
+)
+from repro.kg.graph import HEAD, Side
+from repro.models.base import Array, KGEModel, check_ids, xavier_uniform
+
+
+class RotatE(KGEModel):
+    """RotatE with phase-parameterised unit-modulus relation embeddings."""
+
+    name = "rotate"
+
+    def _build_parameters(self, rng: np.random.Generator) -> None:
+        self.entity = self._add_parameter(
+            "entity", xavier_uniform(rng, (self.num_entities, 2 * self.dim))
+        )
+        self.phase = self._add_parameter(
+            "phase", rng.uniform(-np.pi, np.pi, size=(self.num_relations, self.dim))
+        )
+
+    def _gather_complex(self, ids: Array) -> tuple[Tensor, Tensor]:
+        rows = gather(self.entity, ids)
+        re = gather_cols(rows, np.arange(self.dim))
+        im = gather_cols(rows, np.arange(self.dim, 2 * self.dim))
+        return re, im
+
+    def score_triples(self, heads: Array, relations: Array, tails: Array) -> Tensor:
+        h_re, h_im = self._gather_complex(check_ids(heads, self.num_entities, "head"))
+        t_re, t_im = self._gather_complex(check_ids(tails, self.num_entities, "tail"))
+        theta = gather(self.phase, check_ids(relations, self.num_relations, "relation"))
+        r_re, r_im = cos(theta), sin(theta)
+        rot_re = sub(mul(h_re, r_re), mul(h_im, r_im))
+        rot_im = mul(h_re, r_im) + mul(h_im, r_re)
+        d_re = sub(rot_re, t_re)
+        d_im = sub(rot_im, t_im)
+        modulus = sqrt(square(d_re) + square(d_im))
+        return neg(sum_(modulus, axis=-1))
+
+    def _split_entities(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return rows[..., : self.dim], rows[..., self.dim :]
+
+    def _scores_numpy(self, anchor: int, relation: int, side: Side, rows: np.ndarray) -> Array:
+        theta = self.phase.data[relation]
+        r_re, r_im = np.cos(theta), np.sin(theta)
+        a_re, a_im = self.entity.data[anchor, : self.dim], self.entity.data[anchor, self.dim :]
+        e_re, e_im = self._split_entities(rows)
+        if side == HEAD:
+            # candidate h rotates: |h*r - t_anchor|
+            rot_re = e_re * r_re - e_im * r_im
+            rot_im = e_re * r_im + e_im * r_re
+            d_re = rot_re - a_re
+            d_im = rot_im - a_im
+        else:
+            rot_re = a_re * r_re - a_im * r_im
+            rot_im = a_re * r_im + a_im * r_re
+            d_re = rot_re - e_re
+            d_im = rot_im - e_im
+        return -np.sqrt(d_re**2 + d_im**2 + 1e-12).sum(axis=-1)
+
+    def score_all(self, anchor: int, relation: int, side: Side) -> Array:
+        return self._scores_numpy(anchor, relation, side, self.entity.data)
+
+    def score_candidates(
+        self, anchor: int, relation: int, side: Side, candidates: Array
+    ) -> Array:
+        candidates = check_ids(candidates, self.num_entities, "candidate")
+        return self._scores_numpy(anchor, relation, side, self.entity.data[candidates])
+
+    def score_candidates_batch(
+        self, anchors: Array, relation: int, side: Side, candidates: Array | None = None
+    ) -> Array:
+        anchors = check_ids(anchors, self.num_entities, "anchor")
+        rows = self.entity.data if candidates is None else self.entity.data[
+            check_ids(candidates, self.num_entities, "candidate")
+        ]
+        theta = self.phase.data[relation]
+        r_re, r_im = np.cos(theta), np.sin(theta)
+        a_re, a_im = self._split_entities(self.entity.data[anchors])  # (b, d)
+        e_re, e_im = self._split_entities(rows)  # (k, d)
+        if side == HEAD:
+            # candidate h rotates: |h*r - t_anchor| per (anchor, candidate)
+            rot_re = e_re * r_re - e_im * r_im
+            rot_im = e_re * r_im + e_im * r_re
+            d_re = rot_re[None, :, :] - a_re[:, None, :]
+            d_im = rot_im[None, :, :] - a_im[:, None, :]
+        else:
+            rot_re = a_re * r_re - a_im * r_im
+            rot_im = a_re * r_im + a_im * r_re
+            d_re = rot_re[:, None, :] - e_re[None, :, :]
+            d_im = rot_im[:, None, :] - e_im[None, :, :]
+        return -np.sqrt(d_re**2 + d_im**2 + 1e-12).sum(axis=2)

@@ -1,0 +1,92 @@
+"""TransE (Bordes et al., 2013): translation scoring ``-||h + r - t||``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.engine import Tensor, abs_, gather, neg, sqrt, square, sub, sum_
+from repro.kg.graph import HEAD, Side
+from repro.models.base import Array, KGEModel, check_ids, xavier_uniform
+
+
+class TransE(KGEModel):
+    """TransE with L1 (default) or L2 distance.
+
+    The score of ``(h, r, t)`` is ``-||e_h + w_r - e_t||_p``; higher is
+    better, consistent with every other model in the library.
+    """
+
+    name = "transe"
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        dim: int = 32,
+        seed: int = 0,
+        norm: int = 1,
+    ):
+        if norm not in (1, 2):
+            raise ValueError(f"TransE norm must be 1 or 2, got {norm}")
+        self.norm = norm
+        super().__init__(num_entities, num_relations, dim=dim, seed=seed)
+
+    def _build_parameters(self, rng: np.random.Generator) -> None:
+        self.entity = self._add_parameter(
+            "entity", xavier_uniform(rng, (self.num_entities, self.dim))
+        )
+        self.relation = self._add_parameter(
+            "relation", xavier_uniform(rng, (self.num_relations, self.dim))
+        )
+
+    # ------------------------------------------------------------------
+    def score_triples(self, heads: Array, relations: Array, tails: Array) -> Tensor:
+        h = gather(self.entity, check_ids(heads, self.num_entities, "head"))
+        r = gather(self.relation, check_ids(relations, self.num_relations, "relation"))
+        t = gather(self.entity, check_ids(tails, self.num_entities, "tail"))
+        diff = sub(h + r, t)
+        if self.norm == 1:
+            return neg(sum_(abs_(diff), axis=-1))
+        return neg(sqrt(sum_(square(diff), axis=-1)))
+
+    def score_all(self, anchor: int, relation: int, side: Side) -> Array:
+        entities = self.entity.data
+        r = self.relation.data[relation]
+        if side == HEAD:
+            # score(e) = -||e + r - t_anchor||
+            diff = entities + r - entities[anchor]
+        else:
+            diff = (entities[anchor] + r) - entities
+        if self.norm == 1:
+            return -np.abs(diff).sum(axis=1)
+        return -np.sqrt((diff**2).sum(axis=1) + 1e-12)
+
+    def score_candidates(
+        self, anchor: int, relation: int, side: Side, candidates: Array
+    ) -> Array:
+        candidates = check_ids(candidates, self.num_entities, "candidate")
+        cand = self.entity.data[candidates]
+        r = self.relation.data[relation]
+        if side == HEAD:
+            diff = cand + r - self.entity.data[anchor]
+        else:
+            diff = (self.entity.data[anchor] + r) - cand
+        if self.norm == 1:
+            return -np.abs(diff).sum(axis=1)
+        return -np.sqrt((diff**2).sum(axis=1) + 1e-12)
+
+    def score_candidates_batch(
+        self, anchors: Array, relation: int, side: Side, candidates: Array | None = None
+    ) -> Array:
+        anchors = check_ids(anchors, self.num_entities, "anchor")
+        entities = self.entity.data
+        cand = entities if candidates is None else entities[check_ids(candidates, self.num_entities, "candidate")]
+        r = self.relation.data[relation]
+        anchor_emb = entities[anchors]
+        if side == HEAD:
+            diff = cand[None, :, :] + r - anchor_emb[:, None, :]
+        else:
+            diff = (anchor_emb + r)[:, None, :] - cand[None, :, :]
+        if self.norm == 1:
+            return -np.abs(diff).sum(axis=2)
+        return -np.sqrt((diff**2).sum(axis=2) + 1e-12)

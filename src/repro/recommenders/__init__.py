@@ -1,0 +1,38 @@
+"""Relation recommenders (paper Section 3): L-WD, PT, DBH, OntoSim, PIE."""
+
+from repro.recommenders.base import (
+    FittedRecommender,
+    RelationRecommender,
+    binary_incidence,
+    column_index,
+    count_incidence,
+)
+from repro.recommenders.dbh import DegreeBased, DegreeBasedTyped, type_slot_evidence
+from repro.recommenders.lwd import LinearWD, confidence_matrix
+from repro.recommenders.ontosim import OntoSim
+from repro.recommenders.pie import PIE
+from repro.recommenders.pseudo_typed import PseudoTyped
+from repro.recommenders.registry import (
+    RECOMMENDER_REGISTRY,
+    available_recommenders,
+    build_recommender,
+)
+
+__all__ = [
+    "PIE",
+    "RECOMMENDER_REGISTRY",
+    "DegreeBased",
+    "DegreeBasedTyped",
+    "FittedRecommender",
+    "LinearWD",
+    "OntoSim",
+    "PseudoTyped",
+    "RelationRecommender",
+    "available_recommenders",
+    "binary_incidence",
+    "build_recommender",
+    "column_index",
+    "confidence_matrix",
+    "count_incidence",
+    "type_slot_evidence",
+]

@@ -1,0 +1,34 @@
+"""OntoSim — the type-closure heuristic (paper Section 3.2).
+
+Every entity of type ``t`` belongs to the domain/range of ``r`` as soon as
+*any* entity of type ``t`` was seen there.  This is DBH-T's support made
+binary: candidate recall is near-perfect (anything type-compatible is in),
+but the reduction rate collapses for broad types — the CR/RR corner Table 5
+places OntoSim in.
+"""
+
+from __future__ import annotations
+
+import scipy.sparse as sp
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.typing import TypeStore
+from repro.recommenders.base import RelationRecommender
+from repro.recommenders.dbh import type_slot_evidence
+
+
+class OntoSim(RelationRecommender):
+    """OntoSim: binary type-closure candidate sets."""
+
+    name = "ontosim"
+    requires_types = True
+
+    def _score_matrix(
+        self, graph: KnowledgeGraph, types: TypeStore | None
+    ) -> sp.spmatrix:
+        assert types is not None
+        membership = types.membership_matrix(graph.num_entities)
+        evidence = type_slot_evidence(graph, types)
+        closure = (membership @ evidence).tocsr()
+        closure.data[:] = 1.0
+        return closure

@@ -1,0 +1,126 @@
+"""PIE-style learned relation recommender (Chao et al., 2022).
+
+The original PIE trains a lightweight GCN-based, self-supervised entity
+typing model to predict which relations an entity can participate in.  We
+reproduce the essential mechanism — a *learned, self-supervised* predictor
+of relation-slot membership that generalises to unseen slots — with a
+denoising autoencoder over the incidence matrix:
+
+* input: an entity's binary domain/range incidence row with a random
+  fraction of its known slots masked out;
+* target: the full row;
+* model: a two-layer MLP trained with positively-reweighted BCE using the
+  library's own autodiff engine.
+
+Because the model must *reconstruct* held-out slots from the surviving
+ones, it learns the same slot co-occurrence structure L-WD reads off
+directly — which is exactly the paper's empirical point: PIE's learned
+scores buy little over the closed-form L-WD while costing orders of
+magnitude more fit time (Table 5's "2 days vs 16 seconds" row).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autodiff.engine import Tensor, einsum, mul, relu, sigmoid, softplus, sub, mean
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.typing import TypeStore
+from repro.models.base import xavier_uniform
+from repro.models.optim import Adam
+from repro.autodiff.engine import parameter
+from repro.recommenders.base import RelationRecommender, binary_incidence
+
+
+def _weighted_bce(logits: Tensor, labels: np.ndarray, pos_weight: float) -> Tensor:
+    """``mean((1-y) softplus(z) + y * w * softplus(-z))`` with constant y."""
+    y = Tensor(labels)
+    neg_term = mul(Tensor(1.0 - labels), softplus(logits))
+    pos_term = mul(y, softplus(sub(Tensor(np.zeros_like(labels)), logits))) * pos_weight
+    return mean(neg_term + pos_term)
+
+
+class PIE(RelationRecommender):
+    """Learned slot-membership predictor (PIE stand-in).
+
+    Parameters
+    ----------
+    hidden_dim:
+        Width of the MLP's hidden layer.
+    epochs, lr, batch_size:
+        Training schedule of the autoencoder.
+    mask_fraction:
+        Fraction of an entity's known slots hidden from the input during
+        training (the self-supervision signal).
+    score_floor:
+        Predicted probabilities below this are dropped when sparsifying
+        the output matrix; seen slots are always kept at score >= 1.
+    """
+
+    name = "pie"
+
+    def __init__(
+        self,
+        hidden_dim: int = 48,
+        epochs: int = 60,
+        lr: float = 0.01,
+        batch_size: int = 1024,
+        mask_fraction: float = 0.3,
+        score_floor: float = 0.05,
+        pos_weight: float = 8.0,
+        seed: int = 0,
+    ):
+        if not 0.0 <= mask_fraction < 1.0:
+            raise ValueError(f"mask_fraction must be in [0, 1), got {mask_fraction}")
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.mask_fraction = mask_fraction
+        self.score_floor = score_floor
+        self.pos_weight = pos_weight
+        self.seed = seed
+
+    def _score_matrix(
+        self, graph: KnowledgeGraph, types: TypeStore | None
+    ) -> sp.spmatrix:
+        del types  # PIE is type-free (Table 1)
+        rng = np.random.default_rng(self.seed)
+        b_dense = np.asarray(binary_incidence(graph).todense())
+        num_slots = b_dense.shape[1]
+
+        w1 = parameter(xavier_uniform(rng, (num_slots, self.hidden_dim)))
+        b1 = parameter(np.zeros(self.hidden_dim))
+        w2 = parameter(xavier_uniform(rng, (self.hidden_dim, num_slots)))
+        b2 = parameter(np.zeros(num_slots))
+        params = [w1, b1, w2, b2]
+        optimizer = Adam(params, lr=self.lr)
+
+        def forward(features: np.ndarray) -> Tensor:
+            hidden = relu(einsum("bi,ih->bh", Tensor(features), w1) + b1)
+            return einsum("bh,hk->bk", hidden, w2) + b2
+
+        num_entities = b_dense.shape[0]
+        for _ in range(self.epochs):
+            order = rng.permutation(num_entities)
+            for start in range(0, num_entities, self.batch_size):
+                batch_idx = order[start : start + self.batch_size]
+                labels = b_dense[batch_idx]
+                # Denoising mask: hide a fraction of the known slots.
+                keep = rng.random(labels.shape) >= self.mask_fraction
+                features = labels * keep
+                logits = forward(features)
+                loss = _weighted_bce(logits, labels, self.pos_weight)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+
+        # Inference: un-masked rows through the trained network.
+        hidden = np.maximum(b_dense @ w1.data + b1.data, 0.0)
+        logits = hidden @ w2.data + b2.data
+        probabilities = 1.0 / (1.0 + np.exp(-np.clip(logits, -60.0, 60.0)))
+        # Sparsify: drop noise-floor probabilities, force seen slots in.
+        probabilities[probabilities < self.score_floor] = 0.0
+        scores = np.maximum(probabilities, b_dense)
+        return sp.csr_matrix(scores)

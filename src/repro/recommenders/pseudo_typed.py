@@ -1,0 +1,28 @@
+"""PT — the Pseudo-Typed heuristic (PyKEEN's naming, paper Section 2).
+
+An entity is a candidate head/tail of a relation iff it has been *seen* in
+that position in the training split.  Scores are binary.  PT is the
+simplest possible recommender and the upper bound of DBH's recall, but it
+structurally cannot propose unseen candidates — its "CR Unseen" is exactly
+zero, the failure mode Table 5 exhibits on 1-1 and M-1 relations.
+"""
+
+from __future__ import annotations
+
+import scipy.sparse as sp
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.typing import TypeStore
+from repro.recommenders.base import RelationRecommender, binary_incidence
+
+
+class PseudoTyped(RelationRecommender):
+    """PT: the binary incidence matrix itself, ``X = B``."""
+
+    name = "pt"
+
+    def _score_matrix(
+        self, graph: KnowledgeGraph, types: TypeStore | None
+    ) -> sp.spmatrix:
+        del types  # PT is type-free
+        return binary_incidence(graph)

@@ -1,0 +1,49 @@
+"""Name -> recommender factory, mirroring the paper's Table 1 line-up."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.recommenders.base import RelationRecommender
+from repro.recommenders.dbh import DegreeBased, DegreeBasedTyped
+from repro.recommenders.lwd import LinearWD
+from repro.recommenders.ontosim import OntoSim
+from repro.recommenders.pie import PIE
+from repro.recommenders.pseudo_typed import PseudoTyped
+
+RECOMMENDER_REGISTRY: dict[str, Callable[[], RelationRecommender]] = {
+    "pt": PseudoTyped,
+    "dbh": DegreeBased,
+    "dbh-t": DegreeBasedTyped,
+    "ontosim": OntoSim,
+    "pie": PIE,
+    "l-wd": lambda: LinearWD(use_types=False),
+    "l-wd-t": lambda: LinearWD(use_types=True),
+}
+
+
+def available_recommenders() -> list[str]:
+    """Names of all registered recommenders."""
+    return sorted(RECOMMENDER_REGISTRY)
+
+
+def build_recommender(name: str, **kwargs) -> RelationRecommender:
+    """Instantiate a recommender by name (case-insensitive).
+
+    ``kwargs`` are forwarded to the constructor (useful for PIE's training
+    schedule); the zero-argument factories reject unexpected kwargs.
+    """
+    key = name.lower()
+    if key not in RECOMMENDER_REGISTRY:
+        raise KeyError(
+            f"unknown recommender {name!r}; available: "
+            f"{', '.join(available_recommenders())}"
+        )
+    factory = RECOMMENDER_REGISTRY[key]
+    if kwargs:
+        if key == "pie":
+            return PIE(**kwargs)
+        if key in ("l-wd", "l-wd-t"):
+            raise TypeError(f"{name} takes no configuration arguments")
+        return factory(**kwargs)  # type: ignore[call-arg]
+    return factory()

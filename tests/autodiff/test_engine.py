@@ -1,0 +1,228 @@
+"""Autodiff engine: every operator's gradient checked by finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import engine as ad
+
+
+def finite_difference(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar f at x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = f(x)
+        flat[i] = original - eps
+        down = f(x)
+        flat[i] = original
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_gradient(build, shape, seed=0, atol=1e-5):
+    """Compare autodiff gradient of ``build(param) -> scalar Tensor``."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(shape)
+    param = ad.parameter(data.copy())
+    loss = build(param)
+    loss.backward()
+    assert param.grad is not None
+
+    def scalar(x):
+        return float(build(ad.parameter(x.copy())).data)
+
+    numeric = finite_difference(scalar, data.copy())
+    np.testing.assert_allclose(param.grad, numeric, atol=atol)
+
+
+class TestArithmetic:
+    def test_add_gradient(self):
+        check_gradient(lambda p: ad.sum_(p + p), (3, 4))
+
+    def test_add_broadcast_gradient(self):
+        rng = np.random.default_rng(1)
+        other = ad.Tensor(rng.standard_normal(4))
+        check_gradient(lambda p: ad.sum_(ad.add(p, other)), (3, 4))
+
+    def test_sub_gradient(self):
+        other = ad.Tensor(np.ones((3, 4)))
+        check_gradient(lambda p: ad.sum_(ad.sub(other, p)), (3, 4))
+
+    def test_mul_gradient(self):
+        rng = np.random.default_rng(2)
+        other = ad.Tensor(rng.standard_normal((3, 4)))
+        check_gradient(lambda p: ad.sum_(ad.mul(p, other)), (3, 4))
+
+    def test_neg_gradient(self):
+        check_gradient(lambda p: ad.sum_(ad.neg(p)), (5,))
+
+    def test_scalar_operators(self):
+        p = ad.parameter(np.array([2.0]))
+        out = ad.sum_(3.0 * p + 1.0 - p)
+        out.backward()
+        assert float(out.data) == pytest.approx(5.0)
+        assert p.grad[0] == pytest.approx(2.0)
+
+
+class TestNonlinearities:
+    def test_abs_gradient(self):
+        check_gradient(lambda p: ad.sum_(ad.abs_(p)), (10,))
+
+    def test_relu_gradient(self):
+        check_gradient(lambda p: ad.sum_(ad.relu(p)), (10,))
+
+    def test_sigmoid_gradient(self):
+        check_gradient(lambda p: ad.sum_(ad.sigmoid(p)), (10,))
+
+    def test_softplus_gradient(self):
+        check_gradient(lambda p: ad.sum_(ad.softplus(p)), (10,))
+
+    def test_softplus_is_stable_for_large_inputs(self):
+        value = ad.softplus(ad.Tensor(np.array([800.0, -800.0])))
+        assert np.isfinite(value.data).all()
+        assert value.data[0] == pytest.approx(800.0)
+        assert value.data[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_sqrt_gradient(self):
+        rng = np.random.default_rng(3)
+        data = np.abs(rng.standard_normal(8)) + 0.5
+        param = ad.parameter(data.copy())
+        loss = ad.sum_(ad.sqrt(param))
+        loss.backward()
+        np.testing.assert_allclose(param.grad, 0.5 / np.sqrt(data + 1e-12), atol=1e-6)
+
+    def test_square_gradient(self):
+        check_gradient(lambda p: ad.sum_(ad.square(p)), (6,))
+
+    def test_tanh_gradient(self):
+        check_gradient(lambda p: ad.sum_(ad.tanh(p)), (6,))
+
+    def test_sin_cos_gradients(self):
+        check_gradient(lambda p: ad.sum_(ad.sin(p)), (7,))
+        check_gradient(lambda p: ad.sum_(ad.cos(p)), (7,))
+
+
+class TestDropout:
+    def test_identity_when_not_training(self, rng):
+        x = ad.parameter(np.ones((4, 4)))
+        assert ad.dropout(x, 0.5, rng, training=False) is x
+
+    def test_masks_and_rescales(self):
+        rng = np.random.default_rng(0)
+        x = ad.parameter(np.ones((1000,)))
+        out = ad.dropout(x, 0.5, rng, training=True)
+        kept = out.data[out.data > 0]
+        assert np.allclose(kept, 2.0)
+        assert 400 < kept.size < 600
+
+
+class TestShapes:
+    def test_sum_axis_gradient(self):
+        check_gradient(lambda p: ad.sum_(ad.sum_(p, axis=1)), (3, 4))
+
+    def test_mean_gradient(self):
+        check_gradient(lambda p: ad.mean(p), (3, 4))
+
+    def test_reshape_gradient(self):
+        check_gradient(lambda p: ad.sum_(ad.reshape(p, (12,))), (3, 4))
+
+    def test_concat_gradient(self):
+        rng = np.random.default_rng(4)
+        other = ad.Tensor(rng.standard_normal((3, 2)))
+        check_gradient(lambda p: ad.sum_(ad.concat([p, other], axis=1)), (3, 2))
+
+    def test_concat_routes_gradients_to_each_parent(self):
+        a = ad.parameter(np.zeros((2, 2)))
+        b = ad.parameter(np.zeros((2, 3)))
+        out = ad.sum_(ad.concat([a, b], axis=1))
+        out.backward()
+        assert a.grad.shape == (2, 2)
+        assert b.grad.shape == (2, 3)
+
+
+class TestGather:
+    def test_gather_forward(self):
+        table = ad.parameter(np.arange(12.0).reshape(4, 3))
+        out = ad.gather(table, np.array([2, 0]))
+        np.testing.assert_array_equal(out.data, [[6, 7, 8], [0, 1, 2]])
+
+    def test_gather_scatter_add_on_duplicates(self):
+        table = ad.parameter(np.zeros((4, 2)))
+        out = ad.sum_(ad.gather(table, np.array([1, 1, 3])))
+        out.backward()
+        np.testing.assert_array_equal(table.grad, [[0, 0], [2, 2], [0, 0], [1, 1]])
+
+    def test_gather_cols_forward(self):
+        x = ad.parameter(np.arange(6.0).reshape(2, 3))
+        out = ad.gather_cols(x, np.array([2, 2, 0]))
+        np.testing.assert_array_equal(out.data, [[2, 2, 0], [5, 5, 3]])
+
+    def test_gather_cols_gradient(self):
+        idx = np.array([[0, 1], [1, 2]])
+        check_gradient(lambda p: ad.sum_(ad.gather_cols(p, idx)), (3, 4))
+
+    def test_gather_cols_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ad.gather_cols(ad.parameter(np.zeros(3)), np.array([0]))
+
+
+class TestEinsum:
+    def test_matmul_gradients(self):
+        rng = np.random.default_rng(5)
+        other = ad.Tensor(rng.standard_normal((4, 5)))
+        check_gradient(lambda p: ad.sum_(ad.einsum("ij,jk->ik", p, other)), (3, 4))
+
+    def test_batched_bilinear_gradients(self):
+        rng = np.random.default_rng(6)
+        w = ad.Tensor(rng.standard_normal((2, 3, 3)))
+        check_gradient(lambda p: ad.sum_(ad.einsum("bi,bij->bj", p, w)), (2, 3))
+
+    def test_second_operand_gradient(self):
+        rng = np.random.default_rng(7)
+        a = ad.Tensor(rng.standard_normal((3, 4)))
+        check_gradient(lambda p: ad.sum_(ad.einsum("ij,jk->ik", a, p)), (4, 5))
+
+    def test_lonely_index_rejected(self):
+        a = ad.parameter(np.zeros((3, 4)))
+        b = ad.parameter(np.zeros((5, 6)))
+        with pytest.raises(ValueError, match="lonely|appear"):
+            ad.einsum("ij,kl->ik", a, b)
+
+
+class TestBackwardMachinery:
+    def test_backward_requires_scalar(self):
+        p = ad.parameter(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            (p + p).backward()
+
+    def test_grad_accumulates_across_uses(self):
+        p = ad.parameter(np.array([1.0]))
+        loss = ad.sum_(p + p)  # p used twice
+        loss.backward()
+        assert p.grad[0] == pytest.approx(2.0)
+
+    def test_zero_grad(self):
+        p = ad.parameter(np.array([1.0]))
+        ad.sum_(p).backward()
+        p.zero_grad()
+        assert p.grad is None
+
+    def test_deep_chain_does_not_recurse(self):
+        p = ad.parameter(np.array([0.01]))
+        node = p
+        for _ in range(3000):
+            node = node + 0.001
+        ad.sum_(node).backward()
+        assert p.grad[0] == pytest.approx(1.0)
+
+    def test_stack_parameters_rejects_non_leaf(self):
+        p = ad.parameter(np.zeros(2))
+        with pytest.raises(ValueError):
+            ad.stack_parameters([p + p])
+
+    def test_stack_parameters_rejects_constant(self):
+        with pytest.raises(ValueError):
+            ad.stack_parameters([ad.Tensor(np.zeros(2))])

@@ -1,0 +1,53 @@
+"""Ablation drivers (tiny configs; the full runs live in benchmarks/)."""
+
+import pytest
+
+from repro.bench.ablations import (
+    ablation_include_observed,
+    ablation_training_negatives,
+    ablation_type_quality,
+)
+
+
+class TestTypeQuality:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablation_type_quality(
+            "codex-s-lite",
+            recommender_names=("dbh-t", "l-wd"),
+            drop_fractions=(0.0, 0.9),
+        )
+
+    def test_grid_complete(self, rows):
+        assert len(rows) == 4
+
+    def test_lwd_immune_to_type_damage(self, rows):
+        lwd = [row for row in rows if row["Model"] == "l-wd"]
+        assert lwd[0]["CR Test"] == lwd[1]["CR Test"]
+
+    def test_typed_recommender_degrades(self, rows):
+        dbh = {row["Types dropped"]: row for row in rows if row["Model"] == "dbh-t"}
+        assert dbh["90%"]["CR Unseen"] < dbh["0%"]["CR Unseen"]
+
+
+class TestIncludeObserved:
+    def test_pt_union_never_hurts_recall(self):
+        rows = ablation_include_observed("codex-s-lite")
+        with_union = next(row for row in rows if row["PT union"] == "yes")
+        without = next(row for row in rows if row["PT union"] == "no")
+        assert with_union["CR Test"] >= without["CR Test"]
+
+
+class TestTrainingNegatives:
+    def test_rows_and_labels(self):
+        result = ablation_training_negatives(
+            "codex-s-lite", model_name="distmult", epochs=2, dim=8
+        )
+        labels = [row["Negatives"] for row in result.rows]
+        assert labels == [
+            "uniform",
+            "support, mix 0.5",
+            "support, mix 0.2",
+            "proportional, mix 0.2",
+        ]
+        assert all(0.0 <= mrr <= 1.0 for mrr in result.mrr_by_label.values())

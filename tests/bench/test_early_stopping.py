@@ -1,0 +1,73 @@
+"""EarlyStopping: the estimate-driven stopping loop."""
+
+import pytest
+
+from repro.bench import EarlyStopping
+from repro.core import EvaluationProtocol
+from repro.models import Trainer, TrainingConfig, build_model
+
+
+class _FakeProtocol:
+    """Yields a scripted metric sequence (rises, then plateaus)."""
+
+    def __init__(self, values):
+        self.values = list(values)
+        self.calls = 0
+
+    def evaluate(self, model, split="valid"):
+        value = self.values[min(self.calls, len(self.values) - 1)]
+        self.calls += 1
+
+        class _Result:
+            class metrics:  # noqa: N801 — mimic RankingMetrics.metric()
+                @staticmethod
+                def metric(name):
+                    return value
+
+        return _Result()
+
+
+class TestEarlyStopping:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(_FakeProtocol([1.0]), patience=0)
+
+    def test_flags_plateau_after_patience(self):
+        stopper = EarlyStopping(_FakeProtocol([0.1, 0.2, 0.2, 0.2, 0.2]), patience=2)
+
+        class _History:
+            def attach(self, key, value):
+                pass
+
+        for epoch in range(5):
+            stopper(epoch, model=None, history=_History())
+        assert stopper.should_stop
+        assert stopper.best_epoch == 1
+        assert stopper.best_value == pytest.approx(0.2)
+
+    def test_improvement_resets_patience(self):
+        stopper = EarlyStopping(
+            _FakeProtocol([0.1, 0.1, 0.3, 0.3, 0.3]), patience=3
+        )
+
+        class _History:
+            def attach(self, key, value):
+                pass
+
+        for epoch in range(5):
+            stopper(epoch, model=None, history=_History())
+        assert not stopper.should_stop
+        assert stopper.best_epoch == 2
+
+    def test_integrates_with_trainer(self, codex_s):
+        graph = codex_s.graph
+        protocol = EvaluationProtocol(graph, strategy="static", sample_fraction=0.1, seed=0)
+        protocol.prepare()
+        stopper = EarlyStopping(protocol, patience=2)
+        model = build_model("distmult", graph.num_entities, graph.num_relations, dim=8)
+        history = Trainer(TrainingConfig(epochs=3, loss="softplus")).fit(
+            model, graph, callbacks=[stopper]
+        )
+        assert len(stopper.history) == 3
+        assert history.extras["estimated_mrr"] == stopper.history
+        assert stopper.best_epoch >= 0

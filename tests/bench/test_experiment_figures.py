@@ -1,0 +1,54 @@
+"""Figure drivers not covered by the basic experiments tests."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    evaluate_epoch,
+    fig3c_training_curve,
+    run_training_study,
+)
+from repro.bench.runner import _prepare_pools
+from repro.datasets import load
+from repro.models import OracleModel
+
+
+@pytest.fixture(scope="module")
+def tiny_study():
+    return run_training_study(
+        "codex-s-lite", "transe", epochs=2, dim=8, with_kp=False
+    )
+
+
+class TestFig3c:
+    def test_series_shape(self, tiny_study):
+        series = fig3c_training_curve(tiny_study)
+        assert set(series) == {"True", "Random", "Probabilistic", "Static"}
+        assert all(len(v) == 2 for v in series.values())
+
+    def test_hits_metric_variant(self, tiny_study):
+        series = fig3c_training_curve(tiny_study, metric="hits@10")
+        assert all(0.0 <= x <= 1.0 for x in series["True"])
+
+
+class TestEvaluateEpoch:
+    def test_without_kp_yields_nan_values(self):
+        dataset = load("codex-s-lite")
+        graph = dataset.graph
+        pools = _prepare_pools(graph, dataset.types, "l-wd", 0.1, seed=0)
+        record = evaluate_epoch(
+            OracleModel(graph, seed=0), graph, pools, epoch=0, with_kp=False
+        )
+        assert all(np.isnan(v) for v in record.kp_values.values())
+        assert record.true_metrics.mrr > 0
+
+    def test_with_kp(self):
+        dataset = load("codex-s-lite")
+        graph = dataset.graph
+        pools = _prepare_pools(graph, dataset.types, "l-wd", 0.1, seed=0)
+        record = evaluate_epoch(
+            OracleModel(graph, seed=0), graph, pools, epoch=0, kp_triples=40
+        )
+        assert all(np.isfinite(v) for v in record.kp_values.values())
+        assert record.speedup("static") > 0
+        assert record.kp_speedup("random") > 0

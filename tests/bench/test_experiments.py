@@ -1,0 +1,100 @@
+"""Experiment drivers: row shapes and headline invariants (small configs)."""
+
+import pytest
+
+from repro.bench import (
+    fig3a_time_vs_samples,
+    fig3b_metric_vs_samples,
+    fig4_mape_sweep,
+    table2_easy_negatives,
+    table3_sampling_complexity,
+    table4_dataset_statistics,
+    table5_recommenders,
+    table10_false_negative_audit,
+)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return table2_easy_negatives(("codex-s-lite",))
+
+    def test_row_shape(self, outcome):
+        rows, reports = outcome
+        assert len(rows) == 1
+        assert rows[0]["Dataset"] == "codex-s-lite"
+        assert rows[0]["Easy negatives"] > 1000
+
+    def test_false_negatives_tiny(self, outcome):
+        rows, _ = outcome
+        assert rows[0]["False easy negatives"] < rows[0]["Easy negatives"] / 100
+
+    def test_audit_rows_labelled(self, outcome):
+        _, reports = outcome
+        audit = table10_false_negative_audit(reports)
+        for row in audit:
+            assert set(row) == {"Dataset", "Head", "Relation", "Tail", "Split", "Zero side"}
+
+
+class TestTable3:
+    def test_reduction_always_positive(self):
+        rows = table3_sampling_complexity(("codex-s-lite",))
+        assert rows[0]["Sampling reduction"] > 1.0
+
+
+class TestTable4:
+    def test_all_zoo_rows(self):
+        rows = table4_dataset_statistics(("codex-s-lite", "codex-m-lite"))
+        assert [row["Dataset"] for row in rows] == ["codex-s-lite", "codex-m-lite"]
+        assert all(row["|T S|".replace(" ", "")] > 0 for row in rows)
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table5_recommenders(("codex-s-lite",), ("pt", "l-wd", "ontosim"))
+
+    def test_pt_unseen_recall_zero(self, rows):
+        pt = next(row for row in rows if row["Model"] == "pt")
+        assert pt["CR Unseen"] == 0.0
+
+    def test_lwd_sees_unseen(self, rows):
+        lwd = next(row for row in rows if row["Model"] == "l-wd")
+        assert lwd["CR Unseen"] > 0.0
+
+    def test_ontosim_high_recall_low_rr(self, rows):
+        onto = next(row for row in rows if row["Model"] == "ontosim")
+        pt = next(row for row in rows if row["Model"] == "pt")
+        assert onto["CR Test"] >= pt["CR Test"]
+        assert onto["RR"] <= pt["RR"]
+
+
+class TestFigures:
+    def test_fig3a_series_lengths(self):
+        result = fig3a_time_vs_samples("codex-s-lite", fractions=(0.05, 0.2), dim=8)
+        assert len(result.fractions) == 2
+        for series in result.seconds_by_strategy.values():
+            assert len(series) == 2
+        assert result.full_seconds > 0
+
+    def test_fig3b_random_most_optimistic(self):
+        result = fig3b_metric_vs_samples(
+            "codex-s-lite", fractions=(0.05, 0.3), skill=1.5
+        )
+        for i in range(2):
+            assert (
+                result.estimates_by_strategy["random"][i]
+                >= result.estimates_by_strategy["static"][i]
+            )
+        assert result.estimates_by_strategy["static"][-1] >= result.true_value - 0.05
+
+    def test_fig4_mape_decreases_with_samples(self):
+        result = fig4_mape_sweep(
+            "codex-s-lite",
+            recommender_names=("l-wd",),
+            fractions=(0.02, 0.4),
+            repeats=2,
+        )
+        curve = result.mape_by_recommender["l-wd"]
+        assert curve[0].mean > curve[-1].mean
+        assert all(ci.num_samples == 4 for ci in curve)  # 2 repeats x 2 strategies

@@ -1,0 +1,82 @@
+"""Training-study runner (small epochs; the heavy path is the benchmarks')."""
+
+import numpy as np
+import pytest
+
+from repro.bench import run_training_study, table6_mae, table7_correlation, table9_speedup
+from repro.bench.runner import DEFAULT_LOSSES
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_training_study(
+        "codex-s-lite", "distmult", epochs=3, dim=12, with_kp=True, kp_triples=60
+    )
+
+
+class TestStudy:
+    def test_one_record_per_epoch(self, study):
+        assert len(study.records) == 3
+        assert [r.epoch for r in study.records] == [0, 1, 2]
+
+    def test_series_extraction(self, study):
+        truth = study.series("true", "mrr")
+        estimate = study.series("static", "mrr")
+        kp = study.series("kp:random")
+        assert len(truth) == len(estimate) == len(kp) == 3
+        assert all(np.isfinite(truth))
+
+    def test_estimates_cover_all_strategies(self, study):
+        record = study.records[0]
+        assert set(record.estimated) == {"random", "probabilistic", "static"}
+        assert set(record.kp_values) == {"random", "probabilistic", "static"}
+
+    def test_hits_metrics_available(self, study):
+        series = study.series("probabilistic", "hits@10")
+        assert all(0.0 <= v <= 1.0 for v in series)
+
+    def test_speedup_accessors(self, study):
+        mean, std = study.mean_speedup("static")
+        assert mean > 0
+        full_mean, _ = study.mean_full_seconds()
+        assert full_mean > 0
+
+    def test_default_losses_cover_all_models(self):
+        from repro.models import available_models
+
+        assert set(DEFAULT_LOSSES) == set(available_models())
+
+
+class TestTableDrivers:
+    def test_table6_rows(self, study):
+        rows = table6_mae([study])
+        assert len(rows) == 1
+        row = rows[0]
+        assert {"Dataset", "Model", "R", "P", "S"} <= set(row)
+        assert row["R"] >= 0
+
+    def test_table7_rows(self, study):
+        row = table7_correlation([study])[0]
+        for column in ("KP R", "KP P", "KP S", "Rank R", "Rank P", "Rank S"):
+            assert -1.0 <= row[column] <= 1.0
+
+    def test_table9_rows(self, study):
+        row = table9_speedup([study])[0]
+        assert "Full eval (s)" in row
+        assert "±" in row["Rank S (x)"]
+
+    def test_kendall_needs_multiple_models(self, study):
+        from repro.bench import table8_kendall
+
+        with pytest.raises(ValueError):
+            table8_kendall([study])
+
+    def test_kendall_rejects_mixed_datasets(self, study):
+        from copy import deepcopy
+
+        from repro.bench import table8_kendall
+
+        other = deepcopy(study)
+        other.dataset_name = "other"
+        with pytest.raises(ValueError, match="datasets"):
+            table8_kendall([study, other])

@@ -1,0 +1,43 @@
+"""Table rendering."""
+
+from repro.bench import render_series, render_table
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert "(no rows)" in render_table([])
+
+    def test_alignment_and_header(self):
+        out = render_table([{"A": 1, "Blong": "x"}, {"A": 22, "Blong": "yy"}])
+        lines = out.splitlines()
+        assert lines[0].startswith("A")
+        assert "Blong" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert len({len(line) for line in lines if line.strip()}) <= 2
+
+    def test_float_formatting(self):
+        out = render_table([{"v": 0.123456}], float_digits=2)
+        assert "0.12" in out
+
+    def test_missing_cells_render_empty(self):
+        out = render_table([{"a": 1, "b": 2}, {"a": 3}], columns=["a", "b"])
+        assert out.splitlines()[-1].split()[0] == "3"
+
+    def test_title(self):
+        assert render_table([{"a": 1}], title="Table 4").startswith("Table 4")
+
+    def test_explicit_column_order(self):
+        out = render_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        header = out.splitlines()[0].split()
+        assert header == ["b", "a"]
+
+
+class TestRenderSeries:
+    def test_one_column_per_series(self):
+        out = render_series([0.1, 0.2], {"s1": [1.0, 2.0], "s2": [3.0, 4.0]}, x_label="f")
+        header = out.splitlines()[0].split()
+        assert header == ["f", "s1", "s2"]
+
+    def test_short_series_pads(self):
+        out = render_series([1, 2, 3], {"s": [9.0]})
+        assert len(out.splitlines()) == 5

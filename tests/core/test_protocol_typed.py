@@ -1,0 +1,54 @@
+"""Protocol with typed recommenders and non-default metric sets."""
+
+import pytest
+
+from repro.core import EvaluationProtocol
+from repro.models import OracleModel
+
+
+class TestTypedProtocol:
+    @pytest.mark.parametrize("name", ["dbh-t", "ontosim", "l-wd-t"])
+    def test_typed_recommenders_work_with_types(self, codex_s, name):
+        protocol = EvaluationProtocol(
+            codex_s.graph,
+            recommender=name,
+            strategy="static",
+            num_samples=30,
+            types=codex_s.types,
+        )
+        model = OracleModel(codex_s.graph, seed=0)
+        result = protocol.evaluate(model)
+        assert result.num_queries == 2 * len(codex_s.graph.test)
+
+    def test_typed_recommender_without_types_fails_at_prepare(self, codex_s):
+        protocol = EvaluationProtocol(
+            codex_s.graph, recommender="dbh-t", strategy="static"
+        )
+        with pytest.raises(ValueError, match="types"):
+            protocol.prepare()
+
+    def test_custom_hits_levels(self, codex_s):
+        protocol = EvaluationProtocol(codex_s.graph, strategy="random", num_samples=30)
+        model = OracleModel(codex_s.graph, seed=0)
+        result = protocol.evaluate(model, hits_at=(1, 5, 50))
+        assert set(result.metrics.hits.keys()) == {1, 5, 50}
+        assert result.metrics.hits_at(5) <= result.metrics.hits_at(50)
+
+    def test_valid_split_evaluation(self, codex_s):
+        protocol = EvaluationProtocol(codex_s.graph, strategy="random", num_samples=30)
+        model = OracleModel(codex_s.graph, seed=0)
+        result = protocol.evaluate(model, split="valid")
+        assert result.num_queries == 2 * len(codex_s.graph.valid)
+
+    def test_probabilistic_with_pie(self, codex_s):
+        from repro.recommenders import PIE
+
+        protocol = EvaluationProtocol(
+            codex_s.graph,
+            recommender=PIE(epochs=2, hidden_dim=8),
+            strategy="probabilistic",
+            num_samples=25,
+        )
+        model = OracleModel(codex_s.graph, seed=0)
+        result = protocol.evaluate(model)
+        assert 0.0 <= result.metrics.mrr <= 1.0

@@ -1,0 +1,176 @@
+"""Equation 1 and Theorem 1: the hypergeometric theory, property-tested.
+
+These tests tie the implementation to the paper's analysis:
+
+* ``expected_outranking`` matches the hypergeometric mean and vanishes as
+  the sample shrinks (Equation 1 — why small uniform samples flatter);
+* ``expected_gain`` is non-negative everywhere (Theorem 1: sampling inside
+  the range set never hurts) and matches a Monte-Carlo simulation of the
+  two sampling schemes;
+* the empirical estimator really is optimistic: on a fixed model the
+  sampled MRR stochastically dominates the true MRR.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    build_pools,
+    evaluate_full,
+    evaluate_sampled,
+    expected_gain,
+    expected_outranking,
+    optimism_curve,
+)
+from repro.models import OracleModel
+
+
+class TestExpectedOutranking:
+    def test_matches_hypergeometric_mean(self):
+        assert expected_outranking(10, 100, 20) == pytest.approx(2.0)
+
+    def test_limit_at_zero_samples(self):
+        """Equation 1: lim_{n_s -> 0} E[X_u] = 0."""
+        assert expected_outranking(50, 1000, 0) == 0.0
+
+    def test_full_sample_recovers_true_count(self):
+        assert expected_outranking(37, 500, 500) == pytest.approx(37.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_outranking(11, 10, 5)
+        with pytest.raises(ValueError):
+            expected_outranking(2, 10, 11)
+
+    @settings(max_examples=60)
+    @given(
+        num_entities=st.integers(1, 10_000),
+        better_frac=st.floats(0, 1),
+        sample_frac=st.floats(0, 1),
+    )
+    def test_property_monotone_in_sample_size(self, num_entities, better_frac, sample_frac):
+        num_better = int(better_frac * num_entities)
+        n_small = int(sample_frac * num_entities * 0.5)
+        n_large = int(sample_frac * num_entities)
+        assert expected_outranking(num_better, num_entities, n_small) <= (
+            expected_outranking(num_better, num_entities, n_large) + 1e-12
+        )
+
+    def test_curve_is_linear(self):
+        sizes = np.array([0, 10, 20, 40])
+        curve = optimism_curve(5, 100, sizes)
+        np.testing.assert_allclose(curve, [0.0, 0.5, 1.0, 2.0])
+
+
+class TestExpectedGain:
+    @settings(max_examples=120)
+    @given(data=st.data())
+    def test_property_theorem1_nonnegative(self, data):
+        """E[Y] >= 0 for every admissible configuration."""
+        num_entities = data.draw(st.integers(2, 5000))
+        range_size = data.draw(st.integers(1, num_entities))
+        num_better = data.draw(st.integers(0, range_size))
+        num_samples = data.draw(st.integers(1, num_entities))
+        gain = expected_gain(num_better, num_entities, range_size, num_samples)
+        assert gain >= -1e-12
+
+    def test_zero_when_range_is_everything(self):
+        """No gain possible when the range set equals the entity set and
+        the sample is full."""
+        assert expected_gain(5, 100, 100, 100) == pytest.approx(0.0)
+
+    def test_case_boundary_continuity(self):
+        """The two closed forms agree at n_s = |RS_r|."""
+        below = expected_gain(4, 200, 50, 49)
+        at = expected_gain(4, 200, 50, 50)
+        above = expected_gain(4, 200, 50, 51)
+        assert below <= at + 1e-9
+        assert abs(at - expected_gain(4, 200, 50, 50)) < 1e-12
+        assert above <= at + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_gain(10, 100, 5, 10)  # better > range
+        with pytest.raises(ValueError):
+            expected_gain(1, 100, 50, 0)  # no samples
+
+    def test_matches_monte_carlo(self):
+        """Simulate both sampling schemes and compare E[Y] empirically."""
+        rng = np.random.default_rng(0)
+        num_entities, range_size, num_better, num_samples = 200, 40, 8, 30
+        analytic = expected_gain(num_better, num_entities, range_size, num_samples)
+        gains = []
+        for _ in range(3000):
+            uniform_draw = rng.choice(num_entities, size=num_samples, replace=False)
+            x_uniform = int((uniform_draw < num_better).sum())
+            in_range = rng.choice(range_size, size=min(num_samples, range_size), replace=False)
+            x_range = int((in_range < num_better).sum())
+            gains.append(x_range - x_uniform)
+        assert np.mean(gains) == pytest.approx(analytic, abs=0.15)
+
+
+class TestEmpiricalOptimism:
+    def test_random_sampling_overestimates_mrr(self, codex_s):
+        """The paper's headline: uniform sampled MRR >> true MRR."""
+        graph = codex_s.graph
+        model = OracleModel(graph, skill=1.5, seed=0)
+        true_result = evaluate_full(model, graph, split="test")
+        pools = build_pools(
+            graph, "random", rng=np.random.default_rng(1), sample_fraction=0.1
+        )
+        sampled = evaluate_sampled(model, graph, pools, split="test")
+        assert sampled.metrics.mrr > true_result.metrics.mrr
+
+    def test_optimism_grows_as_sample_shrinks(self, codex_s):
+        graph = codex_s.graph
+        model = OracleModel(graph, skill=1.5, seed=0)
+        estimates = []
+        for fraction in (0.05, 0.2, 0.8):
+            pools = build_pools(
+                graph, "random", rng=np.random.default_rng(2), sample_fraction=fraction
+            )
+            estimates.append(
+                evaluate_sampled(model, graph, pools, split="test").metrics.mrr
+            )
+        assert estimates[0] >= estimates[1] >= estimates[2]
+
+    def test_full_sample_recovers_truth(self, codex_s):
+        """Sampling 100% of entities must reproduce the full metrics."""
+        graph = codex_s.graph
+        model = OracleModel(graph, skill=1.5, seed=0)
+        true_result = evaluate_full(model, graph, split="test")
+        pools = build_pools(
+            graph, "random", rng=np.random.default_rng(3), sample_fraction=1.0
+        )
+        sampled = evaluate_sampled(model, graph, pools, split="test")
+        assert sampled.metrics.mrr == pytest.approx(true_result.metrics.mrr, abs=1e-12)
+        assert sampled.metrics.hits_at(10) == pytest.approx(
+            true_result.metrics.hits_at(10), abs=1e-12
+        )
+
+    def test_guided_sampling_beats_random(self, codex_s):
+        """Static and probabilistic pools estimate closer than random."""
+        from repro.core import build_static_candidates
+        from repro.recommenders import build_recommender
+
+        graph = codex_s.graph
+        model = OracleModel(graph, skill=1.5, seed=0)
+        truth = evaluate_full(model, graph, split="test").metrics.mrr
+        fitted = build_recommender("l-wd").fit(graph)
+        candidates = build_static_candidates(fitted, graph)
+        errors = {}
+        for strategy in ("random", "probabilistic", "static"):
+            pools = build_pools(
+                graph,
+                strategy,
+                rng=np.random.default_rng(4),
+                sample_fraction=0.1,
+                fitted=fitted,
+                candidates=candidates,
+            )
+            estimate = evaluate_sampled(model, graph, pools, split="test").metrics.mrr
+            errors[strategy] = abs(estimate - truth)
+        assert errors["static"] < errors["random"]
+        assert errors["probabilistic"] < errors["random"]

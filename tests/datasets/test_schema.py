@@ -1,0 +1,58 @@
+"""Relation schemas: cardinality semantics and validation."""
+
+import pytest
+
+from repro.datasets import Cardinality, RelationSchema
+
+
+class TestCardinality:
+    def test_head_repeats(self):
+        assert Cardinality.ONE_TO_MANY.head_repeats
+        assert Cardinality.MANY_TO_MANY.head_repeats
+        assert not Cardinality.ONE_TO_ONE.head_repeats
+        assert not Cardinality.MANY_TO_ONE.head_repeats
+
+    def test_tail_repeats(self):
+        assert Cardinality.MANY_TO_ONE.tail_repeats
+        assert Cardinality.MANY_TO_MANY.tail_repeats
+        assert not Cardinality.ONE_TO_ONE.tail_repeats
+        assert not Cardinality.ONE_TO_MANY.tail_repeats
+
+    def test_values_match_paper_notation(self):
+        assert Cardinality.ONE_TO_ONE.value == "1-1"
+        assert Cardinality.MANY_TO_MANY.value == "M-M"
+
+
+class TestRelationSchema:
+    def test_admits_requires_both_sides(self):
+        schema = RelationSchema(
+            name="livesIn",
+            domain_types=(0,),
+            range_types=(1, 2),
+            cardinality=Cardinality.MANY_TO_ONE,
+        )
+        assert schema.admits((0,), (2,))
+        assert not schema.admits((1,), (2,))  # wrong head type
+        assert not schema.admits((0,), (0,))  # wrong tail type
+
+    def test_multi_typed_entity_admitted_via_any_type(self):
+        schema = RelationSchema(
+            name="r", domain_types=(3,), range_types=(4,), cardinality=Cardinality.MANY_TO_MANY
+        )
+        assert schema.admits((0, 3), (4, 9))
+
+    def test_empty_signature_rejected(self):
+        with pytest.raises(ValueError):
+            RelationSchema(
+                name="r", domain_types=(), range_types=(1,), cardinality=Cardinality.ONE_TO_ONE
+            )
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            RelationSchema(
+                name="r",
+                domain_types=(0,),
+                range_types=(1,),
+                cardinality=Cardinality.ONE_TO_ONE,
+                weight=0.0,
+            )

@@ -1,0 +1,104 @@
+"""Synthetic generator: invariants the paper's analysis depends on."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticConfig, generate
+from repro.datasets.schema import Cardinality
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(
+        SyntheticConfig(
+            num_entities=300,
+            num_relations=12,
+            num_types=8,
+            num_triples=2500,
+            num_communities=2,
+            noise_triples=5,
+            seed=7,
+        )
+    )
+
+
+class TestConfigValidation:
+    def test_too_few_types_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_types=1)
+
+    def test_more_communities_than_types_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_types=4, num_communities=5)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(noise_triples=-1)
+
+    def test_community_assignment_round_robin(self):
+        config = SyntheticConfig(num_types=6, num_communities=3)
+        assert [config.community_of_type(t) for t in range(6)] == [0, 1, 2, 0, 1, 2]
+
+
+class TestStructure:
+    def test_determinism(self):
+        config = SyntheticConfig(num_entities=150, num_triples=800, seed=5)
+        a = generate(config)
+        b = generate(config)
+        assert np.array_equal(a.graph.train.array, b.graph.train.array)
+        assert a.types.assignments == b.types.assignments
+
+    def test_entities_are_contiguous_and_used(self, dataset):
+        triples = dataset.graph.all_triples.array
+        used = np.unique(triples[:, [0, 2]])
+        assert used.tolist() == list(range(dataset.graph.num_entities))
+
+    def test_every_entity_typed(self, dataset):
+        for entity in range(dataset.graph.num_entities):
+            assert dataset.types.types_of(entity), entity
+
+    def test_transductive_split(self, dataset):
+        graph = dataset.graph
+        seen_entities = set(graph.train.heads) | set(graph.train.tails)
+        seen_relations = set(graph.train.relations)
+        for split in (graph.valid, graph.test):
+            for h, r, t in split:
+                assert h in seen_entities and t in seen_entities and r in seen_relations
+
+    def test_signatures_respected_except_noise(self, dataset):
+        """At most ``noise_triples`` violate their relation schema."""
+        violations = 0
+        for h, r, t in dataset.graph.all_triples:
+            # Relation vocabulary order matches the schema list order.
+            schema = dataset.schemas[r]
+            assert dataset.graph.relations.label_of(r) == schema.name
+            if not schema.admits(dataset.types.types_of(h), dataset.types.types_of(t)):
+                violations += 1
+        assert 0 < violations <= dataset.config.noise_triples
+
+    def test_no_self_loops_outside_noise(self, dataset):
+        triples = dataset.graph.all_triples.array
+        assert int((triples[:, 0] == triples[:, 2]).sum()) == 0
+
+
+class TestCardinalityConstraints:
+    def test_one_to_one_heads_never_repeat(self, dataset):
+        """1-1 relations use each head at most once (noise triples aside)."""
+        for rel_id, schema in enumerate(dataset.schemas):
+            if schema.cardinality is not Cardinality.ONE_TO_ONE:
+                continue
+            mask = dataset.graph.all_triples.relations == rel_id
+            heads = dataset.graph.all_triples.heads[mask]
+            counts = np.unique(heads, return_counts=True)[1]
+            # Noise triples can collide; allow that many repeats overall.
+            assert int((counts > 1).sum()) <= dataset.config.noise_triples
+
+
+class TestZipfShape:
+    def test_entity_popularity_is_skewed(self, dataset):
+        degrees = np.bincount(
+            dataset.graph.all_triples.array[:, [0, 2]].reshape(-1),
+            minlength=dataset.graph.num_entities,
+        )
+        top_share = np.sort(degrees)[::-1][: len(degrees) // 10].sum() / degrees.sum()
+        assert top_share > 0.25  # top 10% of entities carry >25% of the mass

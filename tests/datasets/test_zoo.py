@@ -1,0 +1,63 @@
+"""Zoo: naming, caching, per-dataset shape expectations."""
+
+import pytest
+
+from repro.datasets import ZOO, available_datasets, clear_cache, load
+
+
+class TestRegistry:
+    def test_paper_analogues_plus_scale_testbed(self):
+        assert len(ZOO) == 8
+        for expected in (
+            "codex-s-lite",
+            "codex-m-lite",
+            "codex-l-lite",
+            "fb15k-lite",
+            "fb15k237-lite",
+            "yago310-lite",
+            "wikikg2-lite",
+            "wikikg2-xl",
+        ):
+            assert expected in ZOO
+
+    def test_available_is_sorted(self):
+        assert available_datasets() == sorted(available_datasets())
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="codex-s-lite"):
+            load("nope")
+
+
+class TestCaching:
+    def test_cache_returns_same_object(self):
+        clear_cache()
+        assert load("codex-s-lite") is load("codex-s-lite")
+
+    def test_no_cache_returns_fresh_object(self):
+        a = load("codex-s-lite")
+        b = load("codex-s-lite", use_cache=False)
+        assert a is not b
+
+    def test_clear_cache(self):
+        a = load("codex-s-lite")
+        clear_cache()
+        assert load("codex-s-lite") is not a
+
+
+class TestShapes:
+    def test_config_names_match_keys(self):
+        for name, config in ZOO.items():
+            assert config.name == name
+
+    def test_wikikg2_xl_is_largest(self):
+        sizes = {name: config.num_entities for name, config in ZOO.items()}
+        assert max(sizes, key=sizes.get) == "wikikg2-xl"
+
+    def test_fb15k_has_most_relations(self):
+        relations = {name: config.num_relations for name, config in ZOO.items()}
+        assert max(relations, key=relations.get) == "fb15k-lite"
+
+    def test_codex_s_loads_with_splits(self, codex_s):
+        graph = codex_s.graph
+        assert len(graph.valid) > 0 and len(graph.test) > 0
+        assert graph.num_entities <= ZOO["codex-s-lite"].num_entities

@@ -1,0 +1,96 @@
+"""Graph analysis: cardinality classification, PT exposure, connectivity."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.schema import Cardinality
+from repro.kg import HEAD, TAIL, build_graph
+from repro.kg.analysis import (
+    classify_cardinality,
+    connectivity_summary,
+    relation_profiles,
+    unseen_candidate_exposure,
+)
+
+
+class TestClassify:
+    def test_four_quadrants(self):
+        assert classify_cardinality(1.0, 1.0) is Cardinality.ONE_TO_ONE
+        assert classify_cardinality(3.0, 1.0) is Cardinality.ONE_TO_MANY
+        assert classify_cardinality(1.0, 3.0) is Cardinality.MANY_TO_ONE
+        assert classify_cardinality(3.0, 3.0) is Cardinality.MANY_TO_MANY
+
+    def test_threshold_is_exclusive(self):
+        assert classify_cardinality(1.5, 1.5) is Cardinality.ONE_TO_ONE
+
+
+class TestRelationProfiles:
+    def test_hand_built_graph(self):
+        graph = build_graph(
+            {
+                "train": [
+                    # "hasChild": one head, three tails -> 1-M.
+                    ("a", "hasChild", "x"),
+                    ("a", "hasChild", "y"),
+                    ("a", "hasChild", "z"),
+                    # "bornIn": three heads, one tail -> M-1.
+                    ("x", "bornIn", "town"),
+                    ("y", "bornIn", "town"),
+                    ("z", "bornIn", "town"),
+                ]
+            }
+        )
+        profiles = {p.name: p for p in relation_profiles(graph)}
+        assert profiles["hasChild"].cardinality is Cardinality.ONE_TO_MANY
+        assert profiles["hasChild"].tails_per_head == pytest.approx(3.0)
+        assert profiles["bornIn"].cardinality is Cardinality.MANY_TO_ONE
+        assert profiles["bornIn"].heads_per_tail == pytest.approx(3.0)
+
+    def test_empty_relation(self, tiny_graph):
+        profiles = relation_profiles(tiny_graph)
+        assert len(profiles) == tiny_graph.num_relations
+        assert all(p.num_triples >= 0 for p in profiles)
+
+    def test_generator_cardinalities_recovered(self, small_dataset):
+        """The generator's 1-1 relations look 1-1 empirically."""
+        from repro.datasets.schema import Cardinality as C
+
+        profiles = relation_profiles(small_dataset.graph)
+        for profile, schema in zip(profiles, small_dataset.schemas):
+            if schema.cardinality is C.ONE_TO_ONE and profile.num_triples > 20:
+                # Noise triples can nudge the averages slightly above 1.
+                assert profile.tails_per_head < 1.5
+                assert profile.heads_per_tail < 1.5
+
+
+class TestUnseenExposure:
+    def test_tiny_graph_exposure(self, tiny_graph):
+        # Test triple (0, likes, 3): head e0 was seen as a likes-head,
+        # tail e3 never as a likes-tail.
+        exposure = unseen_candidate_exposure(tiny_graph)
+        assert exposure[HEAD] == 0.0
+        assert exposure[TAIL] == 1.0
+
+    def test_bounded(self, codex_s):
+        exposure = unseen_candidate_exposure(codex_s.graph)
+        assert 0.0 <= exposure[HEAD] <= 1.0
+        assert 0.0 <= exposure[TAIL] <= 1.0
+
+
+class TestConnectivity:
+    def test_connected_toy(self, gates_graph):
+        summary = connectivity_summary(gates_graph)
+        assert summary.num_components == 1
+        assert summary.largest_component == gates_graph.num_entities
+
+    def test_disconnected_components_counted(self):
+        graph = build_graph(
+            {"train": [("a", "r", "b"), ("c", "r", "d")]}
+        )
+        summary = connectivity_summary(graph)
+        assert summary.num_components == 2
+        assert summary.largest_component == 2
+
+    def test_density_in_unit_interval(self, codex_s):
+        summary = connectivity_summary(codex_s.graph)
+        assert 0.0 < summary.density < 1.0

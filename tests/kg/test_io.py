@@ -1,0 +1,91 @@
+"""TSV IO: round-trips, error reporting, partial type coverage."""
+
+import pytest
+
+from repro.kg import build_graph, build_type_store
+from repro.kg.io import (
+    load_graph_dir,
+    read_triples,
+    read_types,
+    save_graph_dir,
+    write_triples,
+    write_types,
+)
+
+
+class TestTripleIO:
+    def test_round_trip(self, tmp_path):
+        triples = [("a", "r", "b"), ("b", "r", "c")]
+        path = tmp_path / "triples.tsv"
+        write_triples(path, triples)
+        assert read_triples(path) == triples
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "triples.tsv"
+        path.write_text("a\tr\tb\n\nb\tr\tc\n")
+        assert len(read_triples(path)) == 2
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("a\tr\tb\na\tb\n")
+        with pytest.raises(ValueError, match=":2"):
+            read_triples(path)
+
+
+class TestGraphDirIO:
+    def test_round_trip(self, tmp_path, tiny_graph):
+        save_graph_dir(tiny_graph, tmp_path / "kg")
+        loaded = load_graph_dir(tmp_path / "kg", name="tiny")
+        assert loaded.num_entities == tiny_graph.num_entities
+        assert len(loaded.train) == len(tiny_graph.train)
+        assert len(loaded.valid) == len(tiny_graph.valid)
+        assert len(loaded.test) == len(tiny_graph.test)
+
+    def test_missing_optional_splits(self, tmp_path):
+        directory = tmp_path / "kg"
+        directory.mkdir()
+        (directory / "train.tsv").write_text("a\tr\tb\n")
+        graph = load_graph_dir(directory)
+        assert len(graph.train) == 1
+        assert len(graph.valid) == 0
+
+    def test_missing_train_raises(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(FileNotFoundError):
+            load_graph_dir(tmp_path / "empty")
+
+    def test_directory_name_is_default_graph_name(self, tmp_path, tiny_graph):
+        save_graph_dir(tiny_graph, tmp_path / "mygraph")
+        assert load_graph_dir(tmp_path / "mygraph").name == "mygraph"
+
+
+class TestTypeIO:
+    def test_round_trip(self, tmp_path):
+        graph = build_graph({"train": [("a", "r", "b")]})
+        store = build_type_store({0: ["Person"], 1: ["City"]})
+        path = tmp_path / "types.tsv"
+        write_types(path, store, graph.entities)
+        loaded = read_types(path, graph.entities)
+        assert loaded.types_of(0) == (loaded.types.id_of("Person"),)
+        assert loaded.num_assignments == 2
+
+    def test_unknown_entities_skipped_by_default(self, tmp_path):
+        graph = build_graph({"train": [("a", "r", "b")]})
+        path = tmp_path / "types.tsv"
+        path.write_text("a\tPerson\nghost\tCity\n")
+        loaded = read_types(path, graph.entities)
+        assert loaded.num_assignments == 1
+
+    def test_strict_mode_raises_on_unknown(self, tmp_path):
+        graph = build_graph({"train": [("a", "r", "b")]})
+        path = tmp_path / "types.tsv"
+        path.write_text("ghost\tCity\n")
+        with pytest.raises(KeyError):
+            read_types(path, graph.entities, strict=True)
+
+    def test_malformed_type_line_reports_location(self, tmp_path):
+        graph = build_graph({"train": [("a", "r", "b")]})
+        path = tmp_path / "types.tsv"
+        path.write_text("a\tPerson\textra\n")
+        with pytest.raises(ValueError, match=":1"):
+            read_types(path, graph.entities)

@@ -1,0 +1,90 @@
+"""Splitting: fractions, transductive repair, determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg import SplitFractions, Vocabulary, random_split, split_graph, transductive_split
+
+
+def _triples(n: int, num_entities: int = 50, num_relations: int = 5, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return np.stack(
+        [
+            rng.integers(num_entities, size=n),
+            rng.integers(num_relations, size=n),
+            rng.integers(num_entities, size=n),
+        ],
+        axis=1,
+    )
+
+
+class TestFractions:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SplitFractions(valid=-0.1)
+
+    def test_sum_to_one_rejected(self):
+        with pytest.raises(ValueError):
+            SplitFractions(valid=0.5, test=0.5)
+
+
+class TestRandomSplit:
+    def test_partition_sizes(self, rng):
+        triples = _triples(1000)
+        train, valid, test = random_split(triples, SplitFractions(0.1, 0.2), rng)
+        assert len(valid) == 100
+        assert len(test) == 200
+        assert len(train) == 700
+
+    def test_partition_is_disjoint_and_complete(self, rng):
+        triples = _triples(300)
+        train, valid, test = random_split(triples, SplitFractions(0.1, 0.1), rng)
+        recombined = np.concatenate([train, valid, test], axis=0)
+        assert sorted(map(tuple, recombined)) == sorted(map(tuple, triples))
+
+
+class TestTransductiveSplit:
+    def test_valid_test_are_covered_by_train(self, rng):
+        triples = _triples(500, num_entities=40)
+        train, valid, test = transductive_split(triples, SplitFractions(0.1, 0.1), rng)
+        seen_entities = set(train[:, 0]) | set(train[:, 2])
+        seen_relations = set(train[:, 1])
+        for split in (valid, test):
+            for h, r, t in split:
+                assert h in seen_entities and t in seen_entities
+                assert r in seen_relations
+
+    def test_nothing_lost(self, rng):
+        triples = _triples(500)
+        train, valid, test = transductive_split(triples, SplitFractions(0.1, 0.1), rng)
+        assert len(train) + len(valid) + len(test) == 500
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(50, 400))
+def test_property_transductive_coverage(seed, n):
+    rng = np.random.default_rng(seed)
+    triples = _triples(n, num_entities=30, num_relations=4, seed=seed)
+    train, valid, test = transductive_split(triples, SplitFractions(0.1, 0.1), rng)
+    seen_entities = set(train[:, 0]) | set(train[:, 2])
+    seen_relations = set(train[:, 1])
+    for split in (valid, test):
+        for h, r, t in split:
+            assert h in seen_entities and t in seen_entities and r in seen_relations
+
+
+class TestSplitGraph:
+    def test_builds_validated_graph(self, rng):
+        triples = _triples(200, num_entities=30, num_relations=3)
+        graph = split_graph(
+            entities=Vocabulary(f"e{i}" for i in range(30)),
+            relations=Vocabulary(f"r{i}" for i in range(3)),
+            triples=triples,
+            fractions=SplitFractions(0.05, 0.05),
+            rng=rng,
+            name="built",
+        )
+        assert graph.name == "built"
+        assert len(graph.all_triples) == 200

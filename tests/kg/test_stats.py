@@ -1,0 +1,39 @@
+"""Dataset statistics (Table 4 columns)."""
+
+from repro.kg import dataset_statistics, distinct_query_pairs
+from repro.kg.typing import build_type_store
+
+
+class TestStatistics:
+    def test_counts_match_graph(self, tiny_graph):
+        stats = dataset_statistics(tiny_graph)
+        assert stats.num_entities == 6
+        assert stats.num_relations == 3
+        assert stats.train_triples == 5
+        assert stats.valid_triples == 1
+        assert stats.test_triples == 1
+
+    def test_types_default_to_zero(self, tiny_graph):
+        stats = dataset_statistics(tiny_graph)
+        assert stats.num_types == 0
+        assert stats.num_type_assignments == 0
+
+    def test_types_counted_when_given(self, tiny_graph):
+        store = build_type_store({0: ["A"], 1: ["A", "B"]})
+        stats = dataset_statistics(tiny_graph, store)
+        assert stats.num_types == 2
+        assert stats.num_type_assignments == 3
+
+    def test_pair_counts(self, tiny_graph):
+        # train: (h,r) pairs {(0,0),(1,0),(3,1),(5,2)} = 4;
+        #        (r,t) pairs {(0,1),(0,2),(1,4),(2,0)} = 4.
+        assert stats_pairs(tiny_graph) == 8
+
+    def test_as_row_has_paper_columns(self, tiny_graph):
+        row = dataset_statistics(tiny_graph).as_row()
+        for column in ("|E|", "|R|", "Train", "Test", "Train pairs", "Test pairs"):
+            assert column in row
+
+
+def stats_pairs(graph):
+    return distinct_query_pairs(graph.train)

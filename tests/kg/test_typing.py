@@ -1,0 +1,82 @@
+"""TypeStore: membership, matrices, corruption knobs."""
+
+import numpy as np
+import pytest
+
+from repro.kg import Vocabulary, build_type_store
+from repro.kg.typing import TypeStore
+
+
+@pytest.fixture
+def store():
+    return build_type_store(
+        {0: ["Person"], 1: ["Person", "Author"], 2: ["City"], 4: []}
+    )
+
+
+class TestBasics:
+    def test_counts(self, store):
+        assert store.num_types == 3
+        assert store.num_assignments == 4
+
+    def test_types_of(self, store):
+        assert store.types_of(1) == (0, 1)
+        assert store.types_of(99) == ()
+
+    def test_entities_of_type(self, store):
+        person = store.types.id_of("Person")
+        assert store.entities_of_type(person).tolist() == [0, 1]
+
+    def test_membership_matrix(self, store):
+        matrix = store.membership_matrix(num_entities=5)
+        assert matrix.shape == (5, 3)
+        assert matrix.nnz == 4
+        assert matrix[1, 0] == 1.0 and matrix[1, 1] == 1.0
+
+    def test_build_with_shared_vocabulary(self):
+        vocab = Vocabulary(["X"])
+        store = build_type_store({0: ["Y"]}, types=vocab)
+        assert store.types.id_of("Y") == 1  # appended after X
+
+
+class TestDropFraction:
+    def test_drop_zero_keeps_all(self, store, rng):
+        dropped = store.drop_fraction(0.0, rng)
+        assert dropped.num_assignments == store.num_assignments
+
+    def test_drop_all_removes_everything(self, store, rng):
+        dropped = store.drop_fraction(1.0, rng)
+        assert dropped.num_assignments == 0
+
+    def test_drop_partial_is_between(self, rng):
+        big = build_type_store({i: ["T"] for i in range(1000)})
+        dropped = big.drop_fraction(0.5, rng)
+        assert 350 < dropped.num_assignments < 650
+
+    def test_invalid_fraction_rejected(self, store, rng):
+        with pytest.raises(ValueError):
+            store.drop_fraction(1.5, rng)
+
+
+class TestCorruptFraction:
+    def test_corrupt_zero_is_identity(self, store, rng):
+        corrupted = store.corrupt_fraction(0.0, rng)
+        assert corrupted.assignments == store.assignments
+
+    def test_corrupt_changes_types_but_not_counts(self, rng):
+        big = build_type_store({i: ["A"] for i in range(500)} | {999: ["B"]})
+        corrupted = big.corrupt_fraction(1.0, rng)
+        # Every A assignment replaced by the only other type, B.
+        assert all(
+            ts == (big.types.id_of("B"),)
+            for e, ts in corrupted.assignments.items()
+            if e != 999
+        )
+
+    def test_single_type_store_cannot_corrupt(self, rng):
+        single = build_type_store({0: ["Only"]})
+        assert single.corrupt_fraction(1.0, rng) is single
+
+    def test_invalid_fraction_rejected(self, store, rng):
+        with pytest.raises(ValueError):
+            store.corrupt_fraction(-0.1, rng)

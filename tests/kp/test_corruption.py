@@ -1,0 +1,48 @@
+"""KP's negative-corruption step in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_pools
+from repro.kp.metric import _corrupt
+
+
+class TestCorrupt:
+    def test_one_end_changed_per_triple(self, codex_s, rng):
+        triples = codex_s.graph.test.array
+        corrupted = _corrupt(triples, None, codex_s.graph.num_entities, rng)
+        changed_head = corrupted[:, 0] != triples[:, 0]
+        changed_tail = corrupted[:, 2] != triples[:, 2]
+        # Uniform redraws can collide with the original entity, so allow a
+        # few unchanged rows, but never both ends changed at once.
+        assert not np.any(changed_head & changed_tail)
+        assert (changed_head | changed_tail).mean() > 0.9
+        np.testing.assert_array_equal(corrupted[:, 1], triples[:, 1])
+
+    def test_pool_guided_replacements_from_pools(self, codex_s, rng):
+        from repro.recommenders import build_recommender
+
+        graph = codex_s.graph
+        fitted = build_recommender("pt").fit(graph)
+        pools = build_pools(
+            graph,
+            "probabilistic",
+            rng=np.random.default_rng(3),
+            sample_fraction=0.3,
+            fitted=fitted,
+        )
+        triples = graph.test.array
+        corrupted = _corrupt(triples, pools, graph.num_entities, rng)
+        for original, new in zip(triples, corrupted):
+            if new[0] != original[0]:
+                pool = pools.pool(int(new[1]), "head")
+                assert new[0] in pool
+            elif new[2] != original[2]:
+                pool = pools.pool(int(new[1]), "tail")
+                assert new[2] in pool
+
+    def test_deterministic_under_rng_state(self, codex_s):
+        triples = codex_s.graph.test.array
+        a = _corrupt(triples, None, codex_s.graph.num_entities, np.random.default_rng(5))
+        b = _corrupt(triples, None, codex_s.graph.num_entities, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)

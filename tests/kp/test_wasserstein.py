@@ -1,0 +1,88 @@
+"""Sliced Wasserstein distance: metric-like properties (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kp import PersistenceDiagram, sliced_wasserstein
+
+
+def diagrams(max_points=8):
+    """Strategy generating valid persistence diagrams."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(0, max_points))
+        points = []
+        for _ in range(n):
+            birth = draw(st.floats(-5, 5, allow_nan=False))
+            life = draw(st.floats(0, 5, allow_nan=False))
+            points.append((birth, birth + life))
+        return PersistenceDiagram(np.asarray(points).reshape(len(points), 2))
+
+    return build()
+
+
+class TestBasics:
+    def test_identity(self):
+        diagram = PersistenceDiagram(np.array([[0.0, 1.0], [2.0, 5.0]]))
+        assert sliced_wasserstein(diagram, diagram) == pytest.approx(0.0)
+
+    def test_both_empty(self):
+        empty = PersistenceDiagram(np.empty((0, 2)))
+        assert sliced_wasserstein(empty, empty) == 0.0
+
+    def test_empty_vs_diagonal_point_is_zero(self):
+        """A zero-persistence point is indistinguishable from the diagonal."""
+        empty = PersistenceDiagram(np.empty((0, 2)))
+        on_diagonal = PersistenceDiagram(np.array([[1.0, 1.0]]))
+        assert sliced_wasserstein(empty, on_diagonal) == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_vs_persistent_point_positive(self):
+        empty = PersistenceDiagram(np.empty((0, 2)))
+        persistent = PersistenceDiagram(np.array([[0.0, 4.0]]))
+        assert sliced_wasserstein(empty, persistent) > 0.1
+
+    def test_distance_grows_with_persistence_gap(self):
+        base = PersistenceDiagram(np.array([[0.0, 1.0]]))
+        near = PersistenceDiagram(np.array([[0.0, 1.5]]))
+        far = PersistenceDiagram(np.array([[0.0, 4.0]]))
+        assert sliced_wasserstein(base, far) > sliced_wasserstein(base, near)
+
+    def test_invalid_slices_rejected(self):
+        diagram = PersistenceDiagram(np.empty((0, 2)))
+        with pytest.raises(ValueError):
+            sliced_wasserstein(diagram, diagram, num_slices=0)
+
+    def test_deterministic(self):
+        a = PersistenceDiagram(np.array([[0.0, 1.0], [1.0, 3.0]]))
+        b = PersistenceDiagram(np.array([[0.5, 2.0]]))
+        assert sliced_wasserstein(a, b) == sliced_wasserstein(a, b)
+
+
+class TestMetricProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(a=diagrams(), b=diagrams())
+    def test_property_symmetry(self, a, b):
+        assert sliced_wasserstein(a, b) == pytest.approx(
+            sliced_wasserstein(b, a), abs=1e-9
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=diagrams(), b=diagrams())
+    def test_property_non_negative(self, a, b):
+        assert sliced_wasserstein(a, b) >= -1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=diagrams())
+    def test_property_self_distance_zero(self, a):
+        assert sliced_wasserstein(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=diagrams(4), b=diagrams(4), c=diagrams(4))
+    def test_property_triangle_inequality(self, a, b, c):
+        ab = sliced_wasserstein(a, b)
+        bc = sliced_wasserstein(b, c)
+        ac = sliced_wasserstein(a, c)
+        assert ac <= ab + bc + 1e-6

@@ -1,0 +1,128 @@
+"""Agreement metrics: Pearson, Kendall, MAE/MAPE, confidence intervals."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    IntervalEstimate,
+    kendall_tau,
+    mae,
+    mape,
+    mean_confidence_interval,
+    pearson,
+)
+
+series = st.lists(st.floats(-100, 100, allow_nan=False), min_size=3, max_size=30)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series_is_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_single_point_is_zero(self):
+        assert pearson([1], [2]) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_matches_numpy(self, rng):
+        x = rng.standard_normal(50)
+        y = 0.3 * x + rng.standard_normal(50)
+        assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    @settings(max_examples=40)
+    @given(a=series)
+    def test_property_bounds_and_self_correlation(self, a):
+        x = np.asarray(a)
+        value = pearson(x, x)
+        assert value == pytest.approx(1.0) or value == 0.0  # 0 for constants
+        assert -1.0 - 1e-9 <= pearson(x, x[::-1]) <= 1.0 + 1e-9
+
+
+class TestKendall:
+    def test_identical_order(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_reversed_order(self):
+        assert kendall_tau([1, 2, 3, 4], [4, 3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_hand_computed_with_tie(self):
+        # x: 1,2,3 ; y: 1,1,2 -> C=2, D=0, ties_y=1, n0=3.
+        expected = 2 / math.sqrt(3 * 2)
+        assert kendall_tau([1, 2, 3], [1, 1, 2]) == pytest.approx(expected)
+
+    def test_constant_series(self):
+        assert kendall_tau([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_matches_scipy(self, rng):
+        from scipy.stats import kendalltau
+
+        x = rng.standard_normal(30)
+        y = rng.standard_normal(30)
+        assert kendall_tau(x, y) == pytest.approx(kendalltau(x, y).statistic)
+
+    @settings(max_examples=40)
+    @given(a=series, data=st.data())
+    def test_property_bounded(self, a, data):
+        b = data.draw(st.permutations(a))
+        assert -1.0 - 1e-9 <= kendall_tau(a, b) <= 1.0 + 1e-9
+
+
+class TestErrors:
+    def test_mae(self):
+        assert mae([1.0, 2.0], [1.5, 1.5]) == pytest.approx(0.5)
+
+    def test_mae_empty(self):
+        assert mae([], []) == 0.0
+
+    def test_mape_percent(self):
+        assert mape([1.1], [1.0]) == pytest.approx(10.0)
+
+    def test_mape_skips_zero_truths(self):
+        assert mape([5.0, 1.1], [0.0, 1.0]) == pytest.approx(10.0)
+
+    def test_mape_all_zero_truths(self):
+        assert mape([5.0], [0.0]) == 0.0
+
+    @settings(max_examples=40)
+    @given(a=series)
+    def test_property_zero_error_on_self(self, a):
+        assert mae(a, a) == 0.0
+        assert mape(a, a) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestConfidenceInterval:
+    def test_empty(self):
+        interval = mean_confidence_interval([])
+        assert interval.num_samples == 0
+
+    def test_single_sample_has_zero_width(self):
+        interval = mean_confidence_interval([3.0])
+        assert interval.mean == 3.0
+        assert interval.half_width == 0.0
+
+    def test_hand_computed(self):
+        interval = mean_confidence_interval([1.0, 2.0, 3.0], z=2.0)
+        assert interval.mean == pytest.approx(2.0)
+        assert interval.half_width == pytest.approx(2.0 * 1.0 / math.sqrt(3))
+        assert interval.low == pytest.approx(interval.mean - interval.half_width)
+        assert interval.high == pytest.approx(interval.mean + interval.half_width)
+
+    def test_width_shrinks_with_samples(self, rng):
+        small = mean_confidence_interval(rng.standard_normal(10))
+        large = mean_confidence_interval(rng.standard_normal(1000))
+        assert large.half_width < small.half_width
+
+    def test_repr(self):
+        assert "±" in repr(IntervalEstimate(mean=1.0, half_width=0.1, num_samples=5))

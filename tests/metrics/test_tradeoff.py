@@ -1,0 +1,63 @@
+"""CR / RR trade-off primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import TradeoffPoint, candidate_recall, reduction_rate
+
+
+class TestTradeoffPoint:
+    def test_distance_to_ideal(self):
+        point = TradeoffPoint(candidate_recall=1.0, reduction_rate=0.0)
+        assert point.distance_to_ideal() == pytest.approx(1.0)
+
+    def test_ideal_point_has_zero_distance(self):
+        assert TradeoffPoint(1.0, 1.0).distance_to_ideal() == 0.0
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            TradeoffPoint(1.5, 0.5)
+        with pytest.raises(ValueError):
+            TradeoffPoint(0.5, -0.1)
+
+    @given(
+        cr=st.floats(0, 1, allow_nan=False),
+        rr=st.floats(0, 1, allow_nan=False),
+    )
+    def test_property_distance_formula(self, cr, rr):
+        point = TradeoffPoint(cr, rr)
+        assert point.distance_to_ideal() == pytest.approx(
+            math.hypot(1 - cr, 1 - rr)
+        )
+
+
+class TestCandidateRecall:
+    def test_full_recall(self):
+        assert candidate_recall(5, 5) == 1.0
+
+    def test_zero_truths_is_perfect(self):
+        assert candidate_recall(0, 0) == 1.0
+
+    def test_partial(self):
+        assert candidate_recall(3, 4) == 0.75
+
+    def test_hits_beyond_truths_rejected(self):
+        with pytest.raises(ValueError):
+            candidate_recall(5, 4)
+
+
+class TestReductionRate:
+    def test_keeping_everything(self):
+        assert reduction_rate(10, 10) == 0.0
+
+    def test_keeping_nothing(self):
+        assert reduction_rate(0, 10) == 1.0
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            reduction_rate(11, 10)
+        with pytest.raises(ValueError):
+            reduction_rate(1, 0)

@@ -1,0 +1,97 @@
+"""Loss functions: values, gradients, registry."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.engine import Tensor, parameter
+from repro.models.losses import (
+    available_losses,
+    bce_loss,
+    get_loss,
+    l2_penalty,
+    loss_value,
+    margin_ranking_loss,
+    softplus_loss,
+)
+
+
+def _pair(pos, neg):
+    return Tensor(np.asarray(pos, dtype=float)), Tensor(np.asarray(neg, dtype=float))
+
+
+class TestMarginLoss:
+    def test_zero_when_margin_satisfied(self):
+        positive, negative = _pair([5.0], [[1.0, 2.0]])
+        loss = margin_ranking_loss(positive, negative, margin=1.0)
+        assert float(loss.data) == pytest.approx(0.0)
+
+    def test_linear_in_violation(self):
+        positive, negative = _pair([0.0], [[0.0]])
+        loss = margin_ranking_loss(positive, negative, margin=1.0)
+        assert float(loss.data) == pytest.approx(1.0)
+
+    def test_mean_over_all_pairs(self):
+        positive, negative = _pair([0.0, 10.0], [[0.0, 0.0], [0.0, 0.0]])
+        loss = margin_ranking_loss(positive, negative, margin=1.0)
+        # First row contributes 1.0 twice, second row 0: mean = 0.5.
+        assert float(loss.data) == pytest.approx(0.5)
+
+    def test_gradient_pushes_scores_apart(self):
+        pos = parameter(np.array([0.0]))
+        neg = parameter(np.array([[0.0]]))
+        loss = margin_ranking_loss(pos, neg, margin=1.0)
+        loss.backward()
+        assert pos.grad[0] < 0  # increase the positive score
+        assert neg.grad[0, 0] > 0  # decrease the negative score
+
+
+class TestBCELoss:
+    def test_confident_correct_is_near_zero(self):
+        positive, negative = _pair([50.0], [[-50.0]])
+        assert float(bce_loss(positive, negative).data) == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetric_blocks(self):
+        positive, negative = _pair([0.0], [[0.0]])
+        # softplus(0) = log 2 from each block.
+        assert float(bce_loss(positive, negative).data) == pytest.approx(2 * np.log(2.0))
+
+
+class TestSoftplusLoss:
+    def test_matches_logistic_formula(self):
+        positive, negative = _pair([1.0], [[2.0, -1.0]])
+        expected = np.log1p(np.exp(-1.0)) + np.mean(
+            [np.log1p(np.exp(2.0)), np.log1p(np.exp(-1.0))]
+        )
+        assert float(softplus_loss(positive, negative).data) == pytest.approx(expected)
+
+
+class TestShapesAndRegistry:
+    def test_shape_mismatch_rejected(self):
+        positive = Tensor(np.zeros(3))
+        negative = Tensor(np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            margin_ranking_loss(positive, negative)
+
+    def test_positive_must_be_1d(self):
+        with pytest.raises(ValueError):
+            margin_ranking_loss(Tensor(np.zeros((3, 1))), Tensor(np.zeros((3, 4))))
+
+    def test_registry_contents(self):
+        assert available_losses() == ["bce", "margin", "softplus"]
+
+    def test_get_loss_unknown_raises(self):
+        with pytest.raises(KeyError, match="margin"):
+            get_loss("hinge^2")
+
+
+class TestHelpers:
+    def test_l2_penalty_value(self):
+        penalty = l2_penalty([parameter(np.array([3.0, 4.0]))], 0.5)
+        assert float(penalty.data) == pytest.approx(12.5)
+
+    def test_l2_penalty_disabled(self):
+        assert l2_penalty([parameter(np.zeros(2))], 0.0) is None
+
+    def test_loss_value_guards_nan(self):
+        with pytest.raises(FloatingPointError):
+            loss_value(Tensor(np.array(np.nan)))

@@ -1,0 +1,66 @@
+"""Model checkpointing: bit-exact round trips for every registry model."""
+
+import numpy as np
+import pytest
+
+from repro.models import MODEL_REGISTRY, Trainer, TrainingConfig, build_model
+from repro.models.io import load_model, save_model
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+def test_round_trip_scores_identically(name, tmp_path):
+    model = build_model(name, 20, 4, dim=8, seed=3)
+    path = tmp_path / f"{name}.npz"
+    save_model(model, path)
+    loaded = load_model(path)
+    assert loaded.name == name
+    np.testing.assert_array_equal(
+        loaded.score_all(2, 1, "tail"), model.score_all(2, 1, "tail")
+    )
+    np.testing.assert_array_equal(
+        loaded.score_all(2, 1, "head"), model.score_all(2, 1, "head")
+    )
+
+
+def test_trained_parameters_survive(tmp_path, codex_s):
+    graph = codex_s.graph
+    model = build_model("distmult", graph.num_entities, graph.num_relations, dim=8, seed=0)
+    Trainer(TrainingConfig(epochs=1, loss="softplus")).fit(model, graph)
+    path = tmp_path / "trained.npz"
+    save_model(model, path)
+    loaded = load_model(path)
+    np.testing.assert_array_equal(loaded.entity.data, model.entity.data)
+
+
+def test_transe_norm_preserved(tmp_path):
+    model = build_model("transe", 10, 2, dim=4, norm=2)
+    save_model(model, tmp_path / "m.npz")
+    assert load_model(tmp_path / "m.npz").norm == 2
+
+
+def test_conve_geometry_preserved(tmp_path):
+    model = build_model("conve", 10, 2, dim=8, embedding_height=2)
+    save_model(model, tmp_path / "m.npz")
+    loaded = load_model(tmp_path / "m.npz")
+    assert loaded.embedding_height == 2
+    assert loaded.num_filters == model.num_filters
+
+
+def test_non_checkpoint_rejected(tmp_path):
+    path = tmp_path / "junk.npz"
+    np.savez(path, stuff=np.zeros(3))
+    with pytest.raises(ValueError, match="not a repro model checkpoint"):
+        load_model(path)
+
+
+def test_shape_mismatch_detected(tmp_path):
+    model = build_model("distmult", 10, 2, dim=4)
+    path = tmp_path / "m.npz"
+    save_model(model, path)
+    # Corrupt the checkpoint: swap in a wrong-shaped entity table.
+    with np.load(path) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    arrays["entity"] = np.zeros((3, 3))
+    np.savez(path, **arrays)
+    with pytest.raises(ValueError, match="shape"):
+        load_model(path)

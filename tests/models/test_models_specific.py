@@ -1,0 +1,153 @@
+"""Model-specific semantics: the structure each scoring function promises."""
+
+import numpy as np
+import pytest
+
+from repro.kg.graph import HEAD, TAIL
+from repro.models import ComplEx, ConvE, DistMult, RESCAL, RotatE, TransE, TuckER
+from repro.models.conve import _im2col_indices
+
+
+class TestTransE:
+    def test_perfect_translation_scores_zero(self):
+        model = TransE(10, 2, dim=4, seed=0)
+        model.entity.data[0] = [1.0, 0.0, 0.0, 0.0]
+        model.relation.data[0] = [0.0, 1.0, 0.0, 0.0]
+        model.entity.data[1] = [1.0, 1.0, 0.0, 0.0]
+        score = model.score_candidates(0, 0, TAIL, np.array([1]))[0]
+        assert score == pytest.approx(0.0, abs=1e-9)
+
+    def test_score_decreases_with_distance(self):
+        model = TransE(10, 2, dim=4, seed=0)
+        model.entity.data[0] = [0.0, 0.0, 0.0, 0.0]
+        model.relation.data[0] = [0.0, 0.0, 0.0, 0.0]
+        model.entity.data[1] = [1.0, 0.0, 0.0, 0.0]
+        model.entity.data[2] = [5.0, 0.0, 0.0, 0.0]
+        scores = model.score_candidates(0, 0, TAIL, np.array([1, 2]))
+        assert scores[0] > scores[1]
+
+    def test_l2_norm_variant(self):
+        model = TransE(10, 2, dim=4, seed=0, norm=2)
+        model.entity.data[0] = [0.0, 0.0, 0.0, 0.0]
+        model.relation.data[0] = [0.0, 0.0, 0.0, 0.0]
+        model.entity.data[1] = [3.0, 4.0, 0.0, 0.0]
+        score = model.score_candidates(0, 0, TAIL, np.array([1]))[0]
+        assert score == pytest.approx(-5.0, abs=1e-5)
+
+    def test_invalid_norm_rejected(self):
+        with pytest.raises(ValueError):
+            TransE(10, 2, norm=3)
+
+
+class TestDistMult:
+    def test_symmetry_in_head_tail(self):
+        """DistMult cannot distinguish (h, r, t) from (t, r, h)."""
+        model = DistMult(10, 2, dim=6, seed=1)
+        forward = model.score_triples(np.array([2]), np.array([0]), np.array([5])).data
+        backward = model.score_triples(np.array([5]), np.array([0]), np.array([2])).data
+        assert forward[0] == pytest.approx(backward[0])
+
+    def test_trilinear_value(self):
+        model = DistMult(4, 1, dim=2, seed=0)
+        model.entity.data[0] = [1.0, 2.0]
+        model.relation.data[0] = [3.0, 4.0]
+        model.entity.data[1] = [5.0, 6.0]
+        score = model.score_candidates(0, 0, TAIL, np.array([1]))[0]
+        assert score == pytest.approx(1 * 3 * 5 + 2 * 4 * 6)
+
+
+class TestComplEx:
+    def test_asymmetric_under_conjugation(self):
+        model = ComplEx(10, 2, dim=6, seed=2)
+        forward = model.score_triples(np.array([2]), np.array([0]), np.array([5])).data
+        backward = model.score_triples(np.array([5]), np.array([0]), np.array([2])).data
+        assert forward[0] != pytest.approx(backward[0])
+
+    def test_matches_complex_arithmetic(self):
+        model = ComplEx(4, 1, dim=2, seed=0)
+        h = model.entity.data[0, :2] + 1j * model.entity.data[0, 2:]
+        r = model.relation.data[0, :2] + 1j * model.relation.data[0, 2:]
+        t = model.entity.data[1, :2] + 1j * model.entity.data[1, 2:]
+        expected = float(np.real(np.sum(h * r * np.conj(t))))
+        score = model.score_candidates(0, 0, TAIL, np.array([1]))[0]
+        assert score == pytest.approx(expected, abs=1e-10)
+
+
+class TestRESCAL:
+    def test_bilinear_value(self):
+        model = RESCAL(4, 1, dim=2, seed=0)
+        h = model.entity.data[0]
+        w = model.relation.data[0]
+        t = model.entity.data[1]
+        score = model.score_candidates(0, 0, TAIL, np.array([1]))[0]
+        assert score == pytest.approx(float(h @ w @ t), abs=1e-10)
+
+    def test_parameter_count_quadratic_in_dim(self):
+        small = RESCAL(10, 3, dim=4)
+        assert small.relation.data.shape == (3, 4, 4)
+
+
+class TestRotatE:
+    def test_rotation_preserves_modulus(self):
+        """|h * e^{i theta}| == |h|, so self-rotation onto itself scores 0
+        when theta is 0."""
+        model = RotatE(6, 2, dim=4, seed=0)
+        model.phase.data[0] = 0.0
+        score = model.score_candidates(3, 0, TAIL, np.array([3]))[0]
+        assert score == pytest.approx(0.0, abs=1e-5)
+
+    def test_full_turn_is_identity(self):
+        model = RotatE(6, 2, dim=4, seed=0)
+        model.phase.data[0] = 0.0
+        model.phase.data[1] = 2.0 * np.pi
+        a = model.score_all(2, 0, TAIL)
+        b = model.score_all(2, 1, TAIL)
+        np.testing.assert_allclose(a, b, atol=1e-8)
+
+
+class TestTuckER:
+    def test_matches_manual_contraction(self):
+        model = TuckER(5, 2, dim=3, seed=0)
+        h = model.entity.data[1]
+        r = model.relation.data[0]
+        t = model.entity.data[2]
+        expected = float(np.einsum("ijk,i,j,k->", model.core.data, h, r, t))
+        score = model.score_candidates(1, 0, TAIL, np.array([2]))[0]
+        assert score == pytest.approx(expected, abs=1e-10)
+
+
+class TestConvE:
+    def test_im2col_indices_shape(self):
+        patches = _im2col_indices(height=4, width=5, kernel=3)
+        assert patches.shape == ((4 - 2) * (5 - 2), 9)
+        # First patch reads the top-left 3x3 block in row-major order.
+        assert patches[0].tolist() == [0, 1, 2, 5, 6, 7, 10, 11, 12]
+
+    def test_kernel_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            _im2col_indices(height=2, width=2, kernel=3)
+
+    def test_dim_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            ConvE(10, 2, dim=10, embedding_height=4)
+
+    def test_head_queries_use_reciprocal_relations(self):
+        model = ConvE(12, 3, dim=8, embedding_height=2, seed=0)
+        # Tail query uses relation r; head query must use r + |R|.
+        tail_scores = model.score_all(4, 1, TAIL)
+        head_scores = model.score_all(4, 1, HEAD)
+        assert not np.allclose(tail_scores, head_scores)
+        assert model.inverse_offset == 3
+
+    def test_features_batch_matches_single(self):
+        model = ConvE(12, 3, dim=8, embedding_height=2, seed=0)
+        batch = model.score_candidates_batch(np.array([0, 5]), 1, TAIL, np.array([2, 7]))
+        single = model.score_candidates(5, 1, TAIL, np.array([2, 7]))
+        np.testing.assert_allclose(batch[1], single, atol=1e-12)
+
+    def test_bias_participates(self):
+        model = ConvE(12, 3, dim=8, embedding_height=2, seed=0)
+        before = model.score_candidates(0, 0, TAIL, np.array([3]))[0]
+        model.bias.data[3] += 1.0
+        after = model.score_candidates(0, 0, TAIL, np.array([3]))[0]
+        assert after == pytest.approx(before + 1.0)

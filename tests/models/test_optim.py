@@ -1,0 +1,83 @@
+"""Optimizers: convergence on a quadratic, state handling, validation."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.engine import parameter, square, sum_
+from repro.models.optim import SGD, Adam, build_optimizer
+
+
+def quadratic_steps(optimizer_factory, steps=200):
+    """Minimise ||x - 3||^2 and return the final parameter."""
+    x = parameter(np.array([10.0, -10.0]))
+    optimizer = optimizer_factory([x])
+    for _ in range(steps):
+        loss = sum_(square(x - 3.0))
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return x.data
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        final = quadratic_steps(lambda p: SGD(p, lr=0.1))
+        np.testing.assert_allclose(final, [3.0, 3.0], atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        plain = quadratic_steps(lambda p: SGD(p, lr=0.01), steps=50)
+        momentum = quadratic_steps(lambda p: SGD(p, lr=0.01, momentum=0.9), steps=50)
+        assert abs(momentum - 3.0).max() < abs(plain - 3.0).max()
+
+    def test_invalid_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        final = quadratic_steps(lambda p: Adam(p, lr=0.3))
+        np.testing.assert_allclose(final, [3.0, 3.0], atol=1e-2)
+
+    def test_skips_parameters_without_grad(self):
+        used = parameter(np.array([1.0]))
+        unused = parameter(np.array([7.0]))
+        optimizer = Adam([used, unused], lr=0.1)
+        loss = sum_(square(used))
+        loss.backward()
+        optimizer.step()
+        assert unused.data[0] == 7.0
+        assert used.data[0] != 1.0
+
+    def test_weight_decay_shrinks_parameters(self):
+        x = parameter(np.array([5.0]))
+        optimizer = Adam([x], lr=0.1, weight_decay=1.0)
+        for _ in range(100):
+            loss = sum_(square(x - 5.0))  # pull toward 5, decay toward 0
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert 0.0 < x.data[0] < 5.0
+
+    def test_invalid_betas_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([parameter(np.zeros(1))], lr=0.1, betas=(1.0, 0.9))
+
+    def test_negative_weight_decay_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([parameter(np.zeros(1))], lr=0.1, weight_decay=-0.1)
+
+
+class TestFactory:
+    def test_builds_both(self):
+        params = [parameter(np.zeros(1))]
+        assert isinstance(build_optimizer("adam", params, lr=0.1), Adam)
+        assert isinstance(build_optimizer("SGD", params, lr=0.1), SGD)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            build_optimizer("lbfgs", [parameter(np.zeros(1))], lr=0.1)
+
+    def test_non_positive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([parameter(np.zeros(1))], lr=0.0)

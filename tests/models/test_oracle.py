@@ -1,0 +1,102 @@
+"""Oracle and random scorers: the controllable test substrate itself."""
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate_full
+from repro.kg.graph import HEAD, TAIL
+from repro.models import OracleModel, RandomModel
+
+
+class TestRandomModel:
+    def test_scores_deterministic_per_query(self, tiny_graph):
+        model = RandomModel(tiny_graph.num_entities, tiny_graph.num_relations, seed=1)
+        a = model.score_all(0, 0, TAIL)
+        b = model.score_all(0, 0, TAIL)
+        np.testing.assert_array_equal(a, b)
+
+    def test_scores_differ_across_queries(self, tiny_graph):
+        model = RandomModel(tiny_graph.num_entities, tiny_graph.num_relations, seed=1)
+        assert not np.allclose(model.score_all(0, 0, TAIL), model.score_all(1, 0, TAIL))
+        assert not np.allclose(model.score_all(0, 0, TAIL), model.score_all(0, 0, HEAD))
+
+    def test_seed_changes_scores(self, tiny_graph):
+        a = RandomModel(tiny_graph.num_entities, tiny_graph.num_relations, seed=1)
+        b = RandomModel(tiny_graph.num_entities, tiny_graph.num_relations, seed=2)
+        assert not np.allclose(a.score_all(0, 0, TAIL), b.score_all(0, 0, TAIL))
+
+    def test_chance_level_mrr(self, codex_s):
+        graph = codex_s.graph
+        model = RandomModel(graph.num_entities, graph.num_relations, seed=0)
+        result = evaluate_full(model, graph, split="test")
+        # Chance MRR on ~400 entities is tiny.
+        assert result.metrics.mrr < 0.1
+
+
+class TestOracleModel:
+    def test_consistency_between_surfaces(self, codex_s):
+        graph = codex_s.graph
+        model = OracleModel(graph, skill=2.0, seed=0)
+        full = model.score_all(5, 1, TAIL)
+        np.testing.assert_array_equal(
+            model.score_candidates(5, 1, TAIL, np.array([0, 5, 9])), full[[0, 5, 9]]
+        )
+
+    def test_batch_matches_rowwise(self, codex_s):
+        graph = codex_s.graph
+        model = OracleModel(graph, skill=2.0, seed=0)
+        anchors = np.array([1, 5, 17])
+        candidates = np.array([0, 3, 9, 30])
+        batch = model.score_candidates_batch(anchors, 2, TAIL, candidates)
+        for i, anchor in enumerate(anchors):
+            np.testing.assert_allclose(
+                batch[i], model.score_candidates(int(anchor), 2, TAIL, candidates)
+            )
+
+    def test_batch_default_all_entities(self, codex_s):
+        graph = codex_s.graph
+        model = OracleModel(graph, skill=2.0, seed=0)
+        batch = model.score_candidates_batch(np.array([4]), 0, TAIL)
+        np.testing.assert_allclose(batch[0], model.score_all(4, 0, TAIL))
+
+    def test_truth_scores_above_easy_negatives(self, codex_s):
+        graph = codex_s.graph
+        model = OracleModel(graph, skill=3.0, seed=0)
+        h, r, t = (int(x) for x in graph.test.array[0])
+        scores = model.score_all(h, r, TAIL)
+        outside = np.setdiff1d(
+            np.arange(graph.num_entities), graph.observed(r, TAIL)
+        )
+        outside = np.setdiff1d(outside, graph.true_answers(h, r, TAIL))
+        if outside.size:
+            assert scores[t] > scores[outside].max() - 1e-9
+
+    def test_skill_increases_true_mrr(self, codex_s):
+        graph = codex_s.graph
+        weak = evaluate_full(OracleModel(graph, skill=0.0, seed=3), graph, split="test")
+        strong = evaluate_full(OracleModel(graph, skill=4.0, seed=3), graph, split="test")
+        assert strong.metrics.mrr > weak.metrics.mrr + 0.05
+
+    def test_mrr_in_sane_range(self, codex_s):
+        graph = codex_s.graph
+        result = evaluate_full(OracleModel(graph, skill=2.0, seed=3), graph, split="test")
+        assert 0.2 < result.metrics.mrr < 1.0
+
+    def test_popular_competitors_outrank_unpopular(self, codex_s):
+        """The oracle's hard competitors concentrate on high-degree entities."""
+        graph = codex_s.graph
+        model = OracleModel(graph, skill=2.0, seed=0)
+        r = int(graph.train.array[0, 1])
+        pool = graph.observed(r, TAIL)
+        if pool.size < 5:
+            pytest.skip("relation pool too small for a popularity contrast")
+        counts = graph.degree_counts(TAIL)[:, r]
+        popular = pool[np.argmax(counts[pool])]
+        unpopular = pool[np.argmin(counts[pool])]
+        # Average over queries to integrate out the per-entity noise.
+        anchors = np.unique(graph.train.array[graph.train.array[:, 1] == r][:, 0])[:20]
+        diffs = []
+        for anchor in anchors:
+            scores = model.score_all(int(anchor), r, TAIL)
+            diffs.append(scores[popular] - scores[unpopular])
+        assert np.mean(diffs) > 0

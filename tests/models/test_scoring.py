@@ -1,0 +1,130 @@
+"""Cross-model scoring contracts: every model, every surface, one suite.
+
+These are the invariants the evaluation framework relies on being true of
+*any* model plugged into it:
+
+* ``score_triples`` (training surface) agrees with ``score_candidates``
+  (inference surface) on the same triple;
+* ``score_all`` equals ``score_candidates`` on slices;
+* ``score_candidates_batch`` equals row-wise ``score_candidates``;
+* scoring is deterministic;
+* gradients flow into the embedding tables.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.engine import sum_
+from repro.kg.graph import HEAD, TAIL
+from repro.models import MODEL_REGISTRY, available_models, build_model
+
+NUM_ENTITIES = 40
+NUM_RELATIONS = 6
+
+
+@pytest.fixture(params=sorted(MODEL_REGISTRY), scope="module")
+def model(request):
+    return build_model(request.param, NUM_ENTITIES, NUM_RELATIONS, dim=8, seed=3)
+
+
+class TestSurfacesAgree:
+    def test_triples_match_candidates_tail_side(self, model):
+        heads = np.array([0, 5, 11])
+        relations = np.array([0, 2, 1])
+        tails = np.array([7, 3, 30])
+        train_scores = model.score_triples(heads, relations, tails).data
+        for h, r, t, expected in zip(heads, relations, tails, train_scores):
+            inferred = model.score_candidates(int(h), int(r), TAIL, np.array([t]))[0]
+            assert inferred == pytest.approx(float(expected), abs=1e-9)
+
+    @pytest.mark.parametrize("side", [HEAD, TAIL])
+    def test_score_all_matches_candidates(self, model, side):
+        full = model.score_all(4, 1, side)
+        subset = np.array([0, 4, 17, 39])
+        np.testing.assert_allclose(
+            model.score_candidates(4, 1, side, subset), full[subset], atol=1e-12
+        )
+
+    @pytest.mark.parametrize("side", [HEAD, TAIL])
+    def test_batch_matches_rowwise(self, model, side):
+        anchors = np.array([1, 8, 23])
+        candidates = np.array([2, 9, 15, 31])
+        batch = model.score_candidates_batch(anchors, 2, side, candidates)
+        assert batch.shape == (3, 4)
+        for i, anchor in enumerate(anchors):
+            np.testing.assert_allclose(
+                batch[i],
+                model.score_candidates(int(anchor), 2, side, candidates),
+                atol=1e-12,
+            )
+
+    @pytest.mark.parametrize("side", [HEAD, TAIL])
+    def test_batch_default_is_all_entities(self, model, side):
+        anchors = np.array([3, 12])
+        batch = model.score_candidates_batch(anchors, 0, side)
+        assert batch.shape == (2, NUM_ENTITIES)
+        np.testing.assert_allclose(batch[0], model.score_all(3, 0, side), atol=1e-12)
+
+
+class TestDeterminism:
+    def test_same_seed_same_scores(self, model):
+        twin = build_model(model.name, NUM_ENTITIES, NUM_RELATIONS, dim=8, seed=3)
+        np.testing.assert_array_equal(
+            model.score_all(2, 1, TAIL), twin.score_all(2, 1, TAIL)
+        )
+
+    def test_repeated_calls_agree(self, model):
+        a = model.score_all(6, 0, HEAD)
+        b = model.score_all(6, 0, HEAD)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestValidation:
+    def test_out_of_range_ids_rejected(self, model):
+        with pytest.raises(IndexError):
+            model.score_triples(
+                np.array([NUM_ENTITIES]), np.array([0]), np.array([0])
+            )
+
+    def test_out_of_range_candidates_rejected(self, model):
+        with pytest.raises(IndexError):
+            model.score_candidates(0, 0, TAIL, np.array([NUM_ENTITIES + 5]))
+
+    def test_bad_dim_rejected(self):
+        with pytest.raises(ValueError):
+            build_model("transe", NUM_ENTITIES, NUM_RELATIONS, dim=0)
+
+    def test_empty_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            build_model("transe", 0, 3)
+
+
+class TestGradients:
+    def test_loss_reaches_entity_table(self, model):
+        if model.name == "random":
+            pytest.skip("random model has no trainable scoring path")
+        model.zero_grad()
+        loss = sum_(model.score_triples(np.array([0, 1]), np.array([0, 1]), np.array([2, 3])))
+        loss.backward()
+        entity = model.parameters["entity"]
+        assert entity.grad is not None
+        assert np.abs(entity.grad).sum() > 0
+
+
+class TestRegistry:
+    def test_available_names(self):
+        assert available_models() == sorted(
+            ["transe", "distmult", "complex", "rescal", "rotate", "tucker", "conve"]
+        )
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError, match="transe"):
+            build_model("bert", 10, 2)
+
+    def test_case_insensitive(self):
+        assert build_model("TransE", 10, 2).name == "transe"
+
+    def test_parameter_counts_positive(self):
+        for name in available_models():
+            model = build_model(name, 12, 3, dim=8)
+            assert model.num_parameters() > 0

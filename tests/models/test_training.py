@@ -1,0 +1,137 @@
+"""Trainer: loss trajectories, negative samplers, callbacks, ConvE inverses."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    RecommenderNegativeSampler,
+    Trainer,
+    TrainingConfig,
+    UniformNegativeSampler,
+    build_model,
+)
+from repro.models.training import EpochRecord
+from repro.recommenders import build_recommender
+
+
+class TestConfigValidation:
+    def test_negative_epochs_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=-1)
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=0)
+
+
+class TestUniformSampler:
+    def test_shape(self, rng):
+        sampler = UniformNegativeSampler(100)
+        out = sampler.corrupt(np.zeros(8, dtype=np.int64), 5, np.zeros(8, dtype=bool), rng)
+        assert out.shape == (8, 5)
+        assert out.min() >= 0 and out.max() < 100
+
+    def test_empty_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            UniformNegativeSampler(0)
+
+
+class TestRecommenderSampler:
+    def test_draws_from_relation_support(self, codex_s, rng):
+        graph = codex_s.graph
+        fitted = build_recommender("pt").fit(graph)
+        sampler = RecommenderNegativeSampler(fitted, graph.num_relations, uniform_mix=0.0)
+        relations = np.zeros(16, dtype=np.int64)
+        out = sampler.corrupt(relations, 4, np.zeros(16, dtype=bool), rng)
+        support = set(fitted.column_support(0, "tail").tolist())
+        assert set(out.reshape(-1).tolist()) <= support
+
+    def test_uniform_mix_reaches_outside_support(self, codex_s, rng):
+        graph = codex_s.graph
+        fitted = build_recommender("pt").fit(graph)
+        sampler = RecommenderNegativeSampler(fitted, graph.num_relations, uniform_mix=0.95)
+        out = sampler.corrupt(np.zeros(64, dtype=np.int64), 8, np.zeros(64, dtype=bool), rng)
+        support = set(fitted.column_support(0, "tail").tolist())
+        assert not set(out.reshape(-1).tolist()) <= support
+
+    def test_invalid_mix_rejected(self, codex_s):
+        fitted = build_recommender("pt").fit(codex_s.graph)
+        with pytest.raises(ValueError):
+            RecommenderNegativeSampler(fitted, 10, uniform_mix=2.0)
+
+
+class TestTrainingLoop:
+    @pytest.mark.parametrize("name,loss", [("transe", "margin"), ("distmult", "softplus")])
+    def test_loss_decreases(self, codex_s, name, loss):
+        graph = codex_s.graph
+        model = build_model(name, graph.num_entities, graph.num_relations, dim=16, seed=0)
+        config = TrainingConfig(epochs=4, batch_size=256, num_negatives=4, lr=0.05, loss=loss)
+        history = Trainer(config).fit(model, graph)
+        assert history.losses[-1] < history.losses[0]
+        assert all(isinstance(r, EpochRecord) for r in history.records)
+
+    def test_training_improves_true_triple_rank(self, codex_s):
+        graph = codex_s.graph
+        model = build_model("complex", graph.num_entities, graph.num_relations, dim=16, seed=0)
+        h, r, t = (int(x) for x in graph.train.array[0])
+
+        def rank_of_truth():
+            scores = model.score_all(h, r, "tail")
+            return int((scores > scores[t]).sum()) + 1
+
+        before = rank_of_truth()
+        Trainer(TrainingConfig(epochs=8, lr=0.1, loss="softplus")).fit(model, graph)
+        assert rank_of_truth() < before
+
+    def test_zero_epochs_is_noop(self, codex_s):
+        graph = codex_s.graph
+        model = build_model("transe", graph.num_entities, graph.num_relations, dim=8)
+        snapshot = model.entity.data.copy()
+        history = Trainer(TrainingConfig(epochs=0)).fit(model, graph)
+        assert history.records == []
+        np.testing.assert_array_equal(model.entity.data, snapshot)
+
+    def test_callbacks_see_eval_mode(self, codex_s):
+        graph = codex_s.graph
+        model = build_model("transe", graph.num_entities, graph.num_relations, dim=8)
+        seen = []
+
+        def spy(epoch, current, history):
+            seen.append((epoch, current.training))
+            history.attach("epoch", epoch)
+
+        history = Trainer(TrainingConfig(epochs=2)).fit(model, graph, callbacks=[spy])
+        assert seen == [(0, False), (1, False)]
+        assert history.extras["epoch"] == [0, 1]
+        assert model.training is False
+
+    def test_determinism(self, codex_s):
+        graph = codex_s.graph
+
+        def run():
+            model = build_model("distmult", graph.num_entities, graph.num_relations, dim=8, seed=1)
+            Trainer(TrainingConfig(epochs=2, seed=5, loss="softplus")).fit(model, graph)
+            return model.entity.data.copy()
+
+        np.testing.assert_array_equal(run(), run())
+
+    def test_conve_trains_inverse_relations(self, codex_s):
+        graph = codex_s.graph
+        model = build_model(
+            "conve", graph.num_entities, graph.num_relations, dim=16, seed=0
+        )
+        inverse_before = model.relation.data[graph.num_relations :].copy()
+        Trainer(TrainingConfig(epochs=1, loss="bce", lr=0.05)).fit(model, graph)
+        inverse_after = model.relation.data[graph.num_relations :]
+        assert not np.allclose(inverse_before, inverse_after)
+
+    def test_recommender_guided_training_runs(self, codex_s):
+        """The paper's Section 7 extension: harder negatives during training."""
+        graph = codex_s.graph
+        fitted = build_recommender("l-wd").fit(graph)
+        sampler = RecommenderNegativeSampler(fitted, graph.num_relations)
+        model = build_model("distmult", graph.num_entities, graph.num_relations, dim=8)
+        history = Trainer(
+            TrainingConfig(epochs=2, loss="softplus"), sampler=sampler
+        ).fit(model, graph)
+        assert history.losses[-1] < history.losses[0]

@@ -1,0 +1,106 @@
+"""FittedRecommender and incidence-matrix plumbing."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.kg.graph import HEAD, TAIL
+from repro.recommenders import (
+    FittedRecommender,
+    binary_incidence,
+    column_index,
+    count_incidence,
+)
+
+
+class TestColumnIndex:
+    def test_domains_then_ranges(self):
+        assert column_index(0, HEAD, 5) == 0
+        assert column_index(4, HEAD, 5) == 4
+        assert column_index(0, TAIL, 5) == 5
+        assert column_index(4, TAIL, 5) == 9
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            column_index(5, HEAD, 5)
+
+
+class TestIncidence:
+    def test_binary_marks_seen_slots(self, tiny_graph):
+        b = binary_incidence(tiny_graph)
+        assert b.shape == (6, 6)
+        assert b[0, 0] == 1.0  # e0 head of likes
+        assert b[1, 0 + 3] == 1.0  # e1 tail of likes
+        assert b[3, 0] == 0.0  # e3 never heads likes
+
+    def test_binary_collapses_duplicates(self, tiny_graph):
+        b = binary_incidence(tiny_graph)
+        assert b[0, 0] == 1.0  # e0 heads likes twice, still 1
+
+    def test_counts_keep_multiplicity(self, tiny_graph):
+        c = count_incidence(tiny_graph)
+        assert c[0, 0] == 2.0
+        assert c[2, 0 + 3] == 2.0  # e2 is a likes-tail twice
+
+    def test_only_train_split_counts(self, tiny_graph):
+        b = binary_incidence(tiny_graph)
+        assert b[3, 0 + 3] == 0.0  # e3 is a likes-tail only in test
+
+
+class TestFittedRecommender:
+    def _fitted(self, tiny_graph):
+        return FittedRecommender(
+            matrix=binary_incidence(tiny_graph).tocsr(),
+            name="pt",
+            num_relations=tiny_graph.num_relations,
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="columns"):
+            FittedRecommender(matrix=sp.csr_matrix((4, 5)), name="x", num_relations=3)
+
+    def test_negative_scores_rejected(self):
+        bad = sp.csr_matrix(np.array([[-1.0, 0.0]]))
+        with pytest.raises(ValueError, match="non-negative"):
+            FittedRecommender(matrix=bad, name="x", num_relations=1)
+
+    def test_column_dense_vector(self, tiny_graph):
+        fitted = self._fitted(tiny_graph)
+        col = fitted.column(0, HEAD)
+        assert col.shape == (6,)
+        assert col[0] == 1.0 and col[1] == 1.0 and col[3] == 0.0
+
+    def test_column_support_sorted(self, tiny_graph):
+        fitted = self._fitted(tiny_graph)
+        support = fitted.column_support(0, TAIL)
+        assert support.tolist() == [1, 2]
+
+    def test_probabilities_normalise(self, tiny_graph):
+        fitted = self._fitted(tiny_graph)
+        probs = fitted.column_probabilities(0, HEAD)
+        assert probs.sum() == pytest.approx(1.0)
+        assert probs[3] == 0.0
+
+    def test_empty_column_falls_back_to_uniform(self, tiny_graph):
+        matrix = sp.csr_matrix((6, 6))
+        fitted = FittedRecommender(matrix=matrix, name="empty", num_relations=3)
+        probs = fitted.column_probabilities(0, HEAD)
+        np.testing.assert_allclose(probs, np.full(6, 1 / 6))
+
+    def test_zero_mask_complements_support(self, tiny_graph):
+        fitted = self._fitted(tiny_graph)
+        mask = fitted.zero_mask(0, TAIL)
+        assert mask.sum() == 6 - 2
+        assert not mask[1] and not mask[2]
+
+    def test_score_of_single_cell(self, tiny_graph):
+        fitted = self._fitted(tiny_graph)
+        assert fitted.score_of(0, 0, HEAD) == 1.0
+        assert fitted.score_of(3, 0, HEAD) == 0.0
+
+    def test_typed_recommenders_demand_types(self, tiny_graph):
+        from repro.recommenders import build_recommender
+
+        for name in ("dbh-t", "ontosim", "l-wd-t"):
+            with pytest.raises(ValueError, match="types"):
+                build_recommender(name).fit(tiny_graph, types=None)

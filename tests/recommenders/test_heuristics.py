@@ -1,0 +1,138 @@
+"""PT, DBH, DBH-T, OntoSim: the heuristic recommenders' defining properties."""
+
+import numpy as np
+import pytest
+
+from repro.kg.graph import HEAD, TAIL
+from repro.kg.typing import build_type_store
+from repro.recommenders import (
+    DegreeBased,
+    DegreeBasedTyped,
+    OntoSim,
+    PseudoTyped,
+    build_recommender,
+    type_slot_evidence,
+)
+
+MELINDA, BILL, MICROSOFT, WASHINGTON, JENNIFER, US = range(6)
+DIVORCED, FOUNDER, BORN_IN, DAUGHTER, LOCATED = range(5)
+
+
+@pytest.fixture
+def gates_types():
+    return build_type_store(
+        {
+            MELINDA: ["Person"],
+            BILL: ["Person"],
+            JENNIFER: ["Person"],
+            MICROSOFT: ["Org"],
+            WASHINGTON: ["Place"],
+            US: ["Place"],
+        }
+    )
+
+
+class TestPseudoTyped:
+    def test_scores_are_binary_seen_flags(self, gates_graph):
+        fitted = PseudoTyped().fit(gates_graph)
+        assert fitted.score_of(BILL, FOUNDER, HEAD) == 1.0
+        assert fitted.score_of(JENNIFER, FOUNDER, HEAD) == 0.0
+
+    def test_cannot_propose_unseen(self, gates_graph):
+        """PT's structural blind spot: CR Unseen = 0 by construction."""
+        fitted = PseudoTyped().fit(gates_graph)
+        # Melinda is a person but never seen as bornIn-head.
+        assert fitted.score_of(MELINDA, BORN_IN, HEAD) == 0.0
+
+
+class TestDBH:
+    def test_scores_are_occurrence_counts(self, tiny_graph):
+        fitted = DegreeBased().fit(tiny_graph)
+        assert fitted.score_of(0, 0, HEAD) == 2.0  # e0 heads likes twice
+        assert fitted.score_of(2, 0, TAIL) == 2.0
+
+    def test_support_equals_pt_support(self, gates_graph):
+        """DBH is upper-bounded by PT: identical non-zero pattern."""
+        pt = PseudoTyped().fit(gates_graph)
+        dbh = DegreeBased().fit(gates_graph)
+        for relation in range(gates_graph.num_relations):
+            for side in (HEAD, TAIL):
+                np.testing.assert_array_equal(
+                    pt.column_support(relation, side),
+                    dbh.column_support(relation, side),
+                )
+
+
+class TestTypeSlotEvidence:
+    def test_marks_types_seen_on_slots(self, gates_graph, gates_types):
+        evidence = type_slot_evidence(gates_graph, gates_types)
+        person = gates_types.types.id_of("Person")
+        place = gates_types.types.id_of("Place")
+        assert evidence[person, DIVORCED] == 1.0  # persons head divorcedWith
+        assert evidence[place, DIVORCED] == 0.0
+
+    def test_binary_even_with_repeats(self, gates_graph, gates_types):
+        evidence = type_slot_evidence(gates_graph, gates_types)
+        assert evidence.max() == 1.0
+
+
+class TestDBHT:
+    def test_generalises_to_unseen_entities(self, gates_graph, gates_types):
+        fitted = DegreeBasedTyped().fit(gates_graph, gates_types)
+        # Melinda (Person) inherits bornIn-head evidence from Bill/Jennifer.
+        assert fitted.score_of(MELINDA, BORN_IN, HEAD) > 0.0
+
+    def test_score_counts_matching_types(self, gates_graph, gates_types):
+        fitted = DegreeBasedTyped().fit(gates_graph, gates_types)
+        # Washington is a Place; Places are locatedIn-heads (Washington itself).
+        assert fitted.score_of(US, LOCATED, HEAD) == 1.0
+
+
+class TestOntoSim:
+    def test_binary_closure(self, gates_graph, gates_types):
+        fitted = OntoSim().fit(gates_graph, gates_types)
+        assert set(np.unique(fitted.matrix.data)) <= {1.0}
+
+    def test_superset_of_pt_support(self, gates_graph, gates_types):
+        """Everything seen is type-compatible with itself, so OntoSim's
+        candidate sets contain PT's."""
+        pt = PseudoTyped().fit(gates_graph)
+        onto = OntoSim().fit(gates_graph, gates_types)
+        for relation in range(gates_graph.num_relations):
+            for side in (HEAD, TAIL):
+                pt_support = set(pt.column_support(relation, side).tolist())
+                onto_support = set(onto.column_support(relation, side).tolist())
+                assert pt_support <= onto_support
+
+    def test_whole_type_included(self, gates_graph, gates_types):
+        fitted = OntoSim().fit(gates_graph, gates_types)
+        # All three Persons belong to D(divorcedWith) via the closure.
+        support = set(fitted.column_support(DIVORCED, HEAD).tolist())
+        assert {MELINDA, BILL, JENNIFER} <= support
+
+
+class TestRegistry:
+    def test_all_seven_available(self):
+        from repro.recommenders import available_recommenders
+
+        assert available_recommenders() == [
+            "dbh",
+            "dbh-t",
+            "l-wd",
+            "l-wd-t",
+            "ontosim",
+            "pie",
+            "pt",
+        ]
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            build_recommender("gnn-xxl")
+
+    def test_pie_accepts_config(self):
+        pie = build_recommender("pie", epochs=3, hidden_dim=8)
+        assert pie.epochs == 3
+
+    def test_lwd_rejects_kwargs(self):
+        with pytest.raises(TypeError):
+            build_recommender("l-wd", epochs=3)

@@ -1,0 +1,102 @@
+"""L-WD on the paper's Figure 2 toy KG — hand-computed confidences.
+
+Entity / relation ids in the ``gates_graph`` fixture (insertion order):
+Melinda=0, Bill=1, Microsoft=2, Washington=3, Jennifer=4, US=5;
+divorcedWith=0, founderOf=1, bornIn=2, daughterOf=3, locatedIn=4.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kg.graph import HEAD, TAIL
+from repro.kg.typing import build_type_store
+from repro.recommenders import LinearWD, binary_incidence, confidence_matrix
+
+MELINDA, BILL, MICROSOFT, WASHINGTON, JENNIFER, US = range(6)
+DIVORCED, FOUNDER, BORN_IN, DAUGHTER, LOCATED = range(5)
+
+
+@pytest.fixture
+def fitted(gates_graph):
+    return LinearWD().fit(gates_graph)
+
+
+class TestConfidenceMatrix:
+    def test_figure2_confidences(self, gates_graph):
+        """The 0.5 / 1.0 edges drawn in the paper's co-occurrence graph."""
+        w = confidence_matrix(binary_incidence(gates_graph))
+        num_r = gates_graph.num_relations
+        d = lambda r: r
+        r_ = lambda r: r + num_r
+        # D(divorcedWith) -> D(founderOf): only Bill of {Melinda, Bill} founded.
+        assert w[d(DIVORCED), d(FOUNDER)] == pytest.approx(0.5)
+        # D(founderOf) -> D(divorcedWith): Bill, its only member, divorced.
+        assert w[d(FOUNDER), d(DIVORCED)] == pytest.approx(1.0)
+        # D(divorcedWith) <-> R(divorcedWith): same two people.
+        assert w[d(DIVORCED), r_(DIVORCED)] == pytest.approx(1.0)
+        # R(locatedIn) shares nobody with D(divorcedWith).
+        assert w[r_(LOCATED), d(DIVORCED)] == pytest.approx(0.0)
+        # Diagonal of every non-empty slot is 1.
+        assert w[d(BORN_IN), d(BORN_IN)] == pytest.approx(1.0)
+
+    def test_rows_of_empty_slots_stay_zero(self, tiny_graph):
+        w = confidence_matrix(binary_incidence(tiny_graph))
+        # Relation "made" (id 2) has no heads besides e5; every row is fine,
+        # but a wholly absent slot (none here) would be all-zero; check no NaN.
+        assert np.isfinite(w.toarray()).all()
+
+
+class TestLWDScores:
+    def test_bill_dominates_founder_domain(self, fitted):
+        """Hand-computed: X[Bill, D(founderOf)] = 3.0 (five firing rules)."""
+        assert fitted.score_of(BILL, FOUNDER, HEAD) == pytest.approx(3.0)
+
+    def test_unseen_candidate_gets_nonzero_score(self, fitted):
+        """Jennifer never divorced, but her slots co-occur with the domain."""
+        assert fitted.score_of(JENNIFER, DIVORCED, HEAD) == pytest.approx(0.5)
+
+    def test_easy_negative_scores_zero(self, fitted):
+        """The US shares no slot members with D(divorcedWith)."""
+        assert fitted.score_of(US, DIVORCED, HEAD) == 0.0
+
+    def test_seen_entities_score_at_least_their_own_rule(self, gates_graph, fitted):
+        b = binary_incidence(gates_graph)
+        for entity in range(gates_graph.num_entities):
+            for col in range(2 * gates_graph.num_relations):
+                if b[entity, col]:
+                    side = HEAD if col < gates_graph.num_relations else TAIL
+                    relation = col % gates_graph.num_relations
+                    assert fitted.score_of(entity, relation, side) >= 1.0
+
+    def test_matrix_shape_and_name(self, fitted, gates_graph):
+        assert fitted.matrix.shape == (6, 10)
+        assert fitted.name == "l-wd"
+        assert fitted.fit_seconds >= 0.0
+
+
+class TestLWDTyped:
+    def test_types_extend_reach(self, gates_graph):
+        """With Person types, Melinda gains bornIn-domain evidence she
+        lacks structurally (she was never born anywhere in the graph)."""
+        untyped = LinearWD().fit(gates_graph)
+        types = build_type_store(
+            {
+                MELINDA: ["Person"],
+                BILL: ["Person"],
+                JENNIFER: ["Person"],
+                MICROSOFT: ["Org"],
+                WASHINGTON: ["Place"],
+                US: ["Place"],
+            }
+        )
+        typed = LinearWD(use_types=True).fit(gates_graph, types)
+        assert typed.name == "l-wd-t"
+        assert typed.matrix.shape == untyped.matrix.shape
+        assert typed.score_of(MELINDA, BORN_IN, HEAD) > untyped.score_of(
+            MELINDA, BORN_IN, HEAD
+        )
+
+    def test_output_sliced_back_to_relational_columns(self, gates_graph):
+        types = build_type_store({i: ["T"] for i in range(6)})
+        typed = LinearWD(use_types=True).fit(gates_graph, types)
+        assert typed.matrix.shape[1] == 2 * gates_graph.num_relations

@@ -1,0 +1,93 @@
+"""Property-based invariants of the recommenders on random graphs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg import KnowledgeGraph, TripleSet, Vocabulary
+from repro.kg.graph import HEAD, TAIL
+from repro.recommenders import (
+    DegreeBased,
+    LinearWD,
+    PseudoTyped,
+    binary_incidence,
+    confidence_matrix,
+)
+
+
+def random_graph(seed: int, num_entities: int = 20, num_relations: int = 4, num_triples: int = 60):
+    rng = np.random.default_rng(seed)
+    triples = np.stack(
+        [
+            rng.integers(num_entities, size=num_triples),
+            rng.integers(num_relations, size=num_triples),
+            rng.integers(num_entities, size=num_triples),
+        ],
+        axis=1,
+    )
+    return KnowledgeGraph(
+        entities=Vocabulary(f"e{i}" for i in range(num_entities)),
+        relations=Vocabulary(f"r{i}" for i in range(num_relations)),
+        train=TripleSet(triples),
+        name=f"random-{seed}",
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_confidences_are_probabilities(seed):
+    """Every entry of the row-normalised co-occurrence matrix is in [0, 1]."""
+    graph = random_graph(seed)
+    w = confidence_matrix(binary_incidence(graph))
+    dense = w.toarray()
+    assert dense.min() >= 0.0
+    assert dense.max() <= 1.0 + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_lwd_support_contains_pt_support(seed):
+    """X = BW fires at least the self-rule, so PT support ⊆ L-WD support."""
+    graph = random_graph(seed)
+    pt = PseudoTyped().fit(graph)
+    lwd = LinearWD().fit(graph)
+    for relation in range(graph.num_relations):
+        for side in (HEAD, TAIL):
+            pt_support = set(pt.column_support(relation, side).tolist())
+            lwd_support = set(lwd.column_support(relation, side).tolist())
+            assert pt_support <= lwd_support
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_lwd_scores_nonnegative(seed):
+    graph = random_graph(seed)
+    lwd = LinearWD().fit(graph)
+    assert lwd.matrix.data.min() >= 0.0 if lwd.matrix.nnz else True
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_dbh_counts_sum_to_triples(seed):
+    """DBH's column sums count every training triple exactly twice
+    (once per side)."""
+    graph = random_graph(seed)
+    dbh = DegreeBased().fit(graph)
+    assert dbh.matrix.sum() == 2 * len(graph.train)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_probabilities_match_support(seed):
+    """Probability mass lives exactly on the non-zero support."""
+    graph = random_graph(seed)
+    lwd = LinearWD().fit(graph)
+    for relation in range(graph.num_relations):
+        probs = lwd.column_probabilities(relation, TAIL)
+        support = lwd.column_support(relation, TAIL)
+        assert probs.sum() == pytest.approx(1.0)
+        if support.size:
+            mask = np.zeros(graph.num_entities, dtype=bool)
+            mask[support] = True
+            assert probs[~mask].sum() == pytest.approx(0.0)

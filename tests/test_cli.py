@@ -1,0 +1,105 @@
+"""CLI: every subcommand end-to-end through main(argv)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["easy-negatives", "--dataset", "fb15k"])
+
+    def test_parser_lists_all_commands(self):
+        parser = build_parser()
+        actions = {
+            action.dest: action
+            for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+        }
+        assert set(actions["command"].choices) == {
+            "datasets",
+            "generate",
+            "recommenders",
+            "easy-negatives",
+            "complexity",
+            "analyze",
+            "evaluate",
+        }
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "codex-s-lite" in out and "wikikg2-lite" in out
+        assert "|E|" in out
+
+    def test_generate_round_trips(self, tmp_path, capsys):
+        assert main(["generate", "--dataset", "codex-s-lite", "--out", str(tmp_path / "kg")]) == 0
+        assert (tmp_path / "kg" / "train.tsv").exists()
+        assert (tmp_path / "kg" / "types.tsv").exists()
+        from repro.kg.io import load_graph_dir
+
+        graph = load_graph_dir(tmp_path / "kg")
+        assert graph.num_entities == 400
+
+    def test_recommenders_subset(self, capsys):
+        assert main(["recommenders", "--dataset", "codex-s-lite", "--recommenders", "pt", "l-wd"]) == 0
+        out = capsys.readouterr().out
+        assert "pt" in out and "l-wd" in out
+        assert "CR Unseen" in out
+
+    def test_easy_negatives(self, capsys):
+        assert main(["easy-negatives", "--dataset", "codex-s-lite"]) == 0
+        out = capsys.readouterr().out
+        assert "Easy negatives" in out
+        assert "Table 10" in out
+
+    def test_complexity(self, capsys):
+        assert main(["complexity", "--dataset", "codex-s-lite", "--fraction", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Sampling reduction" in out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "--dataset", "codex-s-lite"]) == 0
+        out = capsys.readouterr().out
+        assert "Cardinality classes" in out
+        assert "Unseen test answers" in out
+        assert "Connectivity" in out
+
+    def test_evaluate_small_run(self, capsys, tmp_path):
+        checkpoint = tmp_path / "model.npz"
+        code = main(
+            [
+                "evaluate",
+                "--dataset",
+                "codex-s-lite",
+                "--model",
+                "distmult",
+                "--epochs",
+                "1",
+                "--dim",
+                "8",
+                "--fraction",
+                "0.1",
+                "--save",
+                str(checkpoint),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "full filtered ranking" in out
+        assert "random @ 10%" in out
+        assert "MRR error" in out
+        from repro.models import load_model
+
+        assert load_model(checkpoint).name == "distmult"

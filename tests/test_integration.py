@@ -1,0 +1,152 @@
+"""End-to-end integration: the full pipeline on real (synthetic) data.
+
+These tests exercise the complete workflow a downstream user runs —
+generate data, fit recommenders, train a model, evaluate fast and slow —
+and assert the paper's qualitative claims hold on it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EvaluationProtocol,
+    evaluate_full,
+    mine_easy_negatives,
+)
+from repro.datasets import load
+from repro.kp import knowledge_persistence
+from repro.metrics import mae, pearson
+from repro.models import OracleModel, Trainer, TrainingConfig, build_model
+from repro.recommenders import build_recommender
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load("codex-m-lite")
+
+
+class TestTrainedModelPipeline:
+    """Train a real model and check the estimators track it."""
+
+    @pytest.fixture(scope="class")
+    def trained(self, dataset):
+        graph = dataset.graph
+        model = build_model("complex", graph.num_entities, graph.num_relations, dim=24, seed=0)
+        Trainer(TrainingConfig(epochs=6, lr=0.1, loss="softplus", seed=0)).fit(model, graph)
+        return model
+
+    def test_training_beats_chance(self, dataset, trained):
+        result = evaluate_full(trained, dataset.graph, split="test")
+        chance = 20 / dataset.graph.num_entities  # generous chance bound
+        assert result.metrics.mrr > chance * 3
+
+    def test_estimator_ordering_on_trained_model(self, dataset, trained):
+        """|est - true| is worst for random, best for static/probabilistic."""
+        graph = dataset.graph
+        truth = evaluate_full(trained, graph, split="test").metrics.mrr
+        errors = {}
+        for strategy in ("random", "probabilistic", "static"):
+            protocol = EvaluationProtocol(
+                graph, strategy=strategy, sample_fraction=0.1, types=dataset.types, seed=11
+            )
+            estimate = protocol.evaluate(trained).metrics.mrr
+            errors[strategy] = abs(estimate - truth)
+        assert errors["random"] > errors["probabilistic"]
+        assert errors["random"] > errors["static"]
+
+    def test_sampled_evaluation_does_less_work(self, dataset, trained):
+        """The scoring-work ratio is the robust speed claim at this scale;
+        wall-clock on a ~10 ms evaluation is overhead-dominated (the
+        paper's own small-dataset observation), so time only gets a loose
+        regression guard."""
+        graph = dataset.graph
+        protocol = EvaluationProtocol(graph, strategy="static", sample_fraction=0.05, seed=0)
+        protocol.prepare()
+        sampled = protocol.evaluate(trained)
+        full = protocol.evaluate_full(trained)
+        assert sampled.num_scored < full.num_scored / 5
+        assert sampled.seconds < full.seconds * 3
+
+
+class TestEpochTracking:
+    def test_estimates_correlate_across_epochs(self, dataset):
+        """The per-epoch estimated MRR tracks the true MRR (Table 7 shape)."""
+        graph = dataset.graph
+        model = build_model("distmult", graph.num_entities, graph.num_relations, dim=16, seed=1)
+        protocol = EvaluationProtocol(graph, strategy="static", sample_fraction=0.1, seed=3)
+        protocol.prepare()
+        true_series, est_series = [], []
+
+        def track(epoch, current, history):
+            true_series.append(evaluate_full(current, graph, split="valid").metrics.mrr)
+            est_series.append(protocol.evaluate(current, split="valid").metrics.mrr)
+
+        Trainer(TrainingConfig(epochs=8, lr=0.03, loss="softplus")).fit(
+            model, graph, callbacks=[track]
+        )
+        assert pearson(est_series, true_series) > 0.8
+        assert mae(est_series, true_series) < 0.15
+
+
+class TestOracleSweep:
+    def test_estimators_track_oracle_skill(self, dataset):
+        """Across oracle skill levels, estimates rank the models correctly."""
+        graph = dataset.graph
+        protocol = EvaluationProtocol(
+            graph, strategy="probabilistic", sample_fraction=0.1, seed=5
+        )
+        protocol.prepare()
+        true_values, estimates = [], []
+        for skill in (0.0, 1.0, 2.5):
+            model = OracleModel(graph, skill=skill, seed=2)
+            true_values.append(evaluate_full(model, graph, split="test").metrics.mrr)
+            estimates.append(protocol.evaluate(model).metrics.mrr)
+        assert true_values == sorted(true_values)
+        assert estimates == sorted(estimates)
+
+
+class TestEasyNegativePipeline:
+    def test_easy_negatives_consistent_with_sampling(self, dataset):
+        """Entities mined as easy negatives get zero probabilistic mass."""
+        graph = dataset.graph
+        fitted = build_recommender("l-wd").fit(graph)
+        report = mine_easy_negatives(fitted, graph)
+        assert report.easy_fraction > 0.2
+        probs = fitted.column_probabilities(0, "tail")
+        zero_mask = fitted.zero_mask(0, "tail")
+        assert probs[zero_mask].sum() == pytest.approx(0.0)
+
+
+class TestKPIntegration:
+    def test_kp_tracks_skill_direction(self, dataset):
+        graph = dataset.graph
+        values = [
+            knowledge_persistence(
+                OracleModel(graph, skill=skill, seed=1), graph, split="valid",
+                num_triples=150, seed=4,
+            ).value
+            for skill in (0.0, 3.0)
+        ]
+        assert values[1] != values[0]
+
+    def test_kp_faster_than_full_eval(self, dataset):
+        graph = dataset.graph
+        model = build_model("distmult", graph.num_entities, graph.num_relations, dim=16)
+        kp = knowledge_persistence(model, graph, split="valid", num_triples=150, seed=0)
+        full = evaluate_full(model, graph, split="valid")
+        assert kp.seconds < full.seconds
+
+
+class TestReproducibility:
+    def test_full_pipeline_deterministic(self):
+        """Same seeds end to end -> identical metrics."""
+
+        def run():
+            data = load("codex-s-lite", use_cache=False)
+            graph = data.graph
+            model = build_model("transe", graph.num_entities, graph.num_relations, dim=8, seed=2)
+            Trainer(TrainingConfig(epochs=2, seed=2)).fit(model, graph)
+            protocol = EvaluationProtocol(graph, strategy="static", seed=2)
+            return protocol.evaluate(model).metrics.mrr
+
+        assert run() == run()
