@@ -1,0 +1,96 @@
+"""Experiment-store cache-hit speed-up: the warm-rerun headline.
+
+The store's promise is that re-running a study (same dataset, model and
+hyperparameters) costs an artifact load, not a retrain: no trainer
+epochs, no pool construction, no full-ranking recomputation.  This bench
+measures exactly that — one cold ``run_training_study`` into a fresh
+store, then the identical call warm — and asserts the ≥ 5x acceptance
+floor (in practice the hit is orders of magnitude faster).
+"""
+
+import time
+
+from repro.bench import render_table, run_training_study
+from repro.store import ExperimentStore
+
+#: Acceptance floor for the warm/cold wall-clock ratio.
+MIN_SPEEDUP = 5.0
+
+
+def test_store_cache_speedup(benchmark, emit, tmp_path):
+    store = ExperimentStore(tmp_path / "store")
+    config = dict(
+        dataset_name="codex-s-lite",
+        model_name="distmult",
+        epochs=3,
+        dim=16,
+        sample_fraction=0.1,
+        with_kp=True,
+        kp_triples=150,
+        seed=0,
+    )
+
+    start = time.perf_counter()
+    cold_study = run_training_study(**config, store=store)
+    cold_seconds = time.perf_counter() - start
+
+    def warm_run():
+        return run_training_study(**config, store=store)
+
+    warm_study = benchmark.pedantic(warm_run, rounds=1, iterations=1)
+    warm_seconds = max(benchmark.stats.stats.mean, 1e-9)
+    speedup = cold_seconds / warm_seconds
+
+    rows = [
+        {
+            "Run": "cold (train + full eval)",
+            "Seconds": round(cold_seconds, 3),
+            "Trainer epochs": config["epochs"],
+        },
+        {
+            "Run": "warm (store hit)",
+            "Seconds": round(warm_seconds, 5),
+            "Trainer epochs": 0,
+        },
+        {"Run": "speed-up (x)", "Seconds": round(speedup, 1), "Trainer epochs": ""},
+    ]
+    emit(
+        "store_cache_speedup",
+        render_table(rows, title="Experiment-store warm-rerun speed-up"),
+    )
+
+    # The warm study must be the same study, not merely a fast one.
+    assert [r.true_metrics.mrr for r in warm_study.records] == [
+        r.true_metrics.mrr for r in cold_study.records
+    ]
+    journal = store.journal.records()
+    assert [r.cache_hit for r in journal if r.kind == "training_study"] == [False, True]
+    assert speedup >= MIN_SPEEDUP
+
+
+def test_store_shares_pools_across_models(emit, tmp_path):
+    """A second model on the same dataset reuses the cached pools."""
+    store = ExperimentStore(tmp_path / "store")
+    common = dict(
+        dataset_name="codex-s-lite",
+        epochs=1,
+        dim=8,
+        sample_fraction=0.1,
+        with_kp=False,
+        seed=0,
+    )
+    run_training_study(model_name="distmult", **common, store=store)
+    pool_artifacts = [e for e in store.artifacts.entries() if e.kind == "pools"]
+    run_training_study(model_name="transe", **common, store=store)
+    pool_artifacts_after = [e for e in store.artifacts.entries() if e.kind == "pools"]
+
+    # Three strategies' pools, built once, shared by both studies.
+    assert len(pool_artifacts) == 3
+    assert [e.key for e in pool_artifacts] == [e.key for e in pool_artifacts_after]
+    emit(
+        "store_shared_pools",
+        render_table(
+            [e.as_row() for e in pool_artifacts_after],
+            title="Pools shared across same-dataset studies",
+        ),
+    )

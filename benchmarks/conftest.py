@@ -6,7 +6,12 @@ Benchmarks print their paper-style tables *and* persist them under
 
 The training studies behind Tables 6-9 are expensive (train a model,
 evaluate it fully every epoch), so they are computed once per pytest
-process and shared by every bench that consumes them.
+process and shared by every bench that consumes them — and routed through
+a persistent :class:`repro.store.ExperimentStore` under
+``benchmarks/results/store``, so a *re-run* of the suite (same code, same
+configs) reloads every study from the artifact cache instead of
+retraining, and the fig/table benches share pools and ground truths.
+Delete that directory (or run ``repro cache gc``) to force a cold run.
 """
 
 from __future__ import annotations
@@ -17,8 +22,12 @@ from pathlib import Path
 import pytest
 
 from repro.bench import run_training_study
+from repro.store import ExperimentStore
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The persistent store every benchmark study goes through.
+STORE = ExperimentStore(RESULTS_DIR / "store")
 
 #: The (dataset, model) grid the correlation/MAE/speed-up benches train.
 STUDY_GRID: tuple[tuple[str, str], ...] = (
@@ -44,6 +53,7 @@ def _study(dataset_name: str, model_name: str):
         with_kp=True,
         kp_triples=150,
         seed=0,
+        store=STORE,
     )
 
 

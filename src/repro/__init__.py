@@ -12,6 +12,7 @@ Subpackages
 ``repro.kp``            Knowledge Persistence baseline
 ``repro.metrics``       ranking + agreement metrics
 ``repro.bench``         experiment drivers for every paper table/figure
+``repro.store``         persistent experiment store: artifact cache + run journal
 """
 
 __version__ = "1.0.0"

@@ -9,10 +9,16 @@ first:
 * ``easy-negatives``  — zero-score mining + false-negative audit (Tables 2/10);
 * ``complexity``      — sampling-cost accounting (Table 3);
 * ``evaluate``        — train a model, then compare the full ranking
-  against the random and guided estimates (the quickstart as one command).
+  against the random and guided estimates (the quickstart as one command);
+* ``runs``            — list/show the experiment store's run journal;
+* ``cache``           — list or garbage-collect the artifact cache.
 
 Every command prints the same fixed-width tables the benchmark suite
 writes, so CLI output and ``benchmarks/results/`` are directly comparable.
+
+Store-aware commands resolve their root as ``--store`` > ``$REPRO_STORE``
+> ``.repro_store``; ``evaluate --store PATH`` caches its artifacts and
+journals the run, so repeating it is near-instant.
 """
 
 from __future__ import annotations
@@ -34,6 +40,13 @@ from repro.datasets.zoo import available_datasets, load
 from repro.kg.io import save_graph_dir, write_types
 from repro.models import Trainer, TrainingConfig, available_models, build_model
 from repro.recommenders.registry import available_recommenders
+from repro.store import (
+    ExperimentStore,
+    render_cache,
+    render_run_detail,
+    render_runs,
+)
+from repro.store.report import FORMATS
 
 
 def _add_dataset_argument(parser: argparse.ArgumentParser) -> None:
@@ -42,6 +55,23 @@ def _add_dataset_argument(parser: argparse.ArgumentParser) -> None:
         default="codex-s-lite",
         choices=available_datasets(),
         help="zoo dataset name",
+    )
+
+
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="experiment store root (default: $REPRO_STORE or .repro_store)",
+    )
+
+
+def _add_format_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        default="table",
+        choices=FORMATS,
+        help="output format",
     )
 
 
@@ -127,6 +157,11 @@ def _cmd_complexity(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    import time
+
+    # ``--store`` with no value opts into the default ($REPRO_STORE) root.
+    store = ExperimentStore.from_env(args.store or None) if args.store is not None else None
+    wall_start = time.perf_counter()
     dataset = load(args.dataset)
     graph = dataset.graph
     model = build_model(
@@ -150,10 +185,12 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         sample_fraction=args.fraction,
         types=dataset.types,
         seed=args.seed,
+        store=store,
     )
     guided.prepare()
     random_protocol = EvaluationProtocol(
-        graph, strategy="random", sample_fraction=args.fraction, seed=args.seed
+        graph, strategy="random", sample_fraction=args.fraction, seed=args.seed,
+        store=store,
     )
     truth = guided.evaluate_full(model)
     random_estimate = random_protocol.evaluate(model)
@@ -187,6 +224,56 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     guided_error = abs(guided_estimate.metrics.mrr - truth.metrics.mrr)
     print(
         f"\nMRR error: random={random_error:.3f}, guided={guided_error:.3f}"
+    )
+    if store is not None:
+        record = store.journal.append(
+            "cli:evaluate",
+            config={
+                "dataset": args.dataset,
+                "model": args.model,
+                "epochs": args.epochs,
+                "dim": args.dim,
+                "lr": args.lr,
+                "loss": args.loss,
+                "recommender": args.recommender,
+                "strategy": args.strategy,
+                "fraction": args.fraction,
+                "seed": args.seed,
+            },
+            seconds=time.perf_counter() - wall_start,
+            metrics={
+                "mrr": truth.metrics.mrr,
+                "hits@10": truth.metrics.hits_at(10),
+                "estimated_mrr": guided_estimate.metrics.mrr,
+            },
+            cache_hit=guided.preparation is not None and guided.preparation.from_cache,
+        )
+        print(f"Journaled run {record.run_id} in {store.root}")
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    store = ExperimentStore.from_env(args.store)
+    if args.runs_command == "list":
+        print(render_runs(store.journal, fmt=args.format, limit=args.limit))
+        return 0
+    record = store.journal.get(args.run_id)
+    if record is None:
+        print(f"no run matching {args.run_id!r} in {store.journal.path}")
+        return 1
+    print(render_run_detail(record))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = ExperimentStore.from_env(args.store)
+    if args.cache_command == "ls":
+        print(render_cache(store.artifacts, fmt=args.format))
+        return 0
+    report = store.gc()
+    print(
+        f"Removed {report.num_removed} orphaned files "
+        f"({report.freed_bytes / 1024:.1f} KB) from {store.artifacts.root}"
     )
     return 0
 
@@ -249,6 +336,36 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--fraction", type=float, default=0.1)
     evaluate.add_argument("--seed", type=int, default=0)
     evaluate.add_argument("--save", help="write the trained model to this .npz path")
+    evaluate.add_argument(
+        "--store",
+        nargs="?",
+        const="",
+        default=None,
+        help="cache artifacts + journal the run in this experiment store "
+        "(no value: $REPRO_STORE or .repro_store)",
+    )
+
+    runs = commands.add_parser("runs", help="inspect the run journal")
+    runs_commands = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_commands.add_parser("list", help="list journaled runs")
+    _add_store_argument(runs_list)
+    _add_format_argument(runs_list)
+    runs_list.add_argument(
+        "--limit", type=int, default=None, help="only the most recent N runs"
+    )
+    runs_show = runs_commands.add_parser("show", help="show one run in full")
+    runs_show.add_argument("run_id", help="run id (prefixes accepted)")
+    _add_store_argument(runs_show)
+
+    cache = commands.add_parser("cache", help="inspect the artifact cache")
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+    cache_ls = cache_commands.add_parser("ls", help="list cached artifacts")
+    _add_store_argument(cache_ls)
+    _add_format_argument(cache_ls)
+    cache_gc = cache_commands.add_parser(
+        "gc", help="remove orphaned artifacts (interrupted writes)"
+    )
+    _add_store_argument(cache_gc)
     return parser
 
 
@@ -260,6 +377,8 @@ _HANDLERS = {
     "complexity": _cmd_complexity,
     "analyze": _cmd_analyze,
     "evaluate": _cmd_evaluate,
+    "runs": _cmd_runs,
+    "cache": _cmd_cache,
 }
 
 

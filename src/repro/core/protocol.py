@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -32,16 +33,24 @@ from repro.models.base import KGEModel
 from repro.recommenders.base import FittedRecommender, RelationRecommender
 from repro.recommenders.registry import build_recommender
 
+if TYPE_CHECKING:
+    from repro.store.store import ExperimentStore
+
 
 @dataclass
 class PreparationReport:
-    """Timings of the once-per-dataset preparation stage."""
+    """Timings of the once-per-dataset preparation stage.
+
+    ``from_cache`` marks reports restored from an experiment store; the
+    timing fields then describe the *original* build, not this process.
+    """
 
     recommender_name: str
     strategy: str
     fit_seconds: float
     candidates_seconds: float
     pools_seconds: float
+    from_cache: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -69,6 +78,11 @@ class EvaluationProtocol:
         Union PT candidates into static sets (the paper's default).
     seed:
         Seed of the pool draws.
+    store:
+        Optional :class:`repro.store.ExperimentStore`.  With a store,
+        ``prepare()`` reloads previously built candidates/pools instead of
+        refitting, and ``evaluate_full`` serves cached ground truths for
+        bit-identical (graph, model, split) configurations.
     """
 
     def __init__(
@@ -81,6 +95,7 @@ class EvaluationProtocol:
         types: TypeStore | None = None,
         include_observed: bool = True,
         seed: int = 0,
+        store: "ExperimentStore | None" = None,
     ):
         if num_samples is None and sample_fraction is None:
             sample_fraction = 0.1  # the paper's default operating point
@@ -91,6 +106,7 @@ class EvaluationProtocol:
         self.types = types
         self.include_observed = include_observed
         self.seed = seed
+        self.store = store
         if isinstance(recommender, str):
             recommender = build_recommender(recommender)
         self.recommender = recommender
@@ -100,13 +116,87 @@ class EvaluationProtocol:
         self.preparation: PreparationReport | None = None
 
     # ------------------------------------------------------------------
+    def _preparation_key(self) -> str:
+        from repro.store.keys import preparation_key
+
+        return preparation_key(
+            self.graph,
+            self.recommender.name,
+            self.strategy,
+            self.num_samples,
+            self.sample_fraction,
+            self.include_observed,
+            self.seed,
+        )
+
+    def _restore_preparation(self, key: str) -> PreparationReport | None:
+        """Reload a previous prepare() from the store, or None on miss."""
+        assert self.store is not None
+        artifacts = self.store.artifacts
+        report = artifacts.get_json("prep", key)
+        if report is None:
+            return None
+        pools = artifacts.get_pools(key)
+        if pools is None:
+            return None
+        if self.strategy == "static":
+            self.candidates = artifacts.get_candidates(key)
+            if self.candidates is None:
+                return None
+        self.pools = pools
+        return PreparationReport(
+            recommender_name=report["recommender_name"],
+            strategy=report["strategy"],
+            fit_seconds=report["fit_seconds"],
+            candidates_seconds=report["candidates_seconds"],
+            pools_seconds=report["pools_seconds"],
+            from_cache=True,
+        )
+
+    def _persist_preparation(self, key: str, report: PreparationReport) -> None:
+        assert self.store is not None and self.pools is not None
+        artifacts = self.store.artifacts
+        labels = {
+            "graph": self.graph.name,
+            "recommender": self.recommender.name,
+            "strategy": self.strategy,
+        }
+        artifacts.put_pools(key, self.pools, labels=labels)
+        if self.strategy == "static" and self.candidates is not None:
+            artifacts.put_candidates(key, self.candidates, labels=labels)
+        artifacts.put_json(
+            "prep",
+            key,
+            {
+                "recommender_name": report.recommender_name,
+                "strategy": report.strategy,
+                "fit_seconds": report.fit_seconds,
+                "candidates_seconds": report.candidates_seconds,
+                "pools_seconds": report.pools_seconds,
+            },
+            labels=labels,
+        )
+
     def prepare(self) -> PreparationReport:
-        """Fit the recommender and draw the pools (idempotent)."""
+        """Fit the recommender and draw the pools (idempotent).
+
+        With a store attached, a previously persisted preparation of the
+        same (graph, recommender, strategy, sample size, seed) is reloaded
+        instead of rebuilt; the recommender is then left unfitted until
+        something (e.g. :meth:`resample` under ``probabilistic``) needs it.
+        """
         if self.preparation is not None:
             return self.preparation
         # Warm the filtered-ranking index: a once-per-dataset cost that
-        # belongs to preparation, not to any timed evaluation.
+        # belongs to preparation, not to any timed evaluation — on the
+        # cache-restored path too, or the build would land inside the
+        # first timed evaluate() call.
         self.graph.filter_index  # noqa: B018 — deliberate cache warm-up
+        if self.store is not None:
+            restored = self._restore_preparation(self._preparation_key())
+            if restored is not None:
+                self.preparation = restored
+                return restored
         needs_recommender = self.strategy in ("probabilistic", "static")
         fit_seconds = 0.0
         if needs_recommender:
@@ -137,6 +227,8 @@ class EvaluationProtocol:
             candidates_seconds=candidates_seconds,
             pools_seconds=pools_seconds,
         )
+        if self.store is not None:
+            self._persist_preparation(self._preparation_key(), self.preparation)
         return self.preparation
 
     def resample(self, seed: int) -> None:
@@ -145,6 +237,10 @@ class EvaluationProtocol:
             self.seed = seed
             self.prepare()
             return
+        if self.strategy == "probabilistic" and self.fitted is None:
+            # A cache-restored preparation skips fitting; resampling under
+            # the probabilistic strategy genuinely needs the score matrix.
+            self.fitted = self.recommender.fit(self.graph, self.types)
         self.pools = build_pools(
             self.graph,
             self.strategy,
@@ -174,7 +270,15 @@ class EvaluationProtocol:
         split: str = "test",
         hits_at: tuple[int, ...] = HITS_AT,
     ) -> FullEvaluationResult:
-        """The full filtered ranking protocol (the expensive ground truth)."""
+        """The full filtered ranking protocol (the expensive ground truth).
+
+        With a store attached, the result is served from / saved to the
+        ground-truth cache, keyed by the model's exact parameters.
+        """
+        if self.store is not None:
+            return self.store.cached_evaluate_full(
+                model, self.graph, split=split, hits_at=hits_at
+            )
         return evaluate_full(model, self.graph, split=split, hits_at=hits_at)
 
     def __repr__(self) -> str:

@@ -1,0 +1,84 @@
+"""repro.store — persistent experiment store, artifact cache, run journal.
+
+Three layers:
+
+* :class:`ArtifactStore` — key-addressed on-disk cache (checkpoints,
+  negative pools, candidate sets, ground truths, studies) with an
+  in-memory LRU front;
+* :class:`RunJournal` — append-only JSONL record of every run;
+* :mod:`repro.store.report` — journal/cache listings as table, csv, json.
+
+:class:`ExperimentStore` bundles all three under one root directory and is
+the object the rest of the stack accepts as ``store=``.
+"""
+
+from repro.store.artifacts import ArtifactInfo, ArtifactStore, GCReport
+from repro.store.journal import RunJournal, RunRecord
+from repro.store.keys import (
+    cache_key,
+    canonical_json,
+    graph_fingerprint,
+    ground_truth_key,
+    model_fingerprint,
+    pools_key,
+    preparation_key,
+    study_key,
+)
+from repro.store.lru import LRUCache
+from repro.store.report import (
+    cache_rows,
+    journal_rows,
+    render_cache,
+    render_run_detail,
+    render_rows,
+    render_runs,
+)
+from repro.store.serializers import (
+    full_result_from_dict,
+    full_result_to_dict,
+    load_candidates,
+    load_pools,
+    metrics_from_dict,
+    metrics_to_dict,
+    save_candidates,
+    save_pools,
+    study_from_dict,
+    study_to_dict,
+)
+from repro.store.store import DEFAULT_ROOT, STORE_ENV, ExperimentStore
+
+__all__ = [
+    "ArtifactInfo",
+    "ArtifactStore",
+    "DEFAULT_ROOT",
+    "ExperimentStore",
+    "GCReport",
+    "LRUCache",
+    "RunJournal",
+    "RunRecord",
+    "STORE_ENV",
+    "cache_key",
+    "cache_rows",
+    "canonical_json",
+    "full_result_from_dict",
+    "full_result_to_dict",
+    "graph_fingerprint",
+    "ground_truth_key",
+    "journal_rows",
+    "load_candidates",
+    "load_pools",
+    "metrics_from_dict",
+    "metrics_to_dict",
+    "model_fingerprint",
+    "pools_key",
+    "preparation_key",
+    "render_cache",
+    "render_run_detail",
+    "render_rows",
+    "render_runs",
+    "save_candidates",
+    "save_pools",
+    "study_from_dict",
+    "study_key",
+    "study_to_dict",
+]

@@ -1,0 +1,332 @@
+"""The content-addressed artifact cache behind the experiment store.
+
+Layout on disk (all under the store's ``artifacts/`` root)::
+
+    artifacts/
+      <kind>/
+        <key[:2]>/
+          <key>.<ext>            # payload: .npz (arrays) or .json
+          <key>.meta.json        # sidecar: kind, key, format, labels, size
+
+Artifacts are key-addressed: the key is a stable hash of the full
+provenance (see :mod:`repro.store.keys`), so a lookup either hits the
+exact configuration or misses — there is no invalidation logic to get
+wrong.  The two-level fan-out keeps directories small at production
+scale.  A :class:`~repro.store.lru.LRUCache` fronts the disk so hot
+artifacts (pools reused every epoch) deserialise once per process.
+
+Callers must treat returned artifacts as immutable: the LRU hands back
+the same object on repeated hits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.core.candidates import CandidateSets
+from repro.core.sampling import NegativePools
+from repro.models.base import KGEModel
+from repro.models.io import load_model, save_model
+from repro.store.lru import LRUCache
+from repro.store.serializers import (
+    load_candidates,
+    load_pools,
+    save_candidates,
+    save_pools,
+)
+
+_META_SUFFIX = ".meta.json"
+
+#: Payload format per storage method; recorded in the sidecar.
+_FORMATS = ("npz", "json")
+
+
+@dataclass(frozen=True)
+class ArtifactInfo:
+    """One cache entry as listed by ``entries()`` / ``repro cache ls``."""
+
+    kind: str
+    key: str
+    format: str
+    path: str
+    size_bytes: int
+    created_at: float
+    labels: dict[str, Any]
+
+    def as_row(self) -> dict[str, Any]:
+        return {
+            "Kind": self.kind,
+            "Key": self.key[:12],
+            "Format": self.format,
+            "Size (KB)": round(self.size_bytes / 1024, 1),
+            "Created": time.strftime(
+                "%Y-%m-%d %H:%M:%S", time.localtime(self.created_at)
+            ),
+            "Labels": ", ".join(f"{k}={v}" for k, v in sorted(self.labels.items())),
+        }
+
+
+@dataclass
+class GCReport:
+    """What ``gc()`` removed: orphaned payloads and dangling sidecars."""
+
+    removed_payloads: list[str]
+    removed_sidecars: list[str]
+    freed_bytes: int
+
+    @property
+    def num_removed(self) -> int:
+        return len(self.removed_payloads) + len(self.removed_sidecars)
+
+
+class ArtifactStore:
+    """Key-addressed persistent cache with an in-memory LRU layer."""
+
+    def __init__(self, root: str | os.PathLike[str], max_memory_entries: int = 128):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.memory = LRUCache(max_memory_entries)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def _payload_path(self, kind: str, key: str, fmt: str) -> Path:
+        if fmt not in _FORMATS:
+            raise ValueError(f"unknown artifact format {fmt!r}")
+        return self.root / kind / key[:2] / f"{key}.{fmt}"
+
+    def _meta_path(self, kind: str, key: str) -> Path:
+        return self.root / kind / key[:2] / f"{key}{_META_SUFFIX}"
+
+    def _find_payload(self, kind: str, key: str) -> Path | None:
+        for fmt in _FORMATS:
+            path = self._payload_path(kind, key, fmt)
+            if path.exists():
+                return path
+        return None
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def has(self, kind: str, key: str) -> bool:
+        """True iff both payload and sidecar are present on disk."""
+        return (
+            self._meta_path(kind, key).exists()
+            and self._find_payload(kind, key) is not None
+        )
+
+    def _commit(
+        self, kind: str, key: str, fmt: str, labels: dict[str, Any] | None
+    ) -> None:
+        """Write the sidecar after the payload — a crash leaves an orphan
+        payload (collected by ``gc``), never a sidecar pointing nowhere."""
+        meta = {
+            "kind": kind,
+            "key": key,
+            "format": fmt,
+            "created_at": time.time(),
+            "labels": labels or {},
+        }
+        self._meta_path(kind, key).write_text(
+            json.dumps(meta, indent=2, sort_keys=True), encoding="utf-8"
+        )
+
+    def _prepare_dir(self, kind: str, key: str) -> None:
+        (self.root / kind / key[:2]).mkdir(parents=True, exist_ok=True)
+
+    def delete(self, kind: str, key: str) -> bool:
+        """Remove one artifact (payload + sidecar + memory entry)."""
+        self.memory.discard((kind, key))
+        removed = False
+        payload = self._find_payload(kind, key)
+        if payload is not None:
+            payload.unlink()
+            removed = True
+        meta = self._meta_path(kind, key)
+        if meta.exists():
+            meta.unlink()
+            removed = True
+        return removed
+
+    # ------------------------------------------------------------------
+    # Typed put/get
+    # ------------------------------------------------------------------
+    def _replace_payload(self, path: Path, write) -> None:
+        """Write via a sibling temp file + atomic rename.
+
+        Concurrent writers of the same key (same provenance, hence same
+        bytes) race harmlessly to an identical result, and a crash can
+        only leave a ``*.tmp-*`` orphan for ``gc`` — never a torn payload
+        under the final name.
+        """
+        # The temp name keeps the final suffix (np.savez appends ``.npz``
+        # to anything else) and stays inside the payload directory so the
+        # rename is atomic on one filesystem and ``gc`` can collect strays.
+        tmp = path.with_name(f"tmp-{os.getpid()}-{path.name}")
+        try:
+            write(tmp)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+
+    def put_json(
+        self, kind: str, key: str, payload: Any, labels: dict[str, Any] | None = None
+    ) -> None:
+        self._prepare_dir(kind, key)
+        text = json.dumps(payload, sort_keys=True)
+        self._replace_payload(
+            self._payload_path(kind, key, "json"),
+            lambda tmp: tmp.write_text(text, encoding="utf-8"),
+        )
+        self._commit(kind, key, "json", labels)
+        self.memory.put((kind, key), payload)
+
+    def get_json(self, kind: str, key: str) -> Any | None:
+        cached = self.memory.get((kind, key))
+        if cached is not None:
+            return cached
+        path = self._payload_path(kind, key, "json")
+        if not path.exists() or not self._meta_path(kind, key).exists():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            return None  # unreadable payload == miss; the caller recomputes
+        self.memory.put((kind, key), payload)
+        return payload
+
+    def _put_npz(self, kind, key, obj, writer, labels) -> None:
+        self._prepare_dir(kind, key)
+        self._replace_payload(
+            self._payload_path(kind, key, "npz"), lambda tmp: writer(obj, tmp)
+        )
+        self._commit(kind, key, "npz", labels)
+        self.memory.put((kind, key), obj)
+
+    def _get_npz(self, kind, key, reader) -> Any | None:
+        cached = self.memory.get((kind, key))
+        if cached is not None:
+            return cached
+        path = self._payload_path(kind, key, "npz")
+        if not path.exists() or not self._meta_path(kind, key).exists():
+            return None
+        try:
+            obj = reader(path)
+        except (ValueError, KeyError, OSError, zipfile.BadZipFile):
+            return None  # torn/corrupt archive == miss; recomputed on demand
+        self.memory.put((kind, key), obj)
+        return obj
+
+    def put_model(
+        self, key: str, model: KGEModel, labels: dict[str, Any] | None = None
+    ) -> None:
+        """Persist a trained checkpoint (``repro.models.io`` format)."""
+        self._put_npz("model", key, model, save_model, labels)
+
+    def get_model(self, key: str) -> KGEModel | None:
+        return self._get_npz("model", key, load_model)
+
+    def put_pools(
+        self, key: str, pools: NegativePools, labels: dict[str, Any] | None = None
+    ) -> None:
+        self._put_npz("pools", key, pools, save_pools, labels)
+
+    def get_pools(self, key: str) -> NegativePools | None:
+        return self._get_npz("pools", key, load_pools)
+
+    def put_candidates(
+        self, key: str, sets: CandidateSets, labels: dict[str, Any] | None = None
+    ) -> None:
+        self._put_npz("candidates", key, sets, save_candidates, labels)
+
+    def get_candidates(self, key: str) -> CandidateSets | None:
+        return self._get_npz("candidates", key, load_candidates)
+
+    # ------------------------------------------------------------------
+    # Listing and garbage collection
+    # ------------------------------------------------------------------
+    def _iter_meta_paths(self) -> Iterator[Path]:
+        yield from sorted(self.root.glob(f"*/??/*{_META_SUFFIX}"))
+
+    def entries(self) -> list[ArtifactInfo]:
+        """All intact artifacts, oldest first (corrupt sidecars skipped)."""
+        infos: list[ArtifactInfo] = []
+        for meta_path in self._iter_meta_paths():
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+                kind, key, fmt = meta["kind"], meta["key"], meta["format"]
+            except (json.JSONDecodeError, KeyError, OSError):
+                continue
+            payload = self._payload_path(kind, key, fmt)
+            if not payload.exists():
+                continue
+            infos.append(
+                ArtifactInfo(
+                    kind=kind,
+                    key=key,
+                    format=fmt,
+                    path=str(payload),
+                    size_bytes=payload.stat().st_size,
+                    created_at=float(meta.get("created_at", 0.0)),
+                    labels=dict(meta.get("labels", {})),
+                )
+            )
+        infos.sort(key=lambda info: (info.created_at, info.kind, info.key))
+        return infos
+
+    def total_bytes(self) -> int:
+        return sum(info.size_bytes for info in self.entries())
+
+    def gc(self) -> GCReport:
+        """Remove orphaned payloads and dangling/corrupt sidecars.
+
+        An artifact is orphaned when its write was interrupted: a payload
+        without a sidecar (crash between payload and commit) or a sidecar
+        whose payload is gone / whose JSON is unreadable.
+        """
+        removed_payloads: list[str] = []
+        removed_sidecars: list[str] = []
+        freed = 0
+        valid_payloads: set[Path] = set()
+        for meta_path in self._iter_meta_paths():
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+                payload = self._payload_path(meta["kind"], meta["key"], meta["format"])
+            except (json.JSONDecodeError, KeyError, OSError):
+                freed += meta_path.stat().st_size
+                removed_sidecars.append(str(meta_path))
+                meta_path.unlink()
+                continue
+            if payload.exists():
+                valid_payloads.add(payload)
+            else:
+                freed += meta_path.stat().st_size
+                removed_sidecars.append(str(meta_path))
+                meta_path.unlink()
+        for payload in sorted(self.root.glob("*/??/*")):
+            if payload.name.endswith(_META_SUFFIX) or not payload.is_file():
+                continue
+            if payload not in valid_payloads:
+                freed += payload.stat().st_size
+                removed_payloads.append(str(payload))
+                payload.unlink()
+        self.memory.clear()
+        return GCReport(
+            removed_payloads=removed_payloads,
+            removed_sidecars=removed_sidecars,
+            freed_bytes=freed,
+        )
+
+    def __repr__(self) -> str:
+        entries = self.entries()
+        return (
+            f"ArtifactStore({str(self.root)!r}, {len(entries)} artifacts, "
+            f"{sum(e.size_bytes for e in entries) / 1024:.1f} KB)"
+        )

@@ -1,0 +1,137 @@
+"""The append-only run journal: every run, one JSONL line.
+
+Each training or evaluation run appends a single JSON object to
+``journal.jsonl`` — config, wall-clock, metric summary, whether the
+artifact cache served it.  Append-only JSONL is deliberately the whole
+format: concurrent writers interleave whole lines, a crash can corrupt at
+most the final line, and replay tolerates damaged entries by skipping
+them (they are counted, not fatal), so the journal degrades gracefully
+instead of bricking the store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One journal line: the who/what/how-long of a single run."""
+
+    run_id: str
+    timestamp: str
+    kind: str
+    config: dict[str, Any] = field(default_factory=dict)
+    seconds: float = 0.0
+    metrics: dict[str, float] = field(default_factory=dict)
+    cache_hit: bool = False
+    note: str = ""
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "run_id": self.run_id,
+                "timestamp": self.timestamp,
+                "kind": self.kind,
+                "config": self.config,
+                "seconds": self.seconds,
+                "metrics": self.metrics,
+                "cache_hit": self.cache_hit,
+                "note": self.note,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "RunRecord":
+        payload = json.loads(line)
+        return cls(
+            run_id=str(payload["run_id"]),
+            timestamp=str(payload["timestamp"]),
+            kind=str(payload["kind"]),
+            config=dict(payload.get("config", {})),
+            seconds=float(payload.get("seconds", 0.0)),
+            metrics={k: float(v) for k, v in payload.get("metrics", {}).items()},
+            cache_hit=bool(payload.get("cache_hit", False)),
+            note=str(payload.get("note", "")),
+        )
+
+
+class RunJournal:
+    """Append-only JSONL journal of experiment runs."""
+
+    def __init__(self, path: str | os.PathLike[str]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        #: Corrupt lines seen by the most recent replay.
+        self.last_corrupt_count = 0
+
+    def append(
+        self,
+        kind: str,
+        config: dict[str, Any] | None = None,
+        seconds: float = 0.0,
+        metrics: dict[str, float] | None = None,
+        cache_hit: bool = False,
+        note: str = "",
+    ) -> RunRecord:
+        """Record one run; returns the written record (with its run id)."""
+        record = RunRecord(
+            run_id=uuid.uuid4().hex[:12],
+            timestamp=time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime()),
+            kind=kind,
+            config=config or {},
+            seconds=float(seconds),
+            metrics=metrics or {},
+            cache_hit=cache_hit,
+            note=note,
+        )
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(record.to_json() + "\n")
+        return record
+
+    def _iter_records(self) -> Iterator[RunRecord]:
+        self.last_corrupt_count = 0
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield RunRecord.from_json(line)
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    self.last_corrupt_count += 1
+
+    def records(self) -> list[RunRecord]:
+        """Replay the journal, oldest first, skipping corrupt lines."""
+        return list(self._iter_records())
+
+    def tail(self, n: int) -> list[RunRecord]:
+        """The most recent ``n`` runs, oldest of them first."""
+        return self.records()[-n:] if n > 0 else []
+
+    def get(self, run_id: str) -> RunRecord | None:
+        """Look a run up by its (possibly abbreviated) id."""
+        matches = [
+            record
+            for record in self._iter_records()
+            if record.run_id == run_id or record.run_id.startswith(run_id)
+        ]
+        if not matches:
+            return None
+        exact = [record for record in matches if record.run_id == run_id]
+        return exact[0] if exact else matches[-1]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._iter_records())
+
+    def __repr__(self) -> str:
+        return f"RunJournal({str(self.path)!r}, {len(self)} runs)"

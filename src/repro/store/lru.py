@@ -1,0 +1,61 @@
+"""A small LRU map — the in-memory layer above the on-disk artifact store.
+
+Disk artifacts survive processes; the LRU keeps the hot working set (the
+pools and ground truths a study touches every epoch) deserialised, so a
+warm loop pays neither recomputation nor repeated ``npz`` parsing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+
+class LRUCache:
+    """Least-recently-used mapping with a fixed capacity.
+
+    ``capacity <= 0`` disables caching entirely (every ``get`` misses),
+    which keeps the artifact store usable in memory-constrained callers
+    without sprinkling ``if cache is not None`` everywhere.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        if key not in self._data:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return self._data[key]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity <= 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def discard(self, key: Hashable) -> None:
+        self._data.pop(key, None)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache({len(self._data)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,129 @@
+"""Query/report layer: journal rows and cache listings as table/csv/json.
+
+``repro runs list`` and ``repro cache ls`` both come through here, and the
+functions are plain data-in/text-out so notebooks and scripts can reuse
+them (mirroring the presenter/TableModel split of linux-benchmark-lib's
+journal UI).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Sequence
+
+from repro.store.artifacts import ArtifactStore
+from repro.store.journal import RunJournal, RunRecord
+
+FORMATS = ("table", "csv", "json")
+
+#: Metric summary columns surfaced in run listings when present.
+_SUMMARY_METRICS = ("mrr", "hits@10")
+
+
+def run_row(record: RunRecord) -> dict[str, Any]:
+    """Flatten one journal record into a listing row."""
+    row: dict[str, Any] = {
+        "Run": record.run_id,
+        "When": record.timestamp,
+        "Kind": record.kind,
+        "Cache": "hit" if record.cache_hit else "miss",
+        "Seconds": round(record.seconds, 3),
+    }
+    for name in _SUMMARY_METRICS:
+        if name in record.metrics:
+            row[name.upper() if name == "mrr" else name] = round(
+                record.metrics[name], 4
+            )
+    if record.note:
+        row["Note"] = record.note
+    return row
+
+
+def journal_rows(
+    journal: RunJournal, limit: int | None = None
+) -> list[dict[str, Any]]:
+    """Listing rows for the journal, newest last (``limit <= 0``: none)."""
+    records = journal.records()
+    if limit is not None:
+        records = records[-limit:] if limit > 0 else []
+    return [run_row(record) for record in records]
+
+
+def cache_rows(store: ArtifactStore) -> list[dict[str, Any]]:
+    """Listing rows for every intact artifact in the cache."""
+    return [info.as_row() for info in store.entries()]
+
+
+def _columns(rows: Sequence[dict[str, Any]]) -> list[str]:
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def render_rows(
+    rows: Sequence[dict[str, Any]],
+    fmt: str = "table",
+    title: str | None = None,
+) -> str:
+    """Render listing rows in one of :data:`FORMATS`."""
+    # Imported lazily: repro.bench pulls in the whole experiment-driver
+    # stack (which itself depends on repro.store).
+    from repro.bench.tables import render_table
+
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown format {fmt!r}; expected one of {FORMATS}")
+    if fmt == "json":
+        return json.dumps(list(rows), indent=2)
+    if fmt == "csv":
+        buffer = io.StringIO()
+        columns = _columns(rows)
+        writer = csv.DictWriter(buffer, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+        return buffer.getvalue().rstrip("\n")
+    return render_table(list(rows), columns=_columns(rows) or None, title=title)
+
+
+def render_runs(
+    journal: RunJournal,
+    fmt: str = "table",
+    limit: int | None = None,
+) -> str:
+    """The ``repro runs list`` body."""
+    records = journal.records()  # one replay serves both rows and the title
+    shown = records
+    if limit is not None:
+        shown = records[-limit:] if limit > 0 else []
+    rows = [run_row(record) for record in shown]
+    title = f"Run journal ({len(records)} runs) — {journal.path}"
+    return render_rows(rows, fmt=fmt, title=title if fmt == "table" else None)
+
+
+def render_run_detail(record: RunRecord) -> str:
+    """The ``repro runs show`` body: the full record, pretty-printed."""
+    payload = {
+        "run_id": record.run_id,
+        "timestamp": record.timestamp,
+        "kind": record.kind,
+        "cache_hit": record.cache_hit,
+        "seconds": record.seconds,
+        "config": record.config,
+        "metrics": record.metrics,
+        "note": record.note,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_cache(store: ArtifactStore, fmt: str = "table") -> str:
+    """The ``repro cache ls`` body."""
+    entries = store.entries()  # one directory scan serves rows and the title
+    rows = [info.as_row() for info in entries]
+    total_kb = sum(info.size_bytes for info in entries) / 1024
+    title = f"Artifact cache ({len(rows)} artifacts, {total_kb:.1f} KB) — {store.root}"
+    return render_rows(rows, fmt=fmt, title=title if fmt == "table" else None)

@@ -1,0 +1,96 @@
+"""The experiment store facade: one root directory, cache + journal.
+
+Layout on disk::
+
+    <root>/
+      artifacts/              # key-addressed cache (see artifacts.py)
+        model/      <key>.npz
+        pools/      <key>.npz
+        candidates/ <key>.npz
+        truth/      <key>.json
+        study/      <key>.json
+        prep/       <key>.json
+      journal.jsonl           # append-only run journal
+
+Pass an :class:`ExperimentStore` as the ``store=`` argument of
+:class:`repro.core.protocol.EvaluationProtocol` or
+:func:`repro.bench.runner.run_training_study` and repeated studies skip
+training, pool construction and full-ranking recomputation entirely.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core.ranking import FullEvaluationResult, evaluate_full
+from repro.kg.graph import KnowledgeGraph
+from repro.metrics.ranking import HITS_AT
+from repro.models.base import KGEModel
+from repro.store.artifacts import ArtifactStore
+from repro.store.journal import RunJournal
+from repro.store.keys import ground_truth_key
+from repro.store.serializers import full_result_from_dict, full_result_to_dict
+
+#: Environment variable naming the default store root for the CLI.
+STORE_ENV = "REPRO_STORE"
+
+#: Fallback store root (relative to the working directory).
+DEFAULT_ROOT = ".repro_store"
+
+
+class ExperimentStore:
+    """Persistent artifact cache + run journal under one root directory."""
+
+    def __init__(self, root: str | os.PathLike[str], max_memory_entries: int = 128):
+        self.root = Path(root)
+        self.artifacts = ArtifactStore(
+            self.root / "artifacts", max_memory_entries=max_memory_entries
+        )
+        self.journal = RunJournal(self.root / "journal.jsonl")
+
+    @classmethod
+    def from_env(cls, root: str | os.PathLike[str] | None = None) -> "ExperimentStore":
+        """Resolve the store root: explicit arg > ``$REPRO_STORE`` > default."""
+        if root is None:
+            root = os.environ.get(STORE_ENV) or DEFAULT_ROOT
+        return cls(root)
+
+    # ------------------------------------------------------------------
+    def cached_evaluate_full(
+        self,
+        model: KGEModel,
+        graph: KnowledgeGraph,
+        split: str = "test",
+        hits_at: tuple[int, ...] = HITS_AT,
+    ) -> FullEvaluationResult:
+        """Full filtered-ranking evaluation through the ground-truth cache.
+
+        The key covers the graph content, the model's exact parameters,
+        the split and the Hits@K grid, so a hit is guaranteed to be the
+        same computation.  Cached results keep their *original* compute
+        ``seconds`` — speed-up tables stay meaningful — while the actual
+        wall-clock of a hit is just the artifact load.
+        """
+        key = ground_truth_key(graph, model, split, hits_at)
+        cached = self.artifacts.get_json("truth", key)
+        if cached is not None:
+            return full_result_from_dict(cached)
+        result = evaluate_full(model, graph, split=split, hits_at=hits_at)
+        self.artifacts.put_json(
+            "truth",
+            key,
+            full_result_to_dict(result),
+            labels={"graph": graph.name, "model": model.name, "split": split},
+        )
+        return result
+
+    def gc(self):
+        """Collect orphaned artifacts; returns the ``GCReport``."""
+        return self.artifacts.gc()
+
+    def __repr__(self) -> str:
+        return (
+            f"ExperimentStore({str(self.root)!r}, "
+            f"{len(self.artifacts.entries())} artifacts, {len(self.journal)} runs)"
+        )

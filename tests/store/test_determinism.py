@@ -1,0 +1,73 @@
+"""Store round-trip determinism: save → load → re-evaluate, bit-identical.
+
+Extends the checkpoint round-trip guarantee of ``repro.models.io`` to the
+store path: a checkpoint pulled back out of the artifact cache scores
+exactly like the model that went in, so cached ground truths and fresh
+evaluations can never disagree.
+"""
+
+import numpy as np
+
+from repro.core.protocol import EvaluationProtocol
+from repro.core.ranking import evaluate_full
+from repro.models import Trainer, TrainingConfig, build_model
+from repro.store import ExperimentStore, model_fingerprint
+
+
+def _trained_model(graph, seed=0):
+    model = build_model(
+        "complex", graph.num_entities, graph.num_relations, dim=8, seed=seed
+    )
+    Trainer(TrainingConfig(epochs=1, lr=0.05, loss="softplus", seed=seed)).fit(
+        model, graph
+    )
+    return model
+
+
+def test_store_checkpoint_scores_bit_identically(tmp_path, codex_s):
+    graph = codex_s.graph
+    model = _trained_model(graph)
+    store = ExperimentStore(tmp_path / "store")
+    store.artifacts.put_model("checkpoint", model)
+    store.artifacts.memory.clear()  # force deserialisation from disk
+    loaded = store.artifacts.get_model("checkpoint")
+
+    assert model_fingerprint(loaded) == model_fingerprint(model)
+    triples = graph.test.array
+    original = model.score_triples(
+        triples[:, 0], triples[:, 1], triples[:, 2]
+    ).data
+    restored = loaded.score_triples(
+        triples[:, 0], triples[:, 1], triples[:, 2]
+    ).data
+    np.testing.assert_array_equal(restored, original)
+
+
+def test_reevaluation_of_loaded_checkpoint_matches(tmp_path, codex_s):
+    graph = codex_s.graph
+    model = _trained_model(graph)
+    store = ExperimentStore(tmp_path / "store")
+    store.artifacts.put_model("checkpoint", model)
+    store.artifacts.memory.clear()
+    loaded = store.artifacts.get_model("checkpoint")
+
+    fresh = evaluate_full(model, graph, split="test")
+    replayed = evaluate_full(loaded, graph, split="test")
+    assert replayed.ranks == fresh.ranks
+    assert replayed.metrics == fresh.metrics
+
+
+def test_cached_ground_truth_equals_fresh_computation(tmp_path, codex_s):
+    """The cache can only ever return what recomputation would produce."""
+    graph = codex_s.graph
+    model = _trained_model(graph)
+    store = ExperimentStore(tmp_path / "store")
+    protocol = EvaluationProtocol(
+        graph, strategy="random", sample_fraction=0.1, store=store
+    )
+    cached = protocol.evaluate_full(model)  # miss: computes and persists
+    store.artifacts.memory.clear()
+    replayed = protocol.evaluate_full(model)  # hit: loaded from disk
+    fresh = evaluate_full(model, graph, split="test")
+    assert replayed.ranks == fresh.ranks == cached.ranks
+    assert replayed.metrics == fresh.metrics

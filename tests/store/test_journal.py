@@ -1,0 +1,72 @@
+"""Run journal: append/replay, lookup, corrupt-entry tolerance."""
+
+from repro.store import RunJournal, RunRecord
+
+
+def test_append_replay_round_trip(tmp_path):
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    first = journal.append(
+        "training_study",
+        config={"dataset": "codex-s-lite", "epochs": 3},
+        seconds=1.25,
+        metrics={"mrr": 0.4},
+    )
+    second = journal.append("cli:evaluate", cache_hit=True, note="warm rerun")
+    records = journal.records()
+    assert [r.run_id for r in records] == [first.run_id, second.run_id]
+    assert records[0].config == {"dataset": "codex-s-lite", "epochs": 3}
+    assert records[0].seconds == 1.25
+    assert records[0].metrics == {"mrr": 0.4}
+    assert records[1].cache_hit and records[1].note == "warm rerun"
+    assert len(journal) == 2
+
+
+def test_replay_survives_process_restart(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    RunJournal(path).append("a")
+    RunJournal(path).append("b")
+    assert [r.kind for r in RunJournal(path).records()] == ["a", "b"]
+
+
+def test_corrupt_lines_are_skipped_and_counted(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = RunJournal(path)
+    journal.append("good-1")
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write("{truncated json\n")
+        handle.write('{"valid_json": "but not a record"}\n')
+        handle.write("\n")  # blank lines are not corruption
+    journal.append("good-2")
+    records = journal.records()
+    assert [r.kind for r in records] == ["good-1", "good-2"]
+    assert journal.last_corrupt_count == 2
+
+
+def test_get_by_id_and_prefix(tmp_path):
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    record = journal.append("training_study")
+    assert journal.get(record.run_id) == record
+    assert journal.get(record.run_id[:6]) == record
+    assert journal.get("nonexistent") is None
+
+
+def test_tail(tmp_path):
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    for i in range(5):
+        journal.append(f"run-{i}")
+    assert [r.kind for r in journal.tail(2)] == ["run-3", "run-4"]
+    assert journal.tail(0) == []
+
+
+def test_record_json_round_trip():
+    record = RunRecord(
+        run_id="abc123",
+        timestamp="2026-07-30T00:00:00",
+        kind="test",
+        config={"x": 1},
+        seconds=0.5,
+        metrics={"mrr": 0.2},
+        cache_hit=True,
+        note="n",
+    )
+    assert RunRecord.from_json(record.to_json()) == record

@@ -1,0 +1,118 @@
+"""Cache keys: canonicalisation, composition, cross-process stability."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.store import (
+    cache_key,
+    canonical_json,
+    graph_fingerprint,
+    ground_truth_key,
+    model_fingerprint,
+    pools_key,
+    preparation_key,
+    study_key,
+)
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+class TestCanonicalisation:
+    def test_dict_order_is_irrelevant(self):
+        assert cache_key("k", {"a": 1, "b": 2}) == cache_key("k", {"b": 2, "a": 1})
+
+    def test_tuple_and_list_hash_identically(self):
+        assert cache_key("k", {"x": (1, 2, 3)}) == cache_key("k", {"x": [1, 2, 3]})
+
+    def test_numpy_scalars_collapse(self):
+        assert cache_key("k", {"n": np.int64(7), "f": np.float64(0.5)}) == cache_key(
+            "k", {"n": 7, "f": 0.5}
+        )
+
+    def test_float_precision_survives(self):
+        assert cache_key("k", {"f": 0.1}) != cache_key("k", {"f": 0.1 + 1e-12})
+
+    def test_kind_namespaces_keys(self):
+        assert cache_key("a", {"x": 1}) != cache_key("b", {"x": 1})
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        assert canonical_json({"b": 1, "a": (2,)}) == '{"a":[2],"b":1}'
+
+
+class TestComposedKeys:
+    def test_preparation_key_varies_with_each_field(self, tiny_graph):
+        base = preparation_key(tiny_graph, "l-wd", "static", None, 0.1, True, 0)
+        assert base != preparation_key(tiny_graph, "pt", "static", None, 0.1, True, 0)
+        assert base != preparation_key(tiny_graph, "l-wd", "random", None, 0.1, True, 0)
+        assert base != preparation_key(tiny_graph, "l-wd", "static", None, 0.2, True, 0)
+        assert base != preparation_key(tiny_graph, "l-wd", "static", None, 0.1, False, 0)
+        assert base != preparation_key(tiny_graph, "l-wd", "static", None, 0.1, True, 1)
+
+    def test_graph_content_changes_key(self, tiny_graph, gates_graph):
+        assert graph_fingerprint(tiny_graph) != graph_fingerprint(gates_graph)
+        assert pools_key(tiny_graph, "l-wd", "static", 0.1, 0) != pools_key(
+            gates_graph, "l-wd", "static", 0.1, 0
+        )
+
+    def test_study_key_covers_all_kwargs_and_graph(self, tiny_graph, gates_graph):
+        base = study_key(tiny_graph, dataset="d", model="m", epochs=3, lr=0.05)
+        assert base == study_key(tiny_graph, lr=0.05, epochs=3, model="m", dataset="d")
+        assert base != study_key(tiny_graph, dataset="d", model="m", epochs=4, lr=0.05)
+        # A regenerated dataset with the same zoo name must miss.
+        assert base != study_key(gates_graph, dataset="d", model="m", epochs=3, lr=0.05)
+
+    def test_graph_fingerprint_is_memoized(self, tiny_graph):
+        first = graph_fingerprint(tiny_graph)
+        assert graph_fingerprint(tiny_graph) is first
+
+
+class TestModelFingerprint:
+    def test_same_seed_same_fingerprint(self):
+        a = build_model("distmult", 10, 3, dim=4, seed=0)
+        b = build_model("distmult", 10, 3, dim=4, seed=0)
+        assert model_fingerprint(a) == model_fingerprint(b)
+
+    def test_parameter_change_changes_fingerprint(self):
+        model = build_model("distmult", 10, 3, dim=4, seed=0)
+        before = model_fingerprint(model)
+        next(iter(model.parameters.values())).data[0, 0] += 1.0
+        assert model_fingerprint(model) != before
+
+    def test_ground_truth_key_tracks_model_state(self, tiny_graph):
+        model = build_model("distmult", 6, 3, dim=4, seed=0)
+        before = ground_truth_key(tiny_graph, model, "test", (1, 3, 10))
+        assert before == ground_truth_key(tiny_graph, model, "test", (1, 3, 10))
+        assert before != ground_truth_key(tiny_graph, model, "valid", (1, 3, 10))
+        next(iter(model.parameters.values())).data[0, 0] += 1.0
+        assert before != ground_truth_key(tiny_graph, model, "test", (1, 3, 10))
+
+
+@pytest.mark.parametrize(
+    "fields",
+    [
+        {"dataset": "codex-s-lite", "fraction": 0.1, "seed": 0},
+        {"nested": {"b": [1, 2], "a": None}, "flag": True},
+    ],
+)
+def test_keys_stable_across_processes(fields):
+    """The cache contract: a key computed in another process matches."""
+    local = cache_key("cross-process", fields)
+    script = (
+        "import json, sys; from repro.store import cache_key; "
+        "print(cache_key('cross-process', json.loads(sys.argv[1])))"
+    )
+    import json
+
+    result = subprocess.run(
+        [sys.executable, "-c", script, json.dumps(fields)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+        check=True,
+    )
+    assert result.stdout.strip() == local

@@ -33,6 +33,8 @@ class TestParser:
             "complexity",
             "analyze",
             "evaluate",
+            "runs",
+            "cache",
         }
 
 
@@ -103,3 +105,64 @@ class TestCommands:
         from repro.models import load_model
 
         assert load_model(checkpoint).name == "distmult"
+
+
+class TestStoreCommands:
+    def test_runs_list_on_empty_store(self, tmp_path, capsys):
+        assert main(["runs", "list", "--store", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "Run journal (0 runs)" in out
+        assert "(no rows)" in out
+
+    def test_cache_ls_on_empty_store(self, tmp_path, capsys):
+        assert main(["cache", "ls", "--store", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "Artifact cache (0 artifacts" in out
+
+    def test_runs_show_unknown_id_fails(self, tmp_path, capsys):
+        assert main(["runs", "show", "deadbeef", "--store", str(tmp_path / "s")]) == 1
+        assert "no run matching" in capsys.readouterr().out
+
+    def test_evaluate_with_store_then_inspect(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        args = [
+            "evaluate",
+            "--dataset", "codex-s-lite",
+            "--model", "distmult",
+            "--epochs", "1",
+            "--dim", "8",
+            "--store", store,
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Journaled run" in out
+
+        assert main(["runs", "list", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "cli:evaluate" in out and "miss" in out
+
+        # The second run reuses the cached preparation and ground truth.
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(["runs", "list", "--store", store, "--format", "json"]) == 0
+        import json
+
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["Cache"] for row in rows] == ["miss", "hit"]
+
+        run_id = rows[0]["Run"]
+        assert main(["runs", "show", run_id, "--store", store]) == 0
+        detail = capsys.readouterr().out
+        assert '"kind": "cli:evaluate"' in detail and "codex-s-lite" in detail
+
+        assert main(["cache", "ls", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "pools" in out and "truth" in out
+
+        assert main(["cache", "gc", "--store", store]) == 0
+        assert "Removed 0 orphaned files" in capsys.readouterr().out
+
+    def test_runs_list_env_default(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
+        assert main(["runs", "list"]) == 0
+        assert "env-store" in capsys.readouterr().out
