@@ -9,6 +9,7 @@ Subpackages
 ``repro.models``        numpy KGE models and trainer
 ``repro.recommenders``  relation recommenders (L-WD, PT, DBH, OntoSim, PIE)
 ``repro.core``          the evaluation framework (the paper's contribution)
+``repro.engine``        parallel chunked evaluation engine (workers/chunks)
 ``repro.kp``            Knowledge Persistence baseline
 ``repro.metrics``       ranking + agreement metrics
 ``repro.bench``         experiment drivers for every paper table/figure

@@ -216,23 +216,28 @@ def evaluate_epoch(
     kp_seed: int = 0,
     with_kp: bool = True,
     store: "ExperimentStore | None" = None,
+    workers: int = 1,
 ) -> EpochEvaluation:
     """Run the full + estimated + KP measurements for one model state.
 
     With a store, the expensive full evaluation goes through the
     ground-truth cache (keyed by the model's exact parameters), so e.g.
     extending a study by more epochs only pays for the new epochs.
+    ``workers`` fans the full and sampled rankings across that many
+    scoring processes (the metrics are identical at any worker count).
     """
     if store is not None:
-        full = store.cached_evaluate_full(model, graph, split=split)
+        full = store.cached_evaluate_full(model, graph, split=split, workers=workers)
     else:
-        full = evaluate_full(model, graph, split=split)
+        full = evaluate_full(model, graph, split=split, workers=workers)
     estimated: dict[Strategy, RankingMetrics] = {}
     estimated_seconds: dict[Strategy, float] = {}
     kp_values: dict[Strategy, float] = {}
     kp_seconds: dict[Strategy, float] = {}
     for strategy in STRATEGIES:
-        result = evaluate_sampled(model, graph, pools_by_strategy[strategy], split=split)
+        result = evaluate_sampled(
+            model, graph, pools_by_strategy[strategy], split=split, workers=workers
+        )
         estimated[strategy] = result.metrics
         estimated_seconds[strategy] = result.seconds
         if with_kp:
@@ -274,12 +279,16 @@ def run_training_study(
     kp_triples: int | None = 200,
     lr: float = 0.05,
     store: "ExperimentStore | None" = None,
+    workers: int = 1,
 ) -> StudyResult:
     """Train one model on one zoo dataset, evaluating every epoch.
 
     The loss follows :data:`DEFAULT_LOSSES`; pools are drawn once before
     training (the framework's once-per-dataset cost) and reused at every
-    epoch, exactly as the paper's protocol prescribes.
+    epoch, exactly as the paper's protocol prescribes.  ``workers`` fans
+    every per-epoch ranking pass across that many scoring processes
+    (``workers`` is an execution knob, not provenance: it is excluded
+    from the study cache key because results are identical at any count).
 
     With a ``store``, a completed study of the identical configuration is
     returned straight from the artifact cache — zero trainer epochs, zero
@@ -350,6 +359,7 @@ def run_training_study(
                 kp_seed=seed,
                 with_kp=with_kp,
                 store=store,
+                workers=workers,
             )
         )
 

@@ -10,6 +10,7 @@ first:
 * ``complexity``      — sampling-cost accounting (Table 3);
 * ``evaluate``        — train a model, then compare the full ranking
   against the random and guided estimates (the quickstart as one command);
+  ``--workers N`` fans the ranking passes across N scoring processes;
 * ``runs``            — list/show the experiment store's run journal;
 * ``cache``           — list or garbage-collect the artifact cache.
 
@@ -36,6 +37,7 @@ from repro.bench.experiments import (
 from repro.bench.tables import render_table
 from repro.core.complexity import sampling_complexity
 from repro.core.protocol import EvaluationProtocol
+from repro.engine.chunking import DEFAULT_CHUNK_SIZE
 from repro.datasets.zoo import available_datasets, load
 from repro.kg.io import save_graph_dir, write_types
 from repro.models import Trainer, TrainingConfig, available_models, build_model
@@ -186,11 +188,13 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         types=dataset.types,
         seed=args.seed,
         store=store,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
     )
     guided.prepare()
     random_protocol = EvaluationProtocol(
         graph, strategy="random", sample_fraction=args.fraction, seed=args.seed,
-        store=store,
+        store=store, workers=args.workers, chunk_size=args.chunk_size,
     )
     truth = guided.evaluate_full(model)
     random_estimate = random_protocol.evaluate(model)
@@ -239,6 +243,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
                 "strategy": args.strategy,
                 "fraction": args.fraction,
                 "seed": args.seed,
+                "workers": args.workers,
             },
             seconds=time.perf_counter() - wall_start,
             metrics={
@@ -334,6 +339,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", default="static", choices=("random", "probabilistic", "static")
     )
     evaluate.add_argument("--fraction", type=float, default=0.1)
+    evaluate.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="scoring processes for the ranking passes "
+        "(1 = serial, -1 = all cores; results are identical at any count)",
+    )
+    evaluate.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_CHUNK_SIZE,
+        help="queries ranked per score-matrix chunk",
+    )
     evaluate.add_argument("--seed", type=int, default=0)
     evaluate.add_argument("--save", help="write the trained model to this .npz path")
     evaluate.add_argument(

@@ -18,22 +18,15 @@ The companion functions formalise why uniform pools are optimistic:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.ranking import (
-    Query,
-    chunk_filtered_ranks,
-    collect_known_answers,
-    grouped_queries,
-    query_chunks,
-    split_triples,
-)
 from repro.core.sampling import NegativePools
+from repro.engine.chunking import DEFAULT_CHUNK_SIZE, Query
+from repro.engine.engine import EvaluationEngine
 from repro.kg.graph import SIDES, KnowledgeGraph, Side
-from repro.metrics.ranking import HITS_AT, RankingMetrics, aggregate_ranks, rank_of
+from repro.metrics.ranking import HITS_AT, RankingMetrics, rank_of
 from repro.models.base import KGEModel
 
 
@@ -86,40 +79,28 @@ def evaluate_sampled(
     split: str = "test",
     hits_at: tuple[int, ...] = HITS_AT,
     sides: tuple[Side, ...] = SIDES,
+    workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> SampledEvaluationResult:
-    """Estimate ranking metrics of ``model`` using pre-drawn pools."""
-    start = time.perf_counter()
-    ranks: dict[Query, float] = {}
-    num_scored = 0
-    for (r, side), queries in grouped_queries(graph, split, sides).items():
-        pool = pools.pool(r, side)
-        anchors = np.asarray([q[0] for q in queries], dtype=np.int64)
-        truths = np.asarray([q[1] for q in queries], dtype=np.int64)
-        for chunk in query_chunks(len(queries)):
-            chunk_queries = queries[chunk]
-            b = len(chunk_queries)
-            # One batched call scores every query's truth: the diagonal of
-            # the (b, b) anchor x truth score matrix.
-            true_scores = np.diagonal(
-                model.score_candidates_batch(anchors[chunk], r, side, truths[chunk])
-            )
-            if pool.size == 0:
-                for (anchor, truth, h, t) in chunk_queries:
-                    ranks[(h, r, t, side)] = 1.0
-                num_scored += b
-                continue
-            pool_scores = model.score_candidates_batch(anchors[chunk], r, side, pool)
-            num_scored += pool_scores.size + b
-            knowns = collect_known_answers(graph, chunk_queries, r, side)
-            chunk_ranks = chunk_filtered_ranks(pool_scores, true_scores, knowns, pool=pool)
-            for (anchor, truth, h, t), rank in zip(chunk_queries, chunk_ranks):
-                ranks[(h, r, t, side)] = float(rank)
+    """Estimate ranking metrics of ``model`` using pre-drawn pools.
+
+    Execution goes through :class:`repro.engine.EvaluationEngine`:
+    ``workers`` fans the chunk schedule across scoring processes (the
+    pools ship to each worker once, at pool start) and ``chunk_size``
+    bounds the per-chunk score matrix.  Ranks are bitwise-identical
+    across worker counts.
+    """
+    engine = EvaluationEngine(workers=workers, chunk_size=chunk_size)
+    run = engine.run(
+        model, graph, split=split, pools=pools, hits_at=hits_at, sides=sides
+    )
+    assert run.ranks is not None
     return SampledEvaluationResult(
-        metrics=aggregate_ranks(ranks.values(), hits_at=hits_at),
+        metrics=run.metrics,
         strategy=pools.strategy,
-        ranks=ranks,
-        seconds=time.perf_counter() - start,
-        num_scored=num_scored,
+        ranks=run.ranks,
+        seconds=run.seconds,
+        num_scored=run.num_scored,
     )
 
 

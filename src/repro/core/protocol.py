@@ -26,6 +26,7 @@ from repro.core.candidates import CandidateSets, build_static_candidates
 from repro.core.estimators import SampledEvaluationResult, evaluate_sampled
 from repro.core.ranking import FullEvaluationResult, evaluate_full
 from repro.core.sampling import NegativePools, Strategy, build_pools
+from repro.engine.chunking import DEFAULT_CHUNK_SIZE
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.typing import TypeStore
 from repro.metrics.ranking import HITS_AT
@@ -83,6 +84,14 @@ class EvaluationProtocol:
         ``prepare()`` reloads previously built candidates/pools instead of
         refitting, and ``evaluate_full`` serves cached ground truths for
         bit-identical (graph, model, split) configurations.
+    workers:
+        Scoring processes for ``evaluate`` / ``evaluate_full`` (1 =
+        serial in-process, negative = all cores).  The engine fans query
+        chunks across the workers; ranks are bitwise-identical at any
+        worker count.
+    chunk_size:
+        Queries ranked per score-matrix chunk — bounds the per-chunk
+        ``chunk_size x num_candidates`` intermediate.
     """
 
     def __init__(
@@ -96,6 +105,8 @@ class EvaluationProtocol:
         include_observed: bool = True,
         seed: int = 0,
         store: "ExperimentStore | None" = None,
+        workers: int = 1,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
     ):
         if num_samples is None and sample_fraction is None:
             sample_fraction = 0.1  # the paper's default operating point
@@ -107,6 +118,8 @@ class EvaluationProtocol:
         self.include_observed = include_observed
         self.seed = seed
         self.store = store
+        self.workers = workers
+        self.chunk_size = chunk_size
         if isinstance(recommender, str):
             recommender = build_recommender(recommender)
         self.recommender = recommender
@@ -257,29 +270,57 @@ class EvaluationProtocol:
         model: KGEModel,
         split: str = "test",
         hits_at: tuple[int, ...] = HITS_AT,
+        workers: int | None = None,
     ) -> SampledEvaluationResult:
-        """Fast sampled estimate of the filtered ranking metrics."""
+        """Fast sampled estimate of the filtered ranking metrics.
+
+        ``workers`` overrides the protocol-level worker count for this
+        call (None = use the protocol's setting).
+        """
         if self.pools is None:
             self.prepare()
         assert self.pools is not None
-        return evaluate_sampled(model, self.graph, self.pools, split=split, hits_at=hits_at)
+        return evaluate_sampled(
+            model,
+            self.graph,
+            self.pools,
+            split=split,
+            hits_at=hits_at,
+            workers=self.workers if workers is None else workers,
+            chunk_size=self.chunk_size,
+        )
 
     def evaluate_full(
         self,
         model: KGEModel,
         split: str = "test",
         hits_at: tuple[int, ...] = HITS_AT,
+        workers: int | None = None,
     ) -> FullEvaluationResult:
         """The full filtered ranking protocol (the expensive ground truth).
 
         With a store attached, the result is served from / saved to the
-        ground-truth cache, keyed by the model's exact parameters.
+        ground-truth cache, keyed by the model's exact parameters; on a
+        miss the recomputation fans out across ``workers`` processes.
         """
+        workers = self.workers if workers is None else workers
         if self.store is not None:
             return self.store.cached_evaluate_full(
-                model, self.graph, split=split, hits_at=hits_at
+                model,
+                self.graph,
+                split=split,
+                hits_at=hits_at,
+                workers=workers,
+                chunk_size=self.chunk_size,
             )
-        return evaluate_full(model, self.graph, split=split, hits_at=hits_at)
+        return evaluate_full(
+            model,
+            self.graph,
+            split=split,
+            hits_at=hits_at,
+            workers=workers,
+            chunk_size=self.chunk_size,
+        )
 
     def __repr__(self) -> str:
         size = self.num_samples if self.num_samples is not None else f"{self.sample_fraction:.0%}"

@@ -6,120 +6,34 @@ remove known true answers (filtered setting) and record the rank of the
 truth.  Cost is ``O(|E|)`` scores per query, ``O(|E| * |test|)`` overall —
 the quadratic blow-up (relative to sampled evaluation) that motivates the
 whole framework.
+
+The chunking / grouping / filtering machinery lives in
+:mod:`repro.engine.chunking` (re-exported here for backwards
+compatibility) and execution is delegated to
+:class:`repro.engine.EvaluationEngine`, so the full protocol can fan its
+chunks across worker processes: ``evaluate_full(model, graph, workers=4)``.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.kg.graph import SIDES, KnowledgeGraph, Side, TripleSet
-from repro.metrics.ranking import HITS_AT, RankingMetrics, aggregate_ranks
+# Re-exported: the shared chunking substrate moved to repro.engine.
+from repro.engine.chunking import (  # noqa: F401
+    DEFAULT_CHUNK_SIZE,
+    Query,
+    chunk_filtered_ranks,
+    collect_known_answers,
+    grouped_queries,
+    query_chunks,
+    split_triples,
+)
+from repro.engine.engine import EvaluationEngine
+from repro.kg.graph import SIDES, KnowledgeGraph, Side
+from repro.metrics.ranking import HITS_AT, RankingMetrics
 from repro.models.base import KGEModel
-
-Query = tuple[int, int, int, Side]
-"""A ranking query: ``(head, relation, tail, side)`` where ``side`` names
-the slot being predicted."""
-
-
-def split_triples(graph: KnowledgeGraph, split: str) -> TripleSet:
-    """Resolve a split name to its :class:`TripleSet`."""
-    if split not in ("train", "valid", "test"):
-        raise KeyError(f"unknown split {split!r}; expected train, valid or test")
-    return getattr(graph, split)
-
-
-def grouped_queries(
-    graph: KnowledgeGraph,
-    split: str,
-    sides: tuple[Side, ...] = SIDES,
-) -> dict[tuple[int, Side], list[tuple[int, int, int, int]]]:
-    """Group a split's ranking queries by ``(relation, side)``.
-
-    Each group entry is ``(anchor, truth, head, tail)``.  Grouping is what
-    lets both evaluators score whole query batches against one candidate
-    set / pool with a single matrix product — the same-relation queries
-    share their candidates by construction of the framework.
-    """
-    groups: dict[tuple[int, Side], list[tuple[int, int, int, int]]] = {}
-    for h, r, t in split_triples(graph, split):
-        for side in sides:
-            anchor, truth = (t, h) if side == "head" else (h, t)
-            groups.setdefault((r, side), []).append((anchor, truth, h, t))
-    return groups
-
-
-def query_chunks(num_queries: int, chunk_size: int = 128):
-    """Yield index slices bounding the ``b x k`` score intermediates."""
-    for start in range(0, num_queries, chunk_size):
-        yield slice(start, min(start + chunk_size, num_queries))
-
-
-def collect_known_answers(
-    graph: KnowledgeGraph,
-    queries: list[tuple[int, int, int, int]],
-    relation: int,
-    side: Side,
-) -> list[np.ndarray]:
-    """Per-query filtered-answer arrays, each guaranteed to contain its truth.
-
-    For queries drawn from a graph split the truth is always in the filter
-    index; the guard covers caller-supplied triples the index never saw.
-    """
-    knowns: list[np.ndarray] = []
-    for anchor, truth, _, _ in queries:
-        known = graph.true_answers(anchor, relation, side)
-        if known.size == 0 or known[
-            min(int(np.searchsorted(known, truth)), known.size - 1)
-        ] != truth:
-            known = np.append(known, truth)
-        knowns.append(known)
-    return knowns
-
-
-def chunk_filtered_ranks(
-    scores: np.ndarray,
-    true_scores: np.ndarray,
-    knowns: list[np.ndarray],
-    pool: np.ndarray | None = None,
-) -> np.ndarray:
-    """Vectorised filtered ranks for one chunk of same-(relation, side) queries.
-
-    ``scores`` is ``(b, k)``: row ``i`` scores the candidates of query
-    ``i``.  ``knowns[i]`` are the entity ids to exclude (known answers,
-    truth included).  With ``pool`` None the candidate axis *is* the entity
-    axis (full evaluation); otherwise ``pool`` maps columns to sorted
-    entity ids and exclusions outside the pool are ignored.
-
-    The rank is ``1 + better + ties/2`` over non-excluded candidates; the
-    exclusion is applied as a vectorised correction (one fancy-indexed
-    gather and two bincounts per chunk) rather than per-row masking, which
-    is what keeps sampled evaluation sampling-bound instead of
-    Python-bound.
-    """
-    b = scores.shape[0]
-    better = (scores > true_scores[:, None]).sum(axis=1)
-    ties = (scores == true_scores[:, None]).sum(axis=1)
-    lengths = [known.size for known in knowns]
-    if sum(lengths):
-        flat = np.concatenate(knowns)
-        row_idx = np.repeat(np.arange(b), lengths)
-        if pool is None:
-            cols = flat
-        else:
-            cols = np.searchsorted(pool, flat)
-            np.minimum(cols, pool.size - 1, out=cols)
-            valid = pool[cols] == flat
-            row_idx = row_idx[valid]
-            cols = cols[valid]
-        if row_idx.size:
-            values = scores[row_idx, cols]
-            reference = true_scores[row_idx]
-            better -= np.bincount(row_idx[values > reference], minlength=b)
-            ties -= np.bincount(row_idx[values == reference], minlength=b)
-    return 1.0 + better + ties / 2.0
 
 
 def filtered_rank(
@@ -163,32 +77,26 @@ def evaluate_full(
     split: str = "test",
     hits_at: tuple[int, ...] = HITS_AT,
     sides: tuple[Side, ...] = SIDES,
+    workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> FullEvaluationResult:
     """Run the full filtered ranking protocol on one split.
 
     Every triple contributes one query per side in ``sides``; the returned
     per-query ranks are keyed by ``(h, r, t, side)`` so estimators can be
     compared against the ground truth query-by-query.
+
+    ``workers`` fans the chunk schedule across that many scoring
+    processes (1 = in-process serial; negative = all cores); the ranks
+    are bitwise-identical either way.  ``chunk_size`` bounds the
+    ``chunk_size x |E|`` score intermediate per chunk.
     """
-    start = time.perf_counter()
-    ranks: dict[Query, float] = {}
-    num_scored = 0
-    for (r, side), queries in grouped_queries(graph, split, sides).items():
-        anchors = np.asarray([q[0] for q in queries], dtype=np.int64)
-        truths = np.asarray([q[1] for q in queries], dtype=np.int64)
-        for chunk in query_chunks(len(queries)):
-            chunk_queries = queries[chunk]
-            scores = model.score_candidates_batch(anchors[chunk], r, side)
-            num_scored += scores.size
-            true_scores = scores[np.arange(len(chunk_queries)), truths[chunk]]
-            knowns = collect_known_answers(graph, chunk_queries, r, side)
-            chunk_ranks = chunk_filtered_ranks(scores, true_scores, knowns)
-            for (anchor, truth, h, t), rank in zip(chunk_queries, chunk_ranks):
-                ranks[(h, r, t, side)] = float(rank)
-    seconds = time.perf_counter() - start
+    engine = EvaluationEngine(workers=workers, chunk_size=chunk_size)
+    run = engine.run(model, graph, split=split, hits_at=hits_at, sides=sides)
+    assert run.ranks is not None
     return FullEvaluationResult(
-        metrics=aggregate_ranks(ranks.values(), hits_at=hits_at),
-        ranks=ranks,
-        seconds=seconds,
-        num_scored=num_scored,
+        metrics=run.metrics,
+        ranks=run.ranks,
+        seconds=run.seconds,
+        num_scored=run.num_scored,
     )

@@ -1,0 +1,58 @@
+"""The parallel chunked evaluation engine (`repro.engine`).
+
+One execution core for both evaluation protocols: queries are grouped by
+``(relation, side)``, cut into bounded chunks, scored — serially or
+across ``multiprocessing`` workers that receive the model / graph / pools
+once at pool start — and folded into :class:`RankingMetrics`, optionally
+through the flat-memory online :class:`RankAccumulator`.
+
+Entry points
+------------
+* :class:`EvaluationEngine` — ``run()`` a model over a split with
+  ``workers=`` / ``chunk_size=`` control;
+* the same knobs surface on :class:`repro.core.protocol.EvaluationProtocol`,
+  :func:`repro.bench.runner.run_training_study` and the CLI
+  (``repro evaluate --workers N``).
+"""
+
+from repro.engine.aggregator import RankAccumulator
+from repro.engine.chunking import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkTask,
+    Query,
+    chunk_filtered_ranks,
+    collect_known_answers,
+    grouped_queries,
+    ordered_groups,
+    plan_chunks,
+    query_chunks,
+    split_triples,
+)
+from repro.engine.engine import EngineRun, EvaluationEngine, resolve_workers
+from repro.engine.worker import (
+    EvaluationState,
+    GroupState,
+    build_state,
+    score_chunk,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "ChunkTask",
+    "EngineRun",
+    "EvaluationEngine",
+    "EvaluationState",
+    "GroupState",
+    "Query",
+    "RankAccumulator",
+    "build_state",
+    "chunk_filtered_ranks",
+    "collect_known_answers",
+    "grouped_queries",
+    "ordered_groups",
+    "plan_chunks",
+    "query_chunks",
+    "resolve_workers",
+    "score_chunk",
+    "split_triples",
+]

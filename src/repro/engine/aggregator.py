@@ -1,0 +1,97 @@
+"""Online aggregation of per-chunk ranks into :class:`RankingMetrics`.
+
+The engine streams chunks of ranks out of its workers; holding every rank
+until the end would put a ``float`` per query per run back on the heap —
+exactly the ``O(|test|)`` growth the chunked design avoids on
+million-entity graphs.  :class:`RankAccumulator` keeps the running sums
+the aggregate metrics need (``sum 1/r``, ``sum r``, per-threshold hit
+counts, the query count) so memory stays flat no matter how many chunks
+flow through, and partial accumulators from different workers can be
+merged associatively.
+
+Two deliberate divergences from the retained-ranks path, which is why
+the engine uses the accumulator only when ranks are *not* kept
+(``keep_ranks=False``) and the legacy aggregation otherwise, keeping
+default results bit-identical with pre-engine releases:
+
+* the streaming mean sums chunk partials in schedule order, which can
+  differ from :func:`repro.metrics.ranking.aggregate_ranks`'s pairwise
+  summation by float rounding in the last few ulps;
+* the accumulator counts every scored query, while the rank dictionary
+  collapses *duplicate* triples in a split to one ``(h, r, t, side)``
+  entry each (the legacy semantics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.ranking import HITS_AT, RankingMetrics
+
+
+class RankAccumulator:
+    """Streaming ``ranks -> RankingMetrics`` reducer.
+
+    Examples
+    --------
+    >>> acc = RankAccumulator(hits_at=(1, 3))
+    >>> acc.update(np.asarray([1.0, 4.0]))
+    >>> acc.update(np.asarray([2.0]))
+    >>> metrics = acc.finalize()
+    >>> metrics.num_queries
+    3
+    >>> round(metrics.mrr, 4)
+    0.5833
+    >>> metrics.hits_at(3)
+    0.6666666666666666
+    """
+
+    def __init__(self, hits_at: tuple[int, ...] = HITS_AT):
+        self.hits_at = tuple(hits_at)
+        self.num_queries = 0
+        self.inverse_rank_sum = 0.0
+        self.rank_sum = 0.0
+        self.hit_counts = {k: 0 for k in self.hits_at}
+
+    def update(self, ranks: np.ndarray) -> None:
+        """Fold one chunk of 1-based ranks into the running sums."""
+        ranks = np.asarray(ranks, dtype=np.float64)
+        if ranks.size == 0:
+            return
+        if (ranks < 1.0).any():
+            raise ValueError("ranks must be >= 1")
+        self.num_queries += int(ranks.size)
+        self.inverse_rank_sum += float(np.sum(1.0 / ranks))
+        self.rank_sum += float(np.sum(ranks))
+        for k in self.hits_at:
+            self.hit_counts[k] += int(np.count_nonzero(ranks <= k))
+
+    def merge(self, other: "RankAccumulator") -> "RankAccumulator":
+        """Fold another accumulator (e.g. a worker partial) into this one."""
+        if other.hits_at != self.hits_at:
+            raise ValueError(
+                f"hits grids differ: {self.hits_at} vs {other.hits_at}"
+            )
+        self.num_queries += other.num_queries
+        self.inverse_rank_sum += other.inverse_rank_sum
+        self.rank_sum += other.rank_sum
+        for k in self.hits_at:
+            self.hit_counts[k] += other.hit_counts[k]
+        return self
+
+    def finalize(self) -> RankingMetrics:
+        """The aggregate metrics of everything folded in so far."""
+        if self.num_queries == 0:
+            return RankingMetrics(
+                mrr=0.0,
+                hits={k: 0.0 for k in self.hits_at},
+                mean_rank=0.0,
+                num_queries=0,
+            )
+        n = self.num_queries
+        return RankingMetrics(
+            mrr=self.inverse_rank_sum / n,
+            hits={k: self.hit_counts[k] / n for k in self.hits_at},
+            mean_rank=self.rank_sum / n,
+            num_queries=n,
+        )

@@ -1,0 +1,156 @@
+"""Per-worker evaluation state and the chunk-scoring kernel.
+
+The engine's parallel path fans :class:`~repro.engine.chunking.ChunkTask`
+objects across a ``multiprocessing`` pool.  Everything heavy — the model
+parameters, the graph with its filter index, the candidate pools and the
+grouped query arrays — is built **once in the parent** and handed to each
+worker through the pool initializer (:func:`initialize_worker`), so each
+task only carries four integers.  Under the default ``fork`` start method
+on Linux the state is inherited copy-on-write and costs nothing; under
+``spawn`` it is pickled exactly once per worker at pool start, never per
+chunk.
+
+:func:`score_chunk` is the single scoring kernel both evaluation paths
+share; the serial engine path calls it directly on a locally built
+:class:`EvaluationState`, which is what guarantees bitwise-equal ranks
+between ``workers=1`` and ``workers=N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.engine.chunking import (
+    ChunkTask,
+    chunk_filtered_ranks,
+    collect_known_answers,
+    ordered_groups,
+)
+from repro.kg.graph import SIDES, KnowledgeGraph, Side
+from repro.models.base import KGEModel
+
+if TYPE_CHECKING:
+    from repro.core.sampling import NegativePools
+
+
+@dataclass
+class GroupState:
+    """One ``(relation, side)`` query group with its precomputed id arrays."""
+
+    relation: int
+    side: Side
+    queries: list[tuple[int, int, int, int]]
+    anchors: np.ndarray
+    truths: np.ndarray
+
+
+@dataclass
+class EvaluationState:
+    """Everything a chunk needs to score: model, graph, groups, pools."""
+
+    model: KGEModel
+    graph: KnowledgeGraph
+    groups: list[GroupState]
+    split: str = "test"
+    sides: tuple[Side, ...] = SIDES
+    pools: "NegativePools | None" = None
+
+
+def build_state(
+    model: KGEModel,
+    graph: KnowledgeGraph,
+    split: str,
+    sides: tuple[Side, ...] = SIDES,
+    pools: "NegativePools | None" = None,
+) -> EvaluationState:
+    """Materialise the evaluation state for one (model, split) run.
+
+    The group order is deterministic (split iteration order), so the state
+    built here and the states built inside worker processes agree on every
+    ``ChunkTask.group`` index.
+    """
+    graph.filter_index  # noqa: B018 — build the index before any timed chunk
+    groups = [
+        GroupState(
+            relation=relation,
+            side=side,
+            queries=queries,
+            anchors=np.asarray([q[0] for q in queries], dtype=np.int64),
+            truths=np.asarray([q[1] for q in queries], dtype=np.int64),
+        )
+        for (relation, side), queries in ordered_groups(graph, split, sides)
+    ]
+    return EvaluationState(
+        model=model, graph=graph, groups=groups, split=split, sides=sides, pools=pools
+    )
+
+
+def score_chunk(state: EvaluationState, task: ChunkTask) -> tuple[np.ndarray, int]:
+    """Rank one chunk of queries; returns ``(ranks, entities_scored)``.
+
+    With pools attached the chunk is the sampled path: the truths' scores
+    come from the diagonal of the anchor x truth score matrix and the
+    candidates are the chunk's relation-side pool.  Without pools it is
+    the full path: the candidate axis is the whole entity vocabulary.
+    """
+    group = state.groups[task.group]
+    chunk = slice(task.start, task.stop)
+    chunk_queries = group.queries[chunk]
+    anchors = group.anchors[chunk]
+    truths = group.truths[chunk]
+    model = state.model
+    b = len(chunk_queries)
+
+    if state.pools is None:
+        scores = model.score_candidates_batch(anchors, group.relation, group.side)
+        true_scores = scores[np.arange(b), truths]
+        knowns = collect_known_answers(
+            state.graph, chunk_queries, group.relation, group.side
+        )
+        return chunk_filtered_ranks(scores, true_scores, knowns), int(scores.size)
+
+    pool = state.pools.pool(group.relation, group.side)
+    if pool.size == 0:
+        # Nothing competes with the truth: every query ranks first.
+        return np.ones(b, dtype=np.float64), b
+    # One batched call scores every query's truth: the diagonal of the
+    # (b, b) anchor x truth score matrix.
+    true_scores = np.diagonal(
+        model.score_candidates_batch(anchors, group.relation, group.side, truths)
+    )
+    pool_scores = model.score_candidates_batch(
+        anchors, group.relation, group.side, pool
+    )
+    knowns = collect_known_answers(
+        state.graph, chunk_queries, group.relation, group.side
+    )
+    ranks = chunk_filtered_ranks(pool_scores, true_scores, knowns, pool=pool)
+    return ranks, int(pool_scores.size) + b
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing
+# ----------------------------------------------------------------------
+_WORKER_STATE: EvaluationState | None = None
+
+
+def initialize_worker(state: EvaluationState) -> None:
+    """Pool initializer: adopt the parent's already-built state.
+
+    The parent builds the state (groups, filter index) exactly once and
+    hands it over here — inherited copy-on-write under ``fork``, pickled
+    once per worker under ``spawn`` — so workers never repeat the
+    O(split) grouping work.
+    """
+    global _WORKER_STATE
+    _WORKER_STATE = state
+
+
+def run_task(task: ChunkTask) -> tuple[np.ndarray, int]:
+    """Score one chunk against the worker's shared state."""
+    if _WORKER_STATE is None:
+        raise RuntimeError("worker used before initialize_worker ran")
+    return score_chunk(_WORKER_STATE, task)

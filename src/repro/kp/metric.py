@@ -29,7 +29,17 @@ from repro.models.base import KGEModel
 
 @dataclass
 class KPResult:
-    """One KP measurement."""
+    """One KP measurement.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.kp.persistence import PersistenceDiagram
+    >>> diagram = PersistenceDiagram(np.empty((0, 2)))
+    >>> KPResult(value=0.5, seconds=0.1, num_positive=10, num_negative=10,
+    ...          positive_diagram=diagram, negative_diagram=diagram)
+    KPResult(value=0.5000, n+=10, n-=10)
+    """
 
     value: float
     seconds: float
@@ -101,6 +111,22 @@ def knowledge_persistence(
     pools:
         Negative-candidate pools steering the corruption — None for
         uniform (KP-R), probabilistic pools for KP-P, static for KP-S.
+
+    Examples
+    --------
+    >>> from repro.kg.graph import build_graph
+    >>> from repro.models import build_model
+    >>> graph = build_graph({
+    ...     "train": [("a", "r", "b"), ("b", "r", "c"), ("c", "r", "d")],
+    ...     "valid": [("a", "r", "c"), ("b", "r", "d")],
+    ... })
+    >>> model = build_model("distmult", graph.num_entities,
+    ...                     graph.num_relations, dim=4, seed=0)
+    >>> result = knowledge_persistence(model, graph, split="valid", seed=0)
+    >>> (result.num_positive, result.num_negative)
+    (2, 2)
+    >>> result.value >= 0.0
+    True
     """
     rng = np.random.default_rng(seed)
     start = time.perf_counter()

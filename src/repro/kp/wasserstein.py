@@ -36,6 +36,17 @@ def sliced_wasserstein(
 
     Deterministic: slice directions are evenly spaced over the half-circle
     rather than sampled, so repeated calls agree exactly.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.kp.persistence import PersistenceDiagram
+    >>> persistent = PersistenceDiagram(np.asarray([[0.0, 1.0]]))
+    >>> sliced_wasserstein(persistent, persistent)  # identity
+    0.0
+    >>> empty = PersistenceDiagram(np.empty((0, 2)))
+    >>> sliced_wasserstein(persistent, empty) > 0.0
+    True
     """
     if num_slices <= 0:
         raise ValueError(f"num_slices must be positive, got {num_slices}")

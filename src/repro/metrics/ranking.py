@@ -25,6 +25,14 @@ def rank_of(true_score: float, candidate_scores: np.ndarray) -> float:
 
     ``candidate_scores`` must *exclude* the true answer's own score; ties
     contribute half a position each (mean tie policy).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rank_of(2.0, np.asarray([3.0, 1.0, 0.5]))
+    2.0
+    >>> rank_of(1.0, np.asarray([1.0, 0.0]))  # one tie counts half
+    1.5
     """
     better = float(np.count_nonzero(candidate_scores > true_score))
     ties = float(np.count_nonzero(candidate_scores == true_score))
@@ -40,6 +48,16 @@ def ranks_from_score_matrix(
 
     ``filter_mask`` (same shape, boolean) marks candidates to exclude
     (known true answers); the true answer's own column is never excluded.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> scores = np.asarray([[0.9, 0.4, 0.1], [0.2, 0.8, 0.5]])
+    >>> ranks_from_score_matrix(scores, np.asarray([0, 2])).tolist()
+    [1.0, 2.0]
+    >>> mask = np.asarray([[False] * 3, [False, True, False]])
+    >>> ranks_from_score_matrix(scores, np.asarray([0, 2]), mask).tolist()
+    [1.0, 1.0]
     """
     scores = np.asarray(scores, dtype=np.float64)
     q = scores.shape[0]
@@ -56,7 +74,18 @@ def ranks_from_score_matrix(
 
 @dataclass(frozen=True)
 class RankingMetrics:
-    """Aggregated ranking metrics over a set of queries."""
+    """Aggregated ranking metrics over a set of queries.
+
+    Examples
+    --------
+    >>> metrics = aggregate_ranks([1.0, 2.0], hits_at=(1,))
+    >>> metrics.hits_at(1)
+    0.5
+    >>> metrics.as_dict()
+    {'mrr': 0.75, 'mean_rank': 1.5, 'hits@1': 0.5}
+    >>> metrics.metric("hits@1")
+    0.5
+    """
 
     mrr: float
     hits: dict[int, float]
@@ -88,7 +117,18 @@ class RankingMetrics:
 
 
 def aggregate_ranks(ranks: Iterable[float], hits_at: tuple[int, ...] = HITS_AT) -> RankingMetrics:
-    """Aggregate raw ranks into :class:`RankingMetrics`."""
+    """Aggregate raw ranks into :class:`RankingMetrics`.
+
+    Examples
+    --------
+    >>> metrics = aggregate_ranks([1.0, 4.0, 10.0])
+    >>> metrics.num_queries
+    3
+    >>> round(metrics.mrr, 3)
+    0.45
+    >>> metrics.hits_at(10)
+    1.0
+    """
     array = np.asarray(list(ranks), dtype=np.float64)
     if array.size == 0:
         return RankingMetrics(mrr=0.0, hits={k: 0.0 for k in hits_at}, mean_rank=0.0, num_queries=0)
@@ -103,7 +143,15 @@ def aggregate_ranks(ranks: Iterable[float], hits_at: tuple[int, ...] = HITS_AT) 
 
 
 def merge_metrics(parts: Iterable[RankingMetrics]) -> RankingMetrics:
-    """Query-count-weighted merge of per-side / per-batch metrics."""
+    """Query-count-weighted merge of per-side / per-batch metrics.
+
+    Examples
+    --------
+    >>> head = aggregate_ranks([1.0])
+    >>> tail = aggregate_ranks([2.0, 2.0, 2.0])
+    >>> merge_metrics([head, tail]).mrr
+    0.625
+    """
     parts = [p for p in parts if p.num_queries > 0]
     if not parts:
         return RankingMetrics(mrr=0.0, hits={k: 0.0 for k in HITS_AT}, mean_rank=0.0, num_queries=0)
@@ -126,6 +174,12 @@ def roc_auc(positive_scores: np.ndarray, negative_scores: np.ndarray) -> float:
     This is the sampled metric some inductive KGC work reports instead of
     full ranking (paper Section 1); exposed here so the framework can
     estimate it over hard negatives as the paper's Section 7 proposes.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> roc_auc(np.asarray([0.9, 0.8]), np.asarray([0.1, 0.8]))
+    0.875
     """
     pos = np.asarray(positive_scores, dtype=np.float64)
     neg = np.asarray(negative_scores, dtype=np.float64)
@@ -137,7 +191,14 @@ def roc_auc(positive_scores: np.ndarray, negative_scores: np.ndarray) -> float:
 
 
 def average_precision(positive_scores: np.ndarray, negative_scores: np.ndarray) -> float:
-    """Area under the precision-recall curve (average precision)."""
+    """Area under the precision-recall curve (average precision).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> round(average_precision(np.asarray([0.9, 0.5]), np.asarray([0.7])), 4)
+    0.8333
+    """
     pos = np.asarray(positive_scores, dtype=np.float64)
     neg = np.asarray(negative_scores, dtype=np.float64)
     if pos.size == 0 or neg.size == 0:
@@ -155,5 +216,12 @@ def metrics_from_rank_map(
     ranks_by_query: Mapping[tuple[int, int, int], float],
     hits_at: tuple[int, ...] = HITS_AT,
 ) -> RankingMetrics:
-    """Aggregate a ``query -> rank`` mapping (convenience for reports)."""
+    """Aggregate a ``query -> rank`` mapping (convenience for reports).
+
+    Examples
+    --------
+    >>> ranks = {(0, 0, 1): 1.0, (2, 0, 3): 3.0}
+    >>> round(metrics_from_rank_map(ranks).mrr, 3)
+    0.667
+    """
     return aggregate_ranks(ranks_by_query.values(), hits_at=hits_at)

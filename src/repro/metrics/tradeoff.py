@@ -21,7 +21,14 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class TradeoffPoint:
-    """One (CR, RR) operating point of a candidate generator."""
+    """One (CR, RR) operating point of a candidate generator.
+
+    Examples
+    --------
+    >>> point = TradeoffPoint(candidate_recall=0.8, reduction_rate=0.9)
+    >>> round(point.distance_to_ideal(), 4)
+    0.2236
+    """
 
     candidate_recall: float
     reduction_rate: float
@@ -38,7 +45,15 @@ class TradeoffPoint:
 
 
 def candidate_recall(num_hits: int, num_truths: int) -> float:
-    """CR = covered true combinations / all true combinations."""
+    """CR = covered true combinations / all true combinations.
+
+    Examples
+    --------
+    >>> candidate_recall(num_hits=3, num_truths=4)
+    0.75
+    >>> candidate_recall(0, 0)  # nothing to recall: vacuous success
+    1.0
+    """
     if num_truths < 0 or num_hits < 0 or num_hits > num_truths:
         raise ValueError(f"invalid counts hits={num_hits}, truths={num_truths}")
     if num_truths == 0:
@@ -47,7 +62,13 @@ def candidate_recall(num_hits: int, num_truths: int) -> float:
 
 
 def reduction_rate(kept: int, total: int) -> float:
-    """RR = 1 - kept / total (fraction of candidates filtered away)."""
+    """RR = 1 - kept / total (fraction of candidates filtered away).
+
+    Examples
+    --------
+    >>> reduction_rate(kept=100, total=400)
+    0.75
+    """
     if total <= 0 or kept < 0 or kept > total:
         raise ValueError(f"invalid counts kept={kept}, total={total}")
     return 1.0 - kept / total

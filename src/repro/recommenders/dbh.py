@@ -32,6 +32,16 @@ def type_slot_evidence(
 
     ``S[t, c] = 1`` iff some training entity of type ``t`` occupies slot
     ``c``.  This is the shared statistic behind DBH-T and OntoSim.
+
+    Examples
+    --------
+    >>> from repro.kg.graph import build_graph
+    >>> from repro.kg.typing import build_type_store
+    >>> graph = build_graph({"train": [("alice", "worksAt", "acme")]})
+    >>> types = build_type_store({0: ["Person"], 1: ["Company"]})
+    >>> type_slot_evidence(graph, types).toarray()
+    array([[1., 0.],
+           [0., 1.]])
     """
     membership = types.membership_matrix(graph.num_entities)  # |E| x |T|
     b = binary_incidence(graph)  # |E| x 2|R|
@@ -41,7 +51,16 @@ def type_slot_evidence(
 
 
 class DegreeBased(RelationRecommender):
-    """DBH: raw per-slot occurrence counts."""
+    """DBH: raw per-slot occurrence counts.
+
+    Examples
+    --------
+    >>> from repro.kg.graph import build_graph
+    >>> graph = build_graph({"train": [("a", "r", "b"), ("a", "r", "c")]})
+    >>> fitted = DegreeBased().fit(graph)
+    >>> fitted.score_of(0, 0, "head")  # 'a' seen twice as the head of r
+    2.0
+    """
 
     name = "dbh"
 
@@ -53,7 +72,24 @@ class DegreeBased(RelationRecommender):
 
 
 class DegreeBasedTyped(RelationRecommender):
-    """DBH-T: counts of an entity's types with slot evidence."""
+    """DBH-T: counts of an entity's types with slot evidence.
+
+    Examples
+    --------
+    Lyon was never seen as a ``capitalOf`` head, but shares Paris's type,
+    so the typed lift scores it anyway — the unseen-candidate recall PT
+    and DBH structurally lack:
+
+    >>> from repro.kg.graph import build_graph
+    >>> from repro.kg.typing import build_type_store
+    >>> graph = build_graph({"train": [
+    ...     ("paris", "capitalOf", "france"), ("lyon", "locatedIn", "france"),
+    ... ]})
+    >>> types = build_type_store({0: ["City"], 1: ["Country"], 2: ["City"]})
+    >>> fitted = DegreeBasedTyped().fit(graph, types)
+    >>> fitted.score_of(2, 0, "head")
+    1.0
+    """
 
     name = "dbh-t"
     requires_types = True

@@ -29,6 +29,17 @@ def confidence_matrix(b: sp.spmatrix) -> sp.csr_matrix:
     ``W[i, j] = |support(i, j)| / |support(i)|`` — the confidence of the
     rule "members of slot i are also members of slot j".  The diagonal is
     1 by construction wherever slot i is non-empty.
+
+    Examples
+    --------
+    Slot 0's single member is also in slot 1, but only half of slot 1's
+    members are in slot 0:
+
+    >>> import numpy as np
+    >>> import scipy.sparse as sp
+    >>> b = sp.csr_matrix(np.asarray([[1.0, 1.0], [0.0, 1.0]]))
+    >>> confidence_matrix(b).toarray().tolist()
+    [[1.0, 1.0], [0.5, 1.0]]
     """
     co = (b.T @ b).tocsr()
     support = np.asarray(co.diagonal()).reshape(-1)
@@ -47,6 +58,19 @@ class LinearWD(RelationRecommender):
     use_types:
         Fit the typed variant (L-WD-T).  Type membership columns are
         appended to ``B`` before forming ``W`` and sliced off the output.
+
+    Examples
+    --------
+    ``a`` occupies the r1-head slot, whose one member also heads r2 — so
+    the rule fires and ``a`` scores for r2's domain too:
+
+    >>> from repro.kg.graph import build_graph
+    >>> graph = build_graph({"train": [("a", "r1", "b"), ("a", "r2", "c")]})
+    >>> fitted = LinearWD().fit(graph)
+    >>> fitted.name
+    'l-wd'
+    >>> fitted.score_of(0, 1, "head") > 0.0
+    True
     """
 
     def __init__(self, use_types: bool = False):

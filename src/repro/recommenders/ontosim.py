@@ -18,7 +18,21 @@ from repro.recommenders.dbh import type_slot_evidence
 
 
 class OntoSim(RelationRecommender):
-    """OntoSim: binary type-closure candidate sets."""
+    """OntoSim: binary type-closure candidate sets.
+
+    Examples
+    --------
+    >>> from repro.kg.graph import build_graph
+    >>> from repro.kg.typing import build_type_store
+    >>> graph = build_graph({"train": [("paris", "capitalOf", "france")]})
+    >>> types = build_type_store({0: ["City"], 1: ["Country"]})
+    >>> OntoSim().fit(graph, types).score_of(0, 0, "head")
+    1.0
+    >>> OntoSim().fit(graph)  # typed recommenders insist on type data
+    Traceback (most recent call last):
+        ...
+    ValueError: ontosim requires entity types
+    """
 
     name = "ontosim"
     requires_types = True

@@ -56,6 +56,16 @@ class PIE(RelationRecommender):
     score_floor:
         Predicted probabilities below this are dropped when sparsifying
         the output matrix; seen slots are always kept at score >= 1.
+
+    Examples
+    --------
+    >>> from repro.kg.graph import build_graph
+    >>> graph = build_graph({"train": [("a", "r", "b"), ("c", "r", "b")]})
+    >>> fitted = PIE(epochs=2, hidden_dim=4, seed=0).fit(graph)
+    >>> fitted.matrix.shape
+    (3, 2)
+    >>> fitted.score_of(0, 0, "head") >= 1.0  # seen slots never drop out
+    True
     """
 
     name = "pie"

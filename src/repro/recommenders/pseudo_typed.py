@@ -17,7 +17,18 @@ from repro.recommenders.base import RelationRecommender, binary_incidence
 
 
 class PseudoTyped(RelationRecommender):
-    """PT: the binary incidence matrix itself, ``X = B``."""
+    """PT: the binary incidence matrix itself, ``X = B``.
+
+    Examples
+    --------
+    >>> from repro.kg.graph import build_graph
+    >>> graph = build_graph({"train": [("a", "r", "b")]})
+    >>> fitted = PseudoTyped().fit(graph)
+    >>> fitted.column_support(0, "head").tolist()  # only 'a' was seen
+    [0]
+    >>> fitted.column_support(0, "tail").tolist()
+    [1]
+    """
 
     name = "pt"
 

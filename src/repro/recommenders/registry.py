@@ -23,7 +23,13 @@ RECOMMENDER_REGISTRY: dict[str, Callable[[], RelationRecommender]] = {
 
 
 def available_recommenders() -> list[str]:
-    """Names of all registered recommenders."""
+    """Names of all registered recommenders.
+
+    Examples
+    --------
+    >>> available_recommenders()
+    ['dbh', 'dbh-t', 'l-wd', 'l-wd-t', 'ontosim', 'pie', 'pt']
+    """
     return sorted(RECOMMENDER_REGISTRY)
 
 
@@ -32,6 +38,17 @@ def build_recommender(name: str, **kwargs) -> RelationRecommender:
 
     ``kwargs`` are forwarded to the constructor (useful for PIE's training
     schedule); the zero-argument factories reject unexpected kwargs.
+
+    Examples
+    --------
+    >>> build_recommender("pt").name
+    'pt'
+    >>> build_recommender("L-WD").name  # case-insensitive
+    'l-wd'
+    >>> build_recommender("nope")
+    Traceback (most recent call last):
+        ...
+    KeyError: "unknown recommender 'nope'; available: dbh, dbh-t, l-wd, l-wd-t, ontosim, pie, pt"
     """
     key = name.lower()
     if key not in RECOMMENDER_REGISTRY:

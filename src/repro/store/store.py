@@ -63,6 +63,8 @@ class ExperimentStore:
         graph: KnowledgeGraph,
         split: str = "test",
         hits_at: tuple[int, ...] = HITS_AT,
+        workers: int = 1,
+        chunk_size: int | None = None,
     ) -> FullEvaluationResult:
         """Full filtered-ranking evaluation through the ground-truth cache.
 
@@ -71,12 +73,20 @@ class ExperimentStore:
         same computation.  Cached results keep their *original* compute
         ``seconds`` — speed-up tables stay meaningful — while the actual
         wall-clock of a hit is just the artifact load.
+
+        ``workers`` / ``chunk_size`` only shape the *miss* path (they are
+        execution knobs, not provenance, so they are deliberately outside
+        the cache key — the engine produces identical ranks at any worker
+        count).
         """
         key = ground_truth_key(graph, model, split, hits_at)
         cached = self.artifacts.get_json("truth", key)
         if cached is not None:
             return full_result_from_dict(cached)
-        result = evaluate_full(model, graph, split=split, hits_at=hits_at)
+        engine_kwargs = {"workers": workers}
+        if chunk_size is not None:
+            engine_kwargs["chunk_size"] = chunk_size
+        result = evaluate_full(model, graph, split=split, hits_at=hits_at, **engine_kwargs)
         self.artifacts.put_json(
             "truth",
             key,

@@ -1,0 +1,67 @@
+"""The online rank accumulator: streaming metrics, mergeable partials."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.aggregator import RankAccumulator
+from repro.metrics.ranking import aggregate_ranks
+
+
+class TestRankAccumulator:
+    def test_matches_batch_aggregation(self, rng):
+        ranks = rng.integers(1, 500, size=1000).astype(np.float64)
+        acc = RankAccumulator()
+        for chunk in np.array_split(ranks, 13):
+            acc.update(chunk)
+        streamed = acc.finalize()
+        batch = aggregate_ranks(ranks)
+        assert streamed.num_queries == batch.num_queries
+        assert streamed.mrr == pytest.approx(batch.mrr, abs=1e-12)
+        assert streamed.mean_rank == pytest.approx(batch.mean_rank, abs=1e-9)
+        assert streamed.hits == batch.hits
+
+    def test_empty_accumulator_finalizes_to_zero_metrics(self):
+        metrics = RankAccumulator(hits_at=(1, 10)).finalize()
+        assert metrics.num_queries == 0
+        assert metrics.mrr == 0.0
+        assert metrics.hits == {1: 0.0, 10: 0.0}
+
+    def test_empty_chunks_are_noops(self):
+        acc = RankAccumulator()
+        acc.update(np.empty(0))
+        acc.update(np.asarray([2.0]))
+        acc.update(np.empty(0))
+        assert acc.finalize().num_queries == 1
+
+    def test_rejects_sub_one_ranks(self):
+        acc = RankAccumulator()
+        with pytest.raises(ValueError, match=">= 1"):
+            acc.update(np.asarray([0.5]))
+
+    def test_merge_equals_single_stream(self, rng):
+        ranks = rng.integers(1, 50, size=200).astype(np.float64)
+        single = RankAccumulator()
+        single.update(ranks)
+
+        left, right = RankAccumulator(), RankAccumulator()
+        left.update(ranks[:77])
+        right.update(ranks[77:])
+        merged = left.merge(right).finalize()
+
+        expected = single.finalize()
+        assert merged.num_queries == expected.num_queries
+        assert merged.mrr == pytest.approx(expected.mrr, abs=1e-12)
+        assert merged.hits == expected.hits
+
+    def test_merge_rejects_mismatched_hits_grids(self):
+        with pytest.raises(ValueError, match="hits grids"):
+            RankAccumulator(hits_at=(1,)).merge(RankAccumulator(hits_at=(1, 3)))
+
+    def test_mean_tie_ranks_count_fractionally(self):
+        acc = RankAccumulator(hits_at=(1, 3))
+        acc.update(np.asarray([1.5, 3.0]))
+        metrics = acc.finalize()
+        assert metrics.hits_at(1) == 0.0  # 1.5 is not a hit at 1
+        assert metrics.hits_at(3) == 1.0

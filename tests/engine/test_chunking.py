@@ -1,0 +1,75 @@
+"""Chunk planning and the deterministic task schedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.chunking import (
+    ChunkTask,
+    grouped_queries,
+    ordered_groups,
+    plan_chunks,
+    query_chunks,
+)
+
+
+class TestPlanChunks:
+    def test_covers_every_query_exactly_once(self, tiny_graph):
+        groups = ordered_groups(tiny_graph, "train")
+        tasks = plan_chunks(groups, chunk_size=2)
+        total_queries = sum(len(queries) for _, queries in groups)
+        assert sum(t.num_queries for t in tasks) == total_queries
+        # Chunks of one group tile [0, len) without gaps or overlaps.
+        for index, (_, queries) in enumerate(groups):
+            spans = sorted(
+                (t.start, t.stop) for t in tasks if t.group == index
+            )
+            assert spans[0][0] == 0
+            assert spans[-1][1] == len(queries)
+            for (_, stop), (start, _) in zip(spans, spans[1:]):
+                assert stop == start
+
+    def test_tasks_carry_their_group_identity(self, tiny_graph):
+        groups = ordered_groups(tiny_graph, "test")
+        tasks = plan_chunks(groups, chunk_size=128)
+        for task in tasks:
+            (relation, side), _ = groups[task.group]
+            assert task.relation == relation
+            assert task.side == side
+
+    def test_chunk_size_bounds_every_task(self, tiny_graph):
+        tasks = plan_chunks(ordered_groups(tiny_graph, "train"), chunk_size=1)
+        assert all(t.num_queries == 1 for t in tasks)
+
+    def test_rejects_nonpositive_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            plan_chunks([], chunk_size=0)
+
+    def test_empty_split_plans_no_tasks(self, gates_graph):
+        # gates_graph has no test triples at all.
+        assert plan_chunks(ordered_groups(gates_graph, "test")) == []
+
+    def test_schedule_is_deterministic(self, tiny_graph):
+        a = plan_chunks(ordered_groups(tiny_graph, "train"), chunk_size=2)
+        b = plan_chunks(ordered_groups(tiny_graph, "train"), chunk_size=2)
+        assert a == b
+        assert all(isinstance(t, ChunkTask) for t in a)
+
+
+class TestQueryChunks:
+    def test_slices_tile_the_range(self):
+        slices = list(query_chunks(10, 3))
+        assert [(s.start, s.stop) for s in slices] == [
+            (0, 3), (3, 6), (6, 9), (9, 10),
+        ]
+
+    def test_zero_queries_yield_nothing(self):
+        assert list(query_chunks(0)) == []
+
+
+class TestOrderedGroups:
+    def test_matches_grouped_queries_order(self, tiny_graph):
+        groups = ordered_groups(tiny_graph, "valid")
+        mapping = grouped_queries(tiny_graph, "valid")
+        assert [key for key, _ in groups] == list(mapping.keys())
+        assert [queries for _, queries in groups] == list(mapping.values())

@@ -1,0 +1,207 @@
+"""The engine's headline guarantee: parallelism never changes a result.
+
+Every test here compares a multi-worker run against the serial path on
+the same inputs and demands *exact* equality — same rank dictionary, same
+metrics — because the engine consumes chunk results in schedule order and
+scoring is deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import evaluate_sampled
+from repro.core.protocol import EvaluationProtocol
+from repro.core.ranking import evaluate_full
+from repro.engine import EvaluationEngine, resolve_workers
+from repro.models import build_model
+from repro.store import ExperimentStore
+
+
+@pytest.fixture(scope="module")
+def graph_and_model():
+    from repro.datasets.zoo import load
+
+    dataset = load("codex-s-lite")
+    graph = dataset.graph
+    model = build_model(
+        "complex", graph.num_entities, graph.num_relations, dim=16, seed=0
+    )
+    return dataset, graph, model
+
+
+class TestResolveWorkers:
+    def test_none_and_zero_mean_serial(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(0) == 1
+
+    def test_negative_means_all_cores(self):
+        assert resolve_workers(-1) >= 1
+
+    def test_positive_passes_through(self):
+        assert resolve_workers(3) == 3
+
+    def test_engine_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            EvaluationEngine(chunk_size=0)
+
+
+class TestFullEvaluationParallel:
+    def test_ranks_bitwise_equal_across_worker_counts(self, graph_and_model):
+        _, graph, model = graph_and_model
+        serial = evaluate_full(model, graph, workers=1)
+        parallel = evaluate_full(model, graph, workers=3)
+        assert parallel.ranks == serial.ranks
+        assert parallel.metrics == serial.metrics
+        assert parallel.num_scored == serial.num_scored
+
+    def test_chunk_size_does_not_change_ranks(self, graph_and_model):
+        _, graph, model = graph_and_model
+        default = evaluate_full(model, graph)
+        rechunked = evaluate_full(model, graph, chunk_size=7, workers=2)
+        assert rechunked.ranks == default.ranks
+
+    def test_more_workers_than_chunks_is_fine(self, tiny_graph):
+        model = build_model(
+            "distmult", tiny_graph.num_entities, tiny_graph.num_relations, dim=4
+        )
+        serial = evaluate_full(model, tiny_graph, workers=1)
+        flooded = evaluate_full(model, tiny_graph, workers=64)
+        assert flooded.ranks == serial.ranks
+
+
+class TestSampledEvaluationParallel:
+    def test_sampled_ranks_bitwise_equal(self, graph_and_model):
+        dataset, graph, model = graph_and_model
+        protocol = EvaluationProtocol(
+            graph, strategy="static", types=dataset.types, seed=0
+        )
+        protocol.prepare()
+        assert protocol.pools is not None
+        serial = evaluate_sampled(model, graph, protocol.pools, workers=1)
+        parallel = evaluate_sampled(model, graph, protocol.pools, workers=2)
+        assert parallel.ranks == serial.ranks
+        assert parallel.metrics == serial.metrics
+        assert parallel.strategy == "static"
+
+    def test_degenerate_empty_pools_rank_everything_first(self, tiny_graph):
+        from repro.core.sampling import NegativePools
+
+        model = build_model(
+            "distmult", tiny_graph.num_entities, tiny_graph.num_relations, dim=4
+        )
+        empty = NegativePools(
+            strategy="static",
+            pools={"head": {}, "tail": {}},
+            num_entities=tiny_graph.num_entities,
+            sample_size=0,
+        )
+        for workers in (1, 2):
+            result = evaluate_sampled(model, tiny_graph, empty, workers=workers)
+            assert set(result.ranks.values()) == {1.0}
+            assert result.metrics.mrr == 1.0
+
+
+class TestProtocolWorkers:
+    def test_protocol_level_workers_apply_to_both_paths(self, graph_and_model):
+        dataset, graph, model = graph_and_model
+        serial = EvaluationProtocol(graph, types=dataset.types, seed=0)
+        fanned = EvaluationProtocol(graph, types=dataset.types, seed=0, workers=2)
+        assert fanned.evaluate(model).ranks == serial.evaluate(model).ranks
+        assert fanned.evaluate_full(model).ranks == serial.evaluate_full(model).ranks
+
+    def test_per_call_override_beats_protocol_setting(self, graph_and_model):
+        dataset, graph, model = graph_and_model
+        protocol = EvaluationProtocol(graph, types=dataset.types, seed=0, workers=2)
+        protocol.prepare()
+        # A workers=1 override must run serially and still agree.
+        assert (
+            protocol.evaluate(model, workers=1).ranks
+            == protocol.evaluate(model).ranks
+        )
+
+    def test_store_miss_path_accepts_workers(self, graph_and_model, tmp_path):
+        _, graph, model = graph_and_model
+        store = ExperimentStore(tmp_path / "store")
+        protocol = EvaluationProtocol(graph, seed=0, store=store, workers=2)
+        first = protocol.evaluate_full(model)  # miss: computed with 2 workers
+        second = protocol.evaluate_full(model)  # hit: artifact load
+        assert second.ranks == first.ranks
+        plain = evaluate_full(model, graph)
+        assert first.ranks == plain.ranks
+
+
+class TestStreamingMode:
+    def test_keep_ranks_false_keeps_memory_flat_and_metrics_close(
+        self, graph_and_model
+    ):
+        _, graph, model = graph_and_model
+        engine = EvaluationEngine(workers=2, chunk_size=32)
+        streamed = engine.run(model, graph, keep_ranks=False)
+        retained = engine.run(model, graph, keep_ranks=True)
+        assert streamed.ranks is None
+        assert retained.ranks is not None
+        assert streamed.num_queries == retained.num_queries
+        assert streamed.metrics.mrr == pytest.approx(retained.metrics.mrr, abs=1e-12)
+        assert streamed.metrics.hits == retained.metrics.hits
+        assert streamed.metrics.mean_rank == pytest.approx(
+            retained.metrics.mean_rank, abs=1e-9
+        )
+
+    def test_duplicate_triples_collapse_only_in_the_rank_dict(self):
+        from repro.kg import KnowledgeGraph, TripleSet, Vocabulary
+
+        graph = KnowledgeGraph(
+            entities=Vocabulary(["a", "b", "c"]),
+            relations=Vocabulary(["r"]),
+            train=TripleSet([(0, 0, 1), (1, 0, 2)]),
+            test=TripleSet([(0, 0, 1), (0, 0, 1)]),  # a duplicate triple
+            name="dup",
+        )
+        model = build_model("distmult", 3, 1, dim=4, seed=0)
+        retained = EvaluationEngine().run(model, graph, keep_ranks=True)
+        streamed = EvaluationEngine().run(model, graph, keep_ranks=False)
+        # Legacy semantics: one entry per distinct (h, r, t, side) query.
+        assert retained.num_queries == len(retained.ranks) == 2
+        assert retained.metrics.num_queries == 2
+        # Streaming counts every scored query, duplicates included.
+        assert streamed.num_queries == streamed.metrics.num_queries == 4
+
+    def test_single_query_graph(self, tiny_graph):
+        model = build_model(
+            "distmult", tiny_graph.num_entities, tiny_graph.num_relations, dim=4
+        )
+        # The tiny graph's valid split holds exactly one triple; restrict
+        # to one side so the whole run is a single one-query chunk.
+        run = EvaluationEngine(workers=2).run(
+            model, tiny_graph, split="valid", sides=("tail",), keep_ranks=False
+        )
+        assert run.num_queries == 1
+        assert np.isfinite(run.metrics.mrr)
+
+
+class TestCLIWorkers:
+    def test_evaluate_accepts_workers_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "evaluate",
+                "--dataset",
+                "codex-s-lite",
+                "--model",
+                "distmult",
+                "--epochs",
+                "1",
+                "--dim",
+                "8",
+                "--workers",
+                "2",
+                "--chunk-size",
+                "64",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "full filtered ranking" in out

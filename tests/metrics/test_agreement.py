@@ -126,3 +126,47 @@ class TestConfidenceInterval:
 
     def test_repr(self):
         assert "±" in repr(IntervalEstimate(mean=1.0, half_width=0.1, num_samples=5))
+
+
+class TestEmptyAndDegenerateSeries:
+    """Edge cases: empty rank series, single points, all-tie series."""
+
+    def test_pearson_empty_series_is_zero(self):
+        assert pearson([], []) == 0.0
+
+    def test_kendall_empty_series_is_zero(self):
+        assert kendall_tau([], []) == 0.0
+
+    def test_kendall_single_point_is_zero(self):
+        assert kendall_tau([1.0], [2.0]) == 0.0
+
+    def test_kendall_one_constant_series_is_zero(self):
+        assert kendall_tau([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_kendall_two_points_tied_in_both(self):
+        assert kendall_tau([2.0, 2.0], [5.0, 5.0]) == 0.0
+
+    def test_mape_empty_series_is_zero(self):
+        assert mape([], []) == 0.0
+
+    def test_mae_against_single_element(self):
+        assert mae([2.5], [2.0]) == pytest.approx(0.5)
+
+    def test_pearson_two_identical_points_is_zero(self):
+        # Two equal x values make the denominator vanish.
+        assert pearson([3.0, 3.0], [1.0, 2.0]) == 0.0
+
+    def test_interval_of_identical_values_has_zero_width(self):
+        interval = mean_confidence_interval([4.0, 4.0, 4.0, 4.0])
+        assert interval.mean == 4.0
+        assert interval.half_width == 0.0
+        assert interval.num_samples == 4
+
+    def test_mismatched_lengths_rejected_everywhere(self):
+        for fn in (pearson, kendall_tau, mae, mape):
+            with pytest.raises(ValueError, match="equal-length"):
+                fn([1.0, 2.0], [1.0])
+
+    def test_two_dimensional_input_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            pearson([[1.0, 2.0]], [[1.0, 2.0]])
