@@ -23,11 +23,9 @@ a fact about the host, not the engine.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
-from repro.bench import render_table
+from repro.bench import LatencyBoundScorer, render_table
 from repro.core.ranking import evaluate_full
 from repro.core.estimators import evaluate_sampled
 from repro.core.protocol import EvaluationProtocol
@@ -43,32 +41,6 @@ CHUNK_SIZE = 64
 #: Emulated per-batch scoring latency (seconds).  20 ms is the order of a
 #: single large-graph score-matrix slab or one RPC to a scoring service.
 BATCH_LATENCY = 0.02
-
-
-class LatencyBoundScorer:
-    """A KGE model whose batched scoring has a fixed per-call latency.
-
-    Delegates every computation to the wrapped model — scores, and hence
-    ranks, are exactly the wrapped model's — but sleeps ``delay`` seconds
-    per ``score_candidates_batch`` call, emulating a backend where batch
-    latency (huge score slabs, accelerator round-trips) dominates.
-    """
-
-    def __init__(self, inner, delay: float):
-        self.inner = inner
-        self.delay = delay
-        self.num_entities = inner.num_entities
-        self.num_relations = inner.num_relations
-
-    def score_candidates_batch(self, anchors, relation, side, candidates=None):
-        time.sleep(self.delay)
-        return self.inner.score_candidates_batch(anchors, relation, side, candidates)
-
-    def score_candidates(self, anchor, relation, side, candidates):
-        return self.inner.score_candidates(anchor, relation, side, candidates)
-
-    def score_all(self, anchor, relation, side):
-        return self.inner.score_all(anchor, relation, side)
 
 
 def _large_synthetic():

@@ -1,0 +1,189 @@
+"""Serving layer load test: micro-batching speed-up and rank exactness.
+
+Two claims, both asserted:
+
+1. **Exactness** — a rank served by ``/v1/score`` semantics
+   (``LinkPredictionService.score``) equals the rank
+   :func:`repro.core.ranking.evaluate_full` reports for the same
+   ``(h, r, t, side)`` query, for *every* test query of the dataset.
+   Serving reuses the offline engine's scoring kernel, so batching and
+   concurrency are pure execution knobs.
+2. **Throughput** — with a scoring backend whose per-call latency
+   dominates (the serving regime: large score slabs, accelerator or
+   remote scorers), the micro-batched service sustains >= 3x the
+   throughput of the sequential one-request-at-a-time baseline under 8
+   concurrent clients.  The latency-bound scorer pins the per-call cost
+   to a fixed, hardware-independent floor, so the asserted ratio
+   measures request coalescing rather than this host's core count.
+
+The pure-numpy throughput for this host is measured and reported in the
+emitted table too (batching still wins by amortising per-call Python
+overhead), but only the latency-bound ratio is asserted.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.bench import LatencyBoundScorer, render_table
+from repro.core.ranking import evaluate_full
+from repro.datasets import load
+from repro.models import build_model
+from repro.serve import LinkPredictionService, ModelRegistry, ServeClient
+from repro.store import ExperimentStore
+
+#: Acceptance floor: micro-batched vs sequential throughput at 8 clients.
+MIN_SPEEDUP = 3.0
+
+NUM_CLIENTS = 8
+REQUESTS_PER_CLIENT = 40
+MAX_BATCH = 64
+MAX_WAIT = 0.002
+
+#: Emulated per-scoring-call latency (seconds) — the order of one large
+#: score-slab computation or one RPC to a remote scoring backend.
+CALL_LATENCY = 0.005
+
+
+def _setup(tmp_path, model, name, persist):
+    dataset = load("codex-s-lite")
+    registry = ModelRegistry(
+        ExperimentStore(tmp_path / f"store-{name}"), dataset.graph, types=dataset.types
+    )
+    registry.register(name, model, persist=persist)
+    return dataset, registry
+
+
+def _drive(service: LinkPredictionService, model_name: str, workload) -> float:
+    """Run the workload from NUM_CLIENTS concurrent clients; seconds taken.
+
+    ``workload`` is a list of per-client request lists; every request is
+    a ``(anchor, relation)`` tail-completion query.
+    """
+    client = ServeClient(service=service)
+    errors: list[BaseException] = []
+
+    def run_client(requests):
+        try:
+            for anchor, relation in requests:
+                client.rank(
+                    model_name,
+                    anchor,
+                    relation,
+                    k=10,
+                    candidates="all",
+                    filter_known=False,
+                )
+        except BaseException as error:  # noqa: BLE001 — surfaced below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=run_client, args=(requests,)) for requests in workload
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return seconds
+
+
+def _workload(graph):
+    """NUM_CLIENTS x REQUESTS_PER_CLIENT distinct hot-relation queries.
+
+    The traffic shape micro-batching exists for: many concurrent users
+    completing the same relation (one hot endpoint), each with their own
+    anchor.  Same ``(relation, side)`` means shareable scoring calls;
+    distinct anchors mean the LRU result cache cannot answer (the timed
+    services disable it outright anyway), so the measured ratio is the
+    scheduler's coalescing and nothing else.
+    """
+    hot_relation = 0
+    return [
+        [
+            ((client * REQUESTS_PER_CLIENT + i) % graph.num_entities, hot_relation)
+            for i in range(REQUESTS_PER_CLIENT)
+        ]
+        for client in range(NUM_CLIENTS)
+    ]
+
+
+def test_served_ranks_equal_offline_engine(tmp_path):
+    """Claim 1: the service is the offline engine, online."""
+    dataset = load("codex-s-lite")
+    graph = dataset.graph
+    model = build_model("distmult", graph.num_entities, graph.num_relations, dim=16, seed=0)
+    _, registry = _setup(tmp_path, model, "dm", persist=True)
+    truth = evaluate_full(model, graph)
+    with LinkPredictionService(registry, max_batch_size=32, max_wait=0.001) as service:
+        rows = ServeClient(service=service).score("dm", graph.test.as_tuples())
+    assert len(rows) == 2 * len(graph.test)
+    for row in rows:
+        query = (row["head_id"], row["relation_id"], row["tail_id"], row["side"])
+        assert truth.ranks[query] == row["rank"], f"rank mismatch for {query}"
+
+
+def test_micro_batched_throughput(tmp_path, emit):
+    """Claim 2: batching >= 3x sequential under 8 concurrent clients."""
+    dataset = load("codex-s-lite")
+    graph = dataset.graph
+    base = build_model("distmult", graph.num_entities, graph.num_relations, dim=16, seed=0)
+    workload = _workload(graph)
+    num_requests = NUM_CLIENTS * REQUESTS_PER_CLIENT
+
+    def timed(model, max_batch_size, max_wait, tag):
+        _, registry = _setup(tmp_path, model, tag, persist=False)
+        with LinkPredictionService(
+            registry,
+            max_batch_size=max_batch_size,
+            max_wait=max_wait,
+            cache_size=0,  # measure scheduling, not caching
+        ) as service:
+            seconds = _drive(service, tag, workload)
+            stats = service.scheduler.stats()
+        return seconds, stats
+
+    # -- The asserted regime: per-call latency dominates. ---------------
+    throttled = LatencyBoundScorer(base, delay=CALL_LATENCY)
+    seq_seconds, seq_stats = timed(throttled, 1, 0.0, "seq-latency")
+    batch_seconds, batch_stats = timed(throttled, MAX_BATCH, MAX_WAIT, "batch-latency")
+    latency_speedup = seq_seconds / max(batch_seconds, 1e-9)
+
+    # -- The honest CPU row: pure numpy on this host (not asserted). ----
+    cpu_seq_seconds, _ = timed(base, 1, 0.0, "seq-cpu")
+    cpu_batch_seconds, _ = timed(base, MAX_BATCH, MAX_WAIT, "batch-cpu")
+    cpu_speedup = cpu_seq_seconds / max(cpu_batch_seconds, 1e-9)
+
+    rows = [
+        {
+            "Scorer": f"latency-bound ({CALL_LATENCY * 1e3:.0f} ms/call)",
+            "Sequential (req/s)": round(num_requests / seq_seconds, 1),
+            "Micro-batched (req/s)": round(num_requests / batch_seconds, 1),
+            "Speed-up": round(latency_speedup, 2),
+            "Mean batch": batch_stats["mean_batch_size"],
+        },
+        {
+            "Scorer": "numpy distmult (CPU-bound)",
+            "Sequential (req/s)": round(num_requests / cpu_seq_seconds, 1),
+            "Micro-batched (req/s)": round(num_requests / cpu_batch_seconds, 1),
+            "Speed-up": round(cpu_speedup, 2),
+            "Mean batch": batch_stats["mean_batch_size"],
+        },
+    ]
+    emit(
+        "serve_throughput",
+        render_table(
+            rows,
+            title=(
+                f"repro.serve micro-batching, {NUM_CLIENTS} concurrent clients, "
+                f"{num_requests} requests on {graph.name}"
+            ),
+        ),
+    )
+    assert seq_stats["max_batch_size"] == 1  # the baseline really is sequential
+    assert batch_stats["mean_batch_size"] > 1.5  # coalescing actually happened
+    assert latency_speedup >= MIN_SPEEDUP

@@ -31,12 +31,14 @@ from repro.bench.runner import (
     evaluate_epoch,
     run_training_study,
 )
+from repro.bench.scorers import LatencyBoundScorer
 from repro.bench.tables import render_series, render_table
 
 __all__ = [
     "DEFAULT_LOSSES",
     "EarlyStopping",
     "EpochEvaluation",
+    "LatencyBoundScorer",
     "ablation_include_observed",
     "ablation_training_negatives",
     "ablation_type_quality",

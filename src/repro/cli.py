@@ -11,6 +11,9 @@ first:
 * ``evaluate``        — train a model, then compare the full ranking
   against the random and guided estimates (the quickstart as one command);
   ``--workers N`` fans the ranking passes across N scoring processes;
+  ``--save-model PATH`` writes the trained checkpoint for ``serve``;
+* ``serve``           — online link-prediction HTTP API over saved
+  checkpoints, with micro-batching and candidate-filtered top-k;
 * ``runs``            — list/show the experiment store's run journal;
 * ``cache``           — list or garbage-collect the artifact cache.
 
@@ -174,11 +177,11 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     history = Trainer(config).fit(model, graph)
     if history.losses:
         print(f"loss: {history.losses[0]:.3f} -> {history.losses[-1]:.3f}")
-    if args.save:
+    if args.save_model:
         from repro.models import save_model
 
-        save_model(model, args.save)
-        print(f"Saved checkpoint to {args.save}")
+        save_model(model, args.save_model)
+        print(f"Saved checkpoint to {args.save_model}")
 
     guided = EvaluationProtocol(
         graph,
@@ -254,6 +257,74 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             cache_hit=guided.preparation is not None and guided.preparation.from_cache,
         )
         print(f"Journaled run {record.run_id} in {store.root}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import LinkPredictionService, ModelRegistry, run_server
+
+    store = ExperimentStore.from_env(args.store)
+    dataset = load(args.dataset)
+    registry = ModelRegistry(
+        store, dataset.graph, types=dataset.types, recommender=args.recommender
+    )
+    for spec in args.model_path or ():
+        # Accept `NAME=PATH` or a bare path (named by its file stem).  A
+        # spec that exists on disk is always one bare path, so '=' inside
+        # a real filename (`run=3/dm.npz`) never splits; otherwise split
+        # at the first '=' unless the would-be name contains a separator.
+        if Path(spec).exists():
+            name, path = "", spec
+        else:
+            name, sep, path = spec.partition("=")
+            if not sep or "/" in name or "\\" in name:
+                name, path = "", spec
+        registry.register_path(path, name=name or None)
+    discovered = registry.discover()
+    if discovered:
+        print(f"Discovered checkpoints in {registry.checkpoint_dir}: {', '.join(discovered)}")
+    if not len(registry):
+        print(
+            f"Training an ad-hoc {args.model} (no --model-path given, "
+            f"none under {registry.checkpoint_dir}) ..."
+        )
+        model = build_model(
+            args.model,
+            dataset.graph.num_entities,
+            dataset.graph.num_relations,
+            dim=args.dim,
+            seed=args.seed,
+        )
+        Trainer(TrainingConfig(epochs=args.epochs, seed=args.seed)).fit(
+            model, dataset.graph
+        )
+        registry.register(args.model, model)
+    rows = [
+        {
+            "Name": row["name"],
+            "Model": row["model"],
+            "Dim": row["dim"],
+            "Params": row["parameters"],
+            "Recommender": row["recommender"],
+            "Checkpoint": row["checkpoint"] or "(in-memory)",
+        }
+        for row in registry.rows()
+    ]
+    print(render_table(rows, title=f"Serving {dataset.graph.name} ({len(registry)} models)"))
+    if args.dry_run:
+        print("Dry run: not binding the port.")
+        return 0
+    service = LinkPredictionService(
+        registry,
+        max_batch_size=args.max_batch,
+        max_wait=args.max_wait_ms / 1000.0,
+        cache_size=args.cache_size,
+    )
+    print(
+        f"Serving on http://{args.host}:{args.port} "
+        f"(max batch {args.max_batch}, max wait {args.max_wait_ms} ms) — Ctrl-C stops."
+    )
+    run_server(service, host=args.host, port=args.port)
     return 0
 
 
@@ -353,7 +424,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="queries ranked per score-matrix chunk",
     )
     evaluate.add_argument("--seed", type=int, default=0)
-    evaluate.add_argument("--save", help="write the trained model to this .npz path")
+    evaluate.add_argument(
+        "--save-model",
+        "--save",  # original spelling, kept as an alias
+        dest="save_model",
+        metavar="PATH",
+        help="write the trained checkpoint to this .npz path "
+        "(serve it with `repro serve --model-path PATH`)",
+    )
     evaluate.add_argument(
         "--store",
         nargs="?",
@@ -362,6 +440,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache artifacts + journal the run in this experiment store "
         "(no value: $REPRO_STORE or .repro_store)",
     )
+
+    serve = commands.add_parser(
+        "serve", help="serve link prediction over HTTP (micro-batched)"
+    )
+    _add_dataset_argument(serve)
+    serve.add_argument(
+        "--model-path",
+        action="append",
+        metavar="[NAME=]PATH",
+        help="checkpoint to serve (repeatable; bare paths are named by "
+        "file stem); e.g. the output of `repro evaluate --save-model`",
+    )
+    serve.add_argument(
+        "--model",
+        default="distmult",
+        choices=available_models(),
+        help="model trained ad hoc when no checkpoint is given",
+    )
+    serve.add_argument("--epochs", type=int, default=4, help="ad-hoc training epochs")
+    serve.add_argument("--dim", type=int, default=32, help="ad-hoc embedding dim")
+    serve.add_argument(
+        "--recommender",
+        default="l-wd",
+        choices=available_recommenders(),
+        help="candidate-set recommender for filtered ranking",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="most concurrent requests coalesced into one scoring call",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch deadline: the latency ceiling batching may add",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="LRU top-k result cache entries (0 disables)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="load models and print the serving table without binding the port",
+    )
+    _add_store_argument(serve)
 
     runs = commands.add_parser("runs", help="inspect the run journal")
     runs_commands = runs.add_subparsers(dest="runs_command", required=True)
@@ -395,6 +526,7 @@ _HANDLERS = {
     "complexity": _cmd_complexity,
     "analyze": _cmd_analyze,
     "evaluate": _cmd_evaluate,
+    "serve": _cmd_serve,
     "runs": _cmd_runs,
     "cache": _cmd_cache,
 }

@@ -55,6 +55,14 @@ class KGEModel(abc.ABC):
 
     name: str = "kge"
 
+    #: Constructor kwargs beyond the common four (``num_entities``,
+    #: ``num_relations``, ``dim``, ``seed``) that checkpoints must carry.
+    #: Subclasses adding constructor parameters MUST list them here (each
+    #: must also be an attribute of the built model) or ``save_model``
+    #: would silently drop them; ``tests/models/test_model_io.py``
+    #: enforces the invariant against every registered constructor.
+    extra_init_fields: tuple[str, ...] = ()
+
     def __init__(self, num_entities: int, num_relations: int, dim: int = 32, seed: int = 0):
         if num_entities <= 0 or num_relations <= 0:
             raise ValueError("model needs at least one entity and one relation")

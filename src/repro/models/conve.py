@@ -94,6 +94,7 @@ class ConvE(KGEModel):
     """
 
     name = "conve"
+    extra_init_fields = ("embedding_height", "num_filters", "kernel_size")
 
     def __init__(
         self,

@@ -17,18 +17,16 @@ from repro.models.base import KGEModel
 
 _META_KEY = "__meta__"
 
-#: Constructor kwargs preserved per model class (beyond the common four).
-_EXTRA_FIELDS: dict[str, tuple[str, ...]] = {
-    "transe": ("norm",),
-    "conve": ("embedding_height", "num_filters", "kernel_size"),
-}
-
 
 def save_model(model: KGEModel, path: str | os.PathLike[str]) -> None:
     """Write ``model`` to ``path`` as a ``.npz`` checkpoint.
 
     Only registry models can round-trip (oracle/random scorers derive
-    from a graph and have nothing worth persisting).
+    from a graph and have nothing worth persisting).  Model-specific
+    constructor kwargs come from the class's
+    :attr:`~repro.models.base.KGEModel.extra_init_fields` declaration,
+    so a model cannot silently drop them here: new constructor
+    parameters fail the signature-coverage test until declared.
     """
     meta = {
         "name": model.name,
@@ -37,7 +35,7 @@ def save_model(model: KGEModel, path: str | os.PathLike[str]) -> None:
         "dim": model.dim,
         "seed": model.seed,
     }
-    for field in _EXTRA_FIELDS.get(model.name, ()):
+    for field in model.extra_init_fields:
         meta[field] = getattr(model, field)
     arrays = {key: tensor.data for key, tensor in model.parameters.items()}
     if _META_KEY in arrays:

@@ -17,6 +17,7 @@ class TransE(KGEModel):
     """
 
     name = "transe"
+    extra_init_fields = ("norm",)
 
     def __init__(
         self,

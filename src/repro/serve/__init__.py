@@ -1,0 +1,45 @@
+"""Online link-prediction serving (`repro.serve`).
+
+The offline pipeline ends with a trained checkpoint (``repro.models.io``)
+and per-(relation, side) candidate sets (``repro.core.candidates``); this
+package turns those artifacts into a low-latency scoring service:
+
+* :class:`ModelRegistry` — named ``.npz`` checkpoints under an
+  :class:`~repro.store.ExperimentStore` root, with lazily built (and
+  store-cached) static candidate sets per recommender;
+* :class:`BatchScheduler` — coalesces concurrent requests into
+  micro-batches per ``(model, relation, side)`` so each batch costs one
+  vectorized :meth:`~repro.models.base.KGEModel.score_candidates_batch`
+  call;
+* :class:`LinkPredictionService` — the request surface (``rank`` top-k
+  with candidate filtering, ``score`` with offline-identical filtered
+  ranks, ``models``, ``health``) fronted by an LRU result cache;
+* :class:`ServeHTTPServer` / :func:`run_server` — a stdlib
+  ``ThreadingHTTPServer`` JSON API (``/v1/rank``, ``/v1/score``,
+  ``/v1/models``, ``/healthz``);
+* :class:`ServeClient` — one client surface over both the in-process
+  service and the HTTP API.
+
+The CLI front end is ``repro serve``; the load test asserting the
+micro-batching speed-up and rank exactness is
+``benchmarks/bench_serve.py``.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.http import ServeHTTPServer, run_server
+from repro.serve.registry import ModelRegistry, ServingEntry
+from repro.serve.scheduler import BatchScheduler, PendingResult, RankQuery
+from repro.serve.service import LinkPredictionService
+
+__all__ = [
+    "BatchScheduler",
+    "LinkPredictionService",
+    "ModelRegistry",
+    "PendingResult",
+    "RankQuery",
+    "ServeClient",
+    "ServeError",
+    "ServeHTTPServer",
+    "ServingEntry",
+    "run_server",
+]

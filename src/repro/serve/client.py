@@ -1,0 +1,135 @@
+"""One client surface over the in-process service and the HTTP API.
+
+``ServeClient(service=...)`` calls the service directly (tests, notebooks,
+the load benchmark); ``ServeClient(base_url=...)`` speaks the JSON API
+over stdlib ``urllib``.  Both modes return the same payload dicts, so
+code written against one works against the other unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.serve.service import LinkPredictionService
+
+
+class ServeError(RuntimeError):
+    """A serving request the server rejected (carries the HTTP status)."""
+
+    def __init__(self, message: str, status: int = 0):
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """Client for a :class:`LinkPredictionService`, local or remote.
+
+    Exactly one of ``service`` / ``base_url`` must be given.
+    """
+
+    def __init__(
+        self,
+        service: LinkPredictionService | None = None,
+        base_url: str | None = None,
+        timeout: float = 30.0,
+    ):
+        if (service is None) == (base_url is None):
+            raise ValueError("pass exactly one of service= or base_url=")
+        self.service = service
+        self.base_url = base_url.rstrip("/") if base_url else None
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    def _http(self, method: str, path: str, body: dict | None = None):
+        assert self.base_url is not None
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                message = json.loads(error.read().decode("utf-8")).get("error", "")
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                message = error.reason
+            raise ServeError(message or str(error), status=error.code) from None
+
+    # ------------------------------------------------------------------
+    # The API surface
+    # ------------------------------------------------------------------
+    def rank(
+        self,
+        model: str,
+        anchor,
+        relation,
+        side: str = "tail",
+        k: int = 10,
+        filter_known: bool = True,
+        candidates: str = "filtered",
+    ) -> dict:
+        """Top-k completion (see :meth:`LinkPredictionService.rank`)."""
+        if self.service is not None:
+            return self.service.rank(
+                model, anchor, relation, side=side, k=k,
+                filter_known=filter_known, candidates=candidates,
+            )
+        return self._http(
+            "POST",
+            "/v1/rank",
+            {
+                "model": model,
+                "anchor": anchor,
+                "relation": relation,
+                "side": side,
+                "k": k,
+                "filter_known": filter_known,
+                "candidates": candidates,
+            },
+        )
+
+    def score(
+        self,
+        model: str,
+        triples,
+        sides: tuple[str, ...] = ("head", "tail"),
+        candidates: str = "all",
+    ) -> list[dict]:
+        """Triple scores + filtered ranks (see :meth:`LinkPredictionService.score`)."""
+        if self.service is not None:
+            return self.service.score(
+                model, triples, sides=tuple(sides), candidates=candidates
+            )
+        payload = self._http(
+            "POST",
+            "/v1/score",
+            {
+                "model": model,
+                "triples": [list(triple) for triple in triples],
+                "sides": list(sides),
+                "candidates": candidates,
+            },
+        )
+        return payload["results"]
+
+    def models(self) -> list[dict]:
+        if self.service is not None:
+            return self.service.models()
+        return self._http("GET", "/v1/models")["models"]
+
+    def health(self) -> dict:
+        if self.service is not None:
+            return self.service.health()
+        return self._http("GET", "/healthz")
+
+    def __repr__(self) -> str:
+        target = self.base_url if self.base_url else "in-process"
+        return f"ServeClient({target!r})"

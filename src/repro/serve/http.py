@@ -1,0 +1,149 @@
+"""Stdlib JSON HTTP front end for :class:`LinkPredictionService`.
+
+Routes::
+
+    GET  /healthz     -> service.health()
+    GET  /v1/models   -> {"models": service.models()}
+    POST /v1/rank     -> service.rank(**body)
+    POST /v1/score    -> {"results": service.score(**body)}
+
+``ThreadingHTTPServer`` gives one thread per connection; concurrency
+converges in the :class:`~repro.serve.scheduler.BatchScheduler`, which is
+exactly what makes concurrent HTTP clients coalesce into micro-batches.
+Errors map to JSON bodies: unknown names -> 404, bad arguments -> 400.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.service import LinkPredictionService
+
+#: Largest accepted request body (bytes) — serving requests are tiny.
+MAX_BODY_BYTES = 1 << 20
+
+_RANK_FIELDS = {"model", "anchor", "relation", "side", "k", "filter_known", "candidates"}
+_SCORE_FIELDS = {"model", "triples", "sides", "candidates"}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "ServeHTTPServer"
+
+    # ------------------------------------------------------------------
+    def _send(self, status: int, payload: dict | list) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b"{}"
+        body = json.loads(raw.decode("utf-8"))
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        return body
+
+    @staticmethod
+    def _check_fields(body: dict, allowed: set, required: set) -> None:
+        unknown = set(body) - allowed
+        if unknown:
+            raise ValueError(f"unknown fields: {', '.join(sorted(unknown))}")
+        missing = required - set(body)
+        if missing:
+            raise ValueError(f"missing fields: {', '.join(sorted(missing))}")
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        service = self.server.service
+        try:
+            if self.path == "/healthz":
+                self._send(200, service.health())
+            elif self.path == "/v1/models":
+                self._send(200, {"models": service.models()})
+            else:
+                self._send(404, {"error": f"unknown path {self.path}"})
+        except Exception as error:  # noqa: BLE001 — must answer the socket
+            self._send(500, {"error": str(error)})
+
+    def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        service = self.server.service
+        try:
+            body = self._read_body()
+            if self.path == "/v1/rank":
+                self._check_fields(body, _RANK_FIELDS, {"model", "anchor", "relation"})
+                self._send(200, service.rank(**body))
+            elif self.path == "/v1/score":
+                self._check_fields(body, _SCORE_FIELDS, {"model", "triples"})
+                if "sides" in body:
+                    body["sides"] = tuple(body["sides"])
+                self._send(200, {"results": service.score(**body)})
+            else:
+                self._send(404, {"error": f"unknown path {self.path}"})
+        except KeyError as error:
+            # Unknown model / entity / relation names are lookup misses.
+            self._send(404, {"error": str(error.args[0]) if error.args else str(error)})
+        except (ValueError, TypeError, json.JSONDecodeError) as error:
+            self._send(400, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 — must answer the socket
+            self._send(500, {"error": str(error)})
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # request logging is the deployment wrapper's concern
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one service instance.
+
+    ``port=0`` binds an ephemeral port (tests, side-by-side serving);
+    the bound port is available as :attr:`port`.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: LinkPredictionService,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+    ):
+        super().__init__((host, port), _Handler)
+        self.service = service
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start_background(self) -> threading.Thread:
+        """Serve on a daemon thread (tests / embedding); returns it."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve-http", daemon=True
+        )
+        thread.start()
+        return thread
+
+
+def run_server(
+    service: LinkPredictionService, host: str = "127.0.0.1", port: int = 8080
+) -> None:
+    """Serve until interrupted, then flush the scheduler (CLI entry)."""
+    server = ServeHTTPServer(service, host=host, port=port)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()

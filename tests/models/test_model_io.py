@@ -1,15 +1,27 @@
 """Model checkpointing: bit-exact round trips for every registry model."""
 
+import inspect
+
 import numpy as np
 import pytest
 
 from repro.models import MODEL_REGISTRY, Trainer, TrainingConfig, build_model
 from repro.models.io import load_model, save_model
 
+#: The constructor parameters every KGEModel shares (not "extra").
+_COMMON_INIT_PARAMS = {"self", "num_entities", "num_relations", "dim", "seed"}
+
+#: Non-default constructor kwargs exercised by the round-trip test, so
+#: checkpoints are proven to carry them (defaults would mask a drop).
+_EXTRA_KWARGS: dict[str, dict] = {
+    "transe": {"norm": 2},
+    "conve": {"embedding_height": 2, "num_filters": 4, "kernel_size": 2},
+}
+
 
 @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
 def test_round_trip_scores_identically(name, tmp_path):
-    model = build_model(name, 20, 4, dim=8, seed=3)
+    model = build_model(name, 20, 4, dim=8, seed=3, **_EXTRA_KWARGS.get(name, {}))
     path = tmp_path / f"{name}.npz"
     save_model(model, path)
     loaded = load_model(path)
@@ -20,6 +32,39 @@ def test_round_trip_scores_identically(name, tmp_path):
     np.testing.assert_array_equal(
         loaded.score_all(2, 1, "head"), model.score_all(2, 1, "head")
     )
+    triples = (np.asarray([0, 3, 7]), np.asarray([1, 0, 2]), np.asarray([5, 2, 19]))
+    np.testing.assert_array_equal(
+        loaded.score_triples_numpy(*triples), model.score_triples_numpy(*triples)
+    )
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+def test_extra_init_fields_cover_the_constructor(name):
+    """Every model-specific constructor kwarg must be checkpointed.
+
+    A new constructor parameter that is not declared in
+    ``extra_init_fields`` would be silently reset to its default on
+    ``load_model`` — this is the guard the class-attribute refactor
+    exists for.
+    """
+    cls = MODEL_REGISTRY[name]
+    params = set(inspect.signature(cls.__init__).parameters)
+    extras = params - _COMMON_INIT_PARAMS
+    assert extras == set(cls.extra_init_fields), (
+        f"{cls.__name__}: constructor kwargs {sorted(extras)} must match "
+        f"extra_init_fields {sorted(cls.extra_init_fields)}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+def test_extra_init_fields_are_saved_attributes(name, tmp_path):
+    """Declared extras exist as attributes and survive the round trip."""
+    model = build_model(name, 12, 3, dim=8, seed=1, **_EXTRA_KWARGS.get(name, {}))
+    path = tmp_path / f"{name}.npz"
+    save_model(model, path)
+    loaded = load_model(path)
+    for field in model.extra_init_fields:
+        assert getattr(loaded, field) == getattr(model, field)
 
 
 def test_trained_parameters_survive(tmp_path, codex_s):

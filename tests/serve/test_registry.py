@@ -1,0 +1,122 @@
+"""ModelRegistry: named checkpoints, discovery, lazy candidate sets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load
+from repro.models import build_model, load_model
+from repro.serve import ModelRegistry
+from repro.store import ExperimentStore
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load("codex-s-lite")
+
+
+@pytest.fixture
+def registry(tmp_path, dataset):
+    return ModelRegistry(
+        ExperimentStore(tmp_path / "store"), dataset.graph, types=dataset.types
+    )
+
+
+def _model(dataset, name="distmult", seed=0):
+    graph = dataset.graph
+    return build_model(name, graph.num_entities, graph.num_relations, dim=8, seed=seed)
+
+
+class TestRegistration:
+    def test_register_persists_a_named_checkpoint(self, registry, dataset):
+        registry.register("prod", _model(dataset))
+        path = registry.checkpoint_dir / "prod.npz"
+        assert path.exists()
+        assert load_model(path).name == "distmult"
+        assert registry.names() == ["prod"]
+        assert "prod" in registry and len(registry) == 1
+
+    def test_register_without_persist_stays_in_memory(self, registry, dataset):
+        registry.register("ephemeral", _model(dataset), persist=False)
+        assert not (registry.checkpoint_dir / "ephemeral.npz").exists()
+        assert registry.model("ephemeral").name == "distmult"
+
+    def test_register_path_defers_loading(self, registry, dataset, tmp_path):
+        from repro.models import save_model
+
+        path = tmp_path / "ckpt.npz"
+        save_model(_model(dataset), path)
+        entry = registry.register_path(path)
+        assert entry.name == "ckpt"
+        assert not entry.loaded
+        assert registry.model("ckpt").num_entities == dataset.graph.num_entities
+        assert entry.loaded
+
+    def test_register_path_missing_file_rejected(self, registry, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            registry.register_path(tmp_path / "nope.npz")
+
+    def test_vocab_mismatch_rejected(self, registry):
+        small = build_model("distmult", 5, 2, dim=4)
+        with pytest.raises(ValueError, match="serving graph"):
+            registry.register("bad", small)
+
+    def test_unknown_name_rejected(self, registry):
+        with pytest.raises(KeyError, match="unknown model"):
+            registry.model("nope")
+
+
+class TestDiscovery:
+    def test_discover_finds_persisted_checkpoints(self, registry, dataset, tmp_path):
+        registry.register("a", _model(dataset, seed=1))
+        registry.register("b", _model(dataset, seed=2))
+        fresh = ModelRegistry(
+            ExperimentStore(tmp_path / "store"), dataset.graph, types=dataset.types
+        )
+        assert fresh.discover() == ["a", "b"]
+        assert fresh.discover() == []  # idempotent
+        np.testing.assert_array_equal(
+            fresh.model("a").entity.data, registry.model("a").entity.data
+        )
+
+
+class TestCandidates:
+    def test_candidates_built_lazily_and_shared(self, registry, dataset):
+        registry.register("a", _model(dataset, seed=1))
+        registry.register("b", _model(dataset, seed=2))
+        sets_a = registry.candidates("a")
+        assert sets_a.recommender_name == "l-wd"
+        assert registry.candidates("b") is sets_a  # same recommender, one build
+
+    def test_candidates_persist_across_processes(self, registry, dataset, tmp_path):
+        registry.register("a", _model(dataset))
+        sets = registry.candidates("a")
+        fresh = ModelRegistry(
+            ExperimentStore(tmp_path / "store"), dataset.graph, types=dataset.types
+        )
+        fresh.discover()
+        restored = fresh.candidates("a")
+        for side in ("head", "tail"):
+            for relation in range(dataset.graph.num_relations):
+                np.testing.assert_array_equal(
+                    restored.candidates(relation, side), sets.candidates(relation, side)
+                )
+
+    def test_per_entry_recommender_override(self, registry, dataset):
+        registry.register("default", _model(dataset, seed=1))
+        registry.register("typed", _model(dataset, seed=2), recommender="pt")
+        assert registry.candidates("default").recommender_name == "l-wd"
+        assert registry.candidates("typed").recommender_name == "pt"
+
+
+class TestDescribe:
+    def test_describe_row(self, registry, dataset):
+        registry.register("prod", _model(dataset))
+        row = registry.describe("prod")
+        assert row["name"] == "prod"
+        assert row["model"] == "distmult"
+        assert row["dim"] == 8
+        assert row["num_entities"] == dataset.graph.num_entities
+        assert row["checkpoint"].endswith("prod.npz")
+        assert row["candidates_built"] is False
+        registry.candidates("prod")
+        assert registry.describe("prod")["candidates_built"] is True

@@ -1,0 +1,166 @@
+"""LinkPredictionService: top-k semantics, offline-exact ranks, caching."""
+
+import numpy as np
+import pytest
+
+from repro.core.ranking import evaluate_full
+from repro.datasets import load
+from repro.models import build_model
+from repro.serve import LinkPredictionService, ModelRegistry
+from repro.store import ExperimentStore
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load("codex-s-lite")
+
+
+@pytest.fixture(scope="module")
+def model(dataset):
+    graph = dataset.graph
+    return build_model("distmult", graph.num_entities, graph.num_relations, dim=8, seed=0)
+
+
+@pytest.fixture
+def service(tmp_path, dataset, model):
+    registry = ModelRegistry(
+        ExperimentStore(tmp_path / "store"), dataset.graph, types=dataset.types
+    )
+    registry.register("dm", model)
+    with LinkPredictionService(registry, max_wait=0.001) as svc:
+        yield svc
+
+
+class TestRank:
+    def test_topk_matches_manual_ranking(self, service, dataset, model):
+        graph = dataset.graph
+        response = service.rank("dm", 3, 0, side="tail", k=5, candidates="all")
+        scores = model.score_all(3, 0, "tail").astype(np.float64).copy()
+        scores[graph.true_answers(3, 0, "tail")] = -np.inf
+        scores[3] = -np.inf  # the anchor itself is never a *new* link
+        order = np.lexsort((np.arange(scores.size), -scores))
+        expected = [int(e) for e in order[:5] if np.isfinite(scores[e])]
+        assert [row["entity_id"] for row in response["results"]] == expected
+        assert [row["rank"] for row in response["results"]] == list(
+            range(1, len(expected) + 1)
+        )
+        assert response["num_candidates"] == graph.num_entities
+        assert response["cached"] is False
+
+    def test_filter_known_drops_observed_links(self, service, dataset):
+        graph = dataset.graph
+        h, r, t = next(iter(graph.train))
+        known = set(graph.true_answers(h, r, "tail").tolist())
+        filtered = service.rank("dm", h, r, k=graph.num_entities, candidates="all")
+        assert known.isdisjoint(row["entity_id"] for row in filtered["results"])
+        unfiltered = service.rank(
+            "dm", h, r, k=graph.num_entities, filter_known=False, candidates="all"
+        )
+        assert known.issubset(row["entity_id"] for row in unfiltered["results"])
+
+    def test_candidate_filtering_restricts_the_pool(self, service, dataset):
+        graph = dataset.graph
+        # Find a column whose candidate set is a strict subset.
+        sets = service.registry.candidates("dm")
+        relation = next(
+            r
+            for r in range(graph.num_relations)
+            if 0 < sets.set_size(r, "tail") < graph.num_entities
+        )
+        pool = set(sets.candidates(relation, "tail").tolist())
+        response = service.rank("dm", 0, relation, k=20, filter_known=False)
+        assert response["num_candidates"] == len(pool)
+        assert all(row["entity_id"] in pool for row in response["results"])
+
+    def test_filter_known_excludes_the_anchor_itself(self, service, dataset):
+        graph = dataset.graph
+        for anchor in range(5):
+            response = service.rank(
+                "dm", anchor, 0, k=graph.num_entities, candidates="all"
+            )
+            assert anchor not in {row["entity_id"] for row in response["results"]}
+
+    def test_cached_response_survives_caller_mutation(self, service):
+        first = service.rank("dm", 2, 2, k=4)
+        first["results"].clear()  # an in-process caller mangles its copy
+        second = service.rank("dm", 2, 2, k=4)
+        assert second["cached"] is True
+        assert len(second["results"]) > 0
+
+    def test_labels_accepted_and_returned(self, service, dataset):
+        graph = dataset.graph
+        by_label = service.rank(
+            "dm", graph.entities.label_of(5), graph.relations.label_of(1), k=3
+        )
+        by_id = service.rank("dm", 5, 1, k=3)
+        assert by_label["results"] == by_id["results"]
+        assert by_label["anchor_id"] == 5 and by_label["relation_id"] == 1
+        assert by_label["anchor"] == graph.entities.label_of(5)
+
+    def test_head_side_ranks_heads(self, service, dataset, model):
+        response = service.rank("dm", 2, 0, side="head", k=3, candidates="all")
+        scores = model.score_all(2, 0, "head")
+        top = response["results"][0]
+        assert scores[top["entity_id"]] == pytest.approx(top["score"])
+
+    def test_unknown_names_raise_key_errors(self, service):
+        with pytest.raises(KeyError, match="unknown model"):
+            service.rank("nope", 0, 0)
+        with pytest.raises(KeyError, match="unknown entity"):
+            service.rank("dm", "martian", 0)
+        with pytest.raises(KeyError, match="outside"):
+            service.rank("dm", 10**9, 0)
+        with pytest.raises(ValueError, match="side"):
+            service.rank("dm", 0, 0, side="middle")
+
+
+class TestScoreExactness:
+    def test_served_ranks_equal_evaluate_full(self, service, dataset, model):
+        """The tentpole guarantee: serving is the offline engine online."""
+        graph = dataset.graph
+        truth = evaluate_full(model, graph)
+        rows = service.score("dm", graph.test.as_tuples())
+        assert len(rows) == 2 * len(graph.test)
+        for row in rows:
+            query = (row["head_id"], row["relation_id"], row["tail_id"], row["side"])
+            assert truth.ranks[query] == row["rank"]
+
+    def test_scores_are_the_models(self, service, dataset, model):
+        h, r, t = next(iter(dataset.graph.test))
+        (row,) = service.score("dm", [(h, r, t)], sides=("tail",))
+        assert row["score"] == pytest.approx(float(model.score_all(h, r, "tail")[t]))
+
+
+class TestCache:
+    def test_repeat_rank_hits_the_cache(self, service):
+        first = service.rank("dm", 1, 1, k=4)
+        second = service.rank("dm", 1, 1, k=4)
+        assert second["cached"] is True
+        assert second["results"] == first["results"]
+        assert service.health()["cache"]["hits"] == 1
+
+    def test_distinct_queries_miss(self, service):
+        service.rank("dm", 1, 1, k=4)
+        different_k = service.rank("dm", 1, 1, k=5)
+        assert different_k["cached"] is False
+
+    def test_cache_disabled_by_capacity_zero(self, tmp_path, dataset, model):
+        registry = ModelRegistry(
+            ExperimentStore(tmp_path / "s2"), dataset.graph, types=dataset.types
+        )
+        registry.register("dm", model, persist=False)
+        with LinkPredictionService(registry, cache_size=0, max_wait=0.0) as svc:
+            svc.rank("dm", 1, 1)
+            assert svc.rank("dm", 1, 1)["cached"] is False
+
+
+class TestHealth:
+    def test_health_counters(self, service, dataset):
+        service.rank("dm", 0, 0, k=2)
+        service.score("dm", [next(iter(dataset.graph.test))], sides=("tail",))
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["models"] == ["dm"]
+        assert health["graph"] == dataset.graph.name
+        assert health["scheduler"]["requests"] >= 2
+        assert health["scheduler"]["batches"] >= 1

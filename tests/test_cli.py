@@ -33,9 +33,47 @@ class TestParser:
             "complexity",
             "analyze",
             "evaluate",
+            "serve",
             "runs",
             "cache",
         }
+
+
+def _all_commands() -> list[str]:
+    parser = build_parser()
+    for action in parser._actions:
+        if getattr(action, "choices", None) and action.dest == "command":
+            return sorted(action.choices)
+    raise AssertionError("no subcommands registered")
+
+
+class TestHelpSmoke:
+    """Every subcommand (and nested subcommand) parses --help, exit code 0."""
+
+    @pytest.mark.parametrize("command", _all_commands())
+    def test_command_help(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        assert "usage:" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "path",
+        [("runs", "list"), ("runs", "show"), ("cache", "ls"), ("cache", "gc")],
+    )
+    def test_nested_command_help(self, path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([*path, "--help"])
+        assert excinfo.value.code == 0
+        assert "usage:" in capsys.readouterr().out
+
+    def test_top_level_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for command in _all_commands():
+            assert command in out
 
 
 class TestCommands:
@@ -93,7 +131,7 @@ class TestCommands:
                 "8",
                 "--fraction",
                 "0.1",
-                "--save",
+                "--save-model",
                 str(checkpoint),
             ]
         )
@@ -105,6 +143,112 @@ class TestCommands:
         from repro.models import load_model
 
         assert load_model(checkpoint).name == "distmult"
+
+    def test_evaluate_save_alias_still_works(self, tmp_path):
+        """--save (the pre-serve spelling) remains an alias of --save-model."""
+        args = build_parser().parse_args(
+            ["evaluate", "--save", str(tmp_path / "m.npz")]
+        )
+        assert args.save_model == str(tmp_path / "m.npz")
+
+    def test_serve_dry_run_with_saved_checkpoint(self, capsys, tmp_path):
+        """evaluate --save-model -> serve --model-path, no Python in between."""
+        checkpoint = tmp_path / "dm.npz"
+        assert (
+            main(
+                [
+                    "evaluate",
+                    "--dataset", "codex-s-lite",
+                    "--model", "distmult",
+                    "--epochs", "1",
+                    "--dim", "8",
+                    "--save-model", str(checkpoint),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "serve",
+                "--dataset", "codex-s-lite",
+                "--model-path", f"prod={checkpoint}",
+                "--store", str(tmp_path / "store"),
+                "--dry-run",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Serving codex-s-lite" in out
+        assert "prod" in out and "distmult" in out
+        assert "Dry run" in out
+
+    def test_serve_model_path_with_equals_in_directory(self, capsys, tmp_path):
+        """A bare path containing '=' in a directory name is one path."""
+        from repro.datasets import load
+        from repro.models import build_model, save_model
+
+        weird_dir = tmp_path / "run=3"
+        weird_dir.mkdir()
+        graph = load("codex-s-lite").graph
+        save_model(
+            build_model("distmult", graph.num_entities, graph.num_relations, dim=8),
+            weird_dir / "dm.npz",
+        )
+        code = main(
+            [
+                "serve",
+                "--dataset", "codex-s-lite",
+                "--model-path", str(weird_dir / "dm.npz"),
+                "--store", str(tmp_path / "store"),
+                "--dry-run",
+            ]
+        )
+        assert code == 0
+        assert "dm" in capsys.readouterr().out
+
+    def test_serve_model_path_relative_with_equals(self, capsys, tmp_path, monkeypatch):
+        """`run=3/dm.npz` relative to cwd is one bare path too."""
+        from repro.datasets import load
+        from repro.models import build_model, save_model
+
+        (tmp_path / "run=3").mkdir()
+        graph = load("codex-s-lite").graph
+        save_model(
+            build_model("distmult", graph.num_entities, graph.num_relations, dim=8),
+            tmp_path / "run=3" / "dm.npz",
+        )
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "serve",
+                "--dataset", "codex-s-lite",
+                "--model-path", "run=3/dm.npz",
+                "--store", str(tmp_path / "store"),
+                "--dry-run",
+            ]
+        )
+        assert code == 0
+        assert "dm" in capsys.readouterr().out
+
+    def test_serve_dry_run_trains_ad_hoc_without_checkpoints(self, capsys, tmp_path):
+        code = main(
+            [
+                "serve",
+                "--dataset", "codex-s-lite",
+                "--model", "distmult",
+                "--epochs", "1",
+                "--dim", "8",
+                "--store", str(tmp_path / "store"),
+                "--dry-run",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ad-hoc" in out
+        assert "Serving codex-s-lite" in out
+        # The ad-hoc model was persisted: a second serve discovers it.
+        assert (tmp_path / "store" / "serve" / "distmult.npz").exists()
 
 
 class TestStoreCommands:

@@ -84,3 +84,20 @@ def test_docs_cover_the_required_guides():
 
     store = (DOCS_DIR / "store.md").read_text(encoding="utf-8")
     assert "warm" in store.lower() and "journal" in store.lower()
+
+
+def test_serve_guide_documents_the_api():
+    """The serving guide covers the API schema and the batching knobs."""
+    serve = (DOCS_DIR / "serve.md").read_text(encoding="utf-8")
+    for endpoint in ("/v1/rank", "/v1/score", "/v1/models", "/healthz"):
+        assert endpoint in serve, f"serve.md misses endpoint {endpoint}"
+    for knob in ("--max-batch", "--max-wait-ms", "--model-path", "--save-model"):
+        assert knob in serve, f"serve.md misses knob {knob}"
+    assert "micro-batch" in serve.lower()
+    assert "bitwise-identical" in serve
+
+    architecture = (DOCS_DIR / "architecture.md").read_text(encoding="utf-8")
+    assert "repro.serve" in architecture
+
+    cli = (DOCS_DIR / "cli.md").read_text(encoding="utf-8")
+    assert "## `serve`" in cli
