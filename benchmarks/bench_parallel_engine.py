@@ -57,7 +57,7 @@ def _large_synthetic():
     return generate(config)
 
 
-def test_parallel_engine_speedup(emit):
+def test_parallel_engine_speedup(emit, emit_json):
     dataset = _large_synthetic()
     graph = dataset.graph
     model = build_model(
@@ -107,6 +107,17 @@ def test_parallel_engine_speedup(emit):
                 f"({graph.num_entities} entities, {2 * len(graph.test)} queries)"
             ),
         ),
+    )
+    emit_json(
+        "parallel_engine",
+        {
+            "bench": "bench_parallel_engine",
+            "workers": WORKERS,
+            "latency_bound_speedup": latency_speedup,
+            "cpu_bound_speedup": cpu_speedup,
+            "min_speedup_asserted": MIN_SPEEDUP,
+            "ranks_equal": True,
+        },
     )
     assert latency_speedup >= MIN_SPEEDUP
 

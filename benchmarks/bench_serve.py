@@ -127,7 +127,7 @@ def test_served_ranks_equal_offline_engine(tmp_path):
         assert truth.ranks[query] == row["rank"], f"rank mismatch for {query}"
 
 
-def test_micro_batched_throughput(tmp_path, emit):
+def test_micro_batched_throughput(tmp_path, emit, emit_json):
     """Claim 2: batching >= 3x sequential under 8 concurrent clients."""
     dataset = load("codex-s-lite")
     graph = dataset.graph
@@ -183,6 +183,18 @@ def test_micro_batched_throughput(tmp_path, emit):
                 f"{num_requests} requests on {graph.name}"
             ),
         ),
+    )
+    emit_json(
+        "serve",
+        {
+            "bench": "bench_serve",
+            "clients": NUM_CLIENTS,
+            "requests": num_requests,
+            "latency_bound_speedup": latency_speedup,
+            "cpu_bound_speedup": cpu_speedup,
+            "mean_batch_size": batch_stats["mean_batch_size"],
+            "min_speedup_asserted": MIN_SPEEDUP,
+        },
     )
     assert seq_stats["max_batch_size"] == 1  # the baseline really is sequential
     assert batch_stats["mean_batch_size"] > 1.5  # coalescing actually happened

@@ -17,11 +17,15 @@ from repro.datasets import load
 from repro.models import build_model
 
 
-def test_table9_speedup_small_datasets(benchmark, emit, studies):
+def test_table9_speedup_small_datasets(benchmark, emit, emit_json, studies):
     rows = benchmark.pedantic(table9_speedup, args=(studies,), rounds=1, iterations=1)
     emit(
         "table9_speedup",
         render_table(rows, title="Table 9: evaluation speed-up vs full ranking"),
+    )
+    emit_json(
+        "table9_speedup",
+        {"bench": "bench_table9_speedup", "rows": rows},
     )
     assert len(rows) == len(studies)
 

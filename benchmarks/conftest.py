@@ -2,7 +2,9 @@
 
 Benchmarks print their paper-style tables *and* persist them under
 ``benchmarks/results/`` so a run leaves a durable reproduction record
-(``EXPERIMENTS.md`` quotes those files).
+(``EXPERIMENTS.md`` quotes those files).  Speed-up benches additionally
+write machine-readable ``BENCH_<name>.json`` records (the ``emit_json``
+fixture) so the perf trajectory is trackable across PRs.
 
 The training studies behind Tables 6-9 are expensive (train a model,
 evaluate it fully every epoch), so they are computed once per pytest
@@ -16,6 +18,7 @@ Delete that directory (or run ``repro cache gc``) to force a cold run.
 
 from __future__ import annotations
 
+import json
 from functools import lru_cache
 from pathlib import Path
 
@@ -81,5 +84,30 @@ def emit():
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
         print(f"\n{text}\n")
+
+    return _emit
+
+
+def _jsonable(value):
+    """numpy scalars/arrays -> plain Python for json.dumps."""
+    if hasattr(value, "item") and getattr(value, "size", 1) == 1:
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    raise TypeError(f"not JSON-serialisable: {type(value)!r}")
+
+
+@pytest.fixture
+def emit_json():
+    """Persist a machine-readable perf record as BENCH_<name>.json."""
+
+    def _emit(name: str, payload: dict) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=_jsonable) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\n[perf record] {path}")
 
     return _emit

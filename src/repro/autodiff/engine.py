@@ -7,8 +7,11 @@ non-linearities and reductions — with a topological-sort backward pass.
 
 Design notes
 ------------
-* A :class:`Tensor` wraps a float64 numpy array, its gradient, and the
-  closure that routes output gradients to its parents.
+* A :class:`Tensor` wraps a float64 (or, for reduced-precision models,
+  float32) numpy array, its gradient, and the closure that routes output
+  gradients to its parents.  Anything that is not already float32 is
+  coerced to float64, so the default substrate stays double precision;
+  float32 enters only when a model explicitly casts its parameters.
 * Broadcasting is supported in arithmetic ops; gradients are "unbroadcast"
   (summed over expanded axes) on the way back.
 * ``einsum`` is binary-only, and every index of each operand must appear in
@@ -27,10 +30,18 @@ import numpy as np
 Array = np.ndarray
 
 
+def _coerce(value) -> Array:
+    """float32 arrays pass through; everything else becomes float64."""
+    array = np.asarray(value)
+    if array.dtype == np.float32:
+        return array
+    return np.asarray(array, dtype=np.float64)
+
+
 def _as_array(value: "Tensor | Array | float") -> Array:
     if isinstance(value, Tensor):
         raise TypeError("expected raw array, got Tensor")
-    return np.asarray(value, dtype=np.float64)
+    return _coerce(value)
 
 
 def _unbroadcast(grad: Array, shape: tuple[int, ...]) -> Array:
@@ -57,7 +68,7 @@ class Tensor:
         parents: tuple["Tensor", ...] = (),
         backward: Callable[[Array], None] | None = None,
     ):
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = _coerce(data)
         self.grad: Array | None = None
         self.requires_grad = requires_grad or any(p.requires_grad for p in parents)
         self._parents = parents
@@ -145,12 +156,12 @@ class Tensor:
 def _lift(value: "Tensor | float | Array") -> Tensor:
     if isinstance(value, Tensor):
         return value
-    return Tensor(np.asarray(value, dtype=np.float64))
+    return Tensor(_coerce(value))
 
 
 def parameter(data: Array) -> Tensor:
     """A leaf tensor that accumulates gradients."""
-    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=True)
+    return Tensor(_coerce(data), requires_grad=True)
 
 
 # ----------------------------------------------------------------------

@@ -8,6 +8,9 @@ first:
 * ``recommenders``    — CR/RR/runtime comparison on one dataset (Table 5);
 * ``easy-negatives``  — zero-score mining + false-negative audit (Tables 2/10);
 * ``complexity``      — sampling-cost accounting (Table 3);
+* ``train``           — train a model and write its checkpoint; the fused
+  analytic kernels are the default fast path (``--no-fused`` opts out,
+  ``--dtype float32`` halves parameter memory);
 * ``evaluate``        — train a model, then compare the full ranking
   against the random and guided estimates (the quickstart as one command);
   ``--workers N`` fans the ranking passes across N scoring processes;
@@ -161,6 +164,74 @@ def _cmd_complexity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_training_arguments(parser: argparse.ArgumentParser) -> None:
+    """Knobs shared by ``train`` and ``evaluate``."""
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--lr", type=float, default=0.05)
+    parser.add_argument("--loss", default="softplus")
+    parser.add_argument(
+        "--dtype",
+        default="float64",
+        choices=("float32", "float64"),
+        help="embedding parameter dtype (float32 halves memory)",
+    )
+    parser.add_argument(
+        "--no-fused",
+        action="store_true",
+        help="train through the autodiff engine even when the model has "
+        "an analytic kernel (debugging / A-B timing)",
+    )
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.models import save_model
+
+    dataset = load(args.dataset)
+    graph = dataset.graph
+    model = build_model(
+        args.model,
+        graph.num_entities,
+        graph.num_relations,
+        dim=args.dim,
+        seed=args.seed,
+        dtype=args.dtype,
+    )
+    config = TrainingConfig(
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        loss=args.loss,
+        optimizer=args.optimizer,
+        seed=args.seed,
+        use_fused=not args.no_fused,
+    )
+    path_note = " (autodiff path)" if args.no_fused else ""
+    print(
+        f"Training {args.model} ({args.dtype}) on {graph.name} "
+        f"for {args.epochs} epochs{path_note} ..."
+    )
+    start = time.perf_counter()
+    history = Trainer(config).fit(model, graph)
+    seconds = time.perf_counter() - start
+    if history.losses:
+        print(f"loss: {history.losses[0]:.3f} -> {history.losses[-1]:.3f}")
+    # Reciprocal-relation models (ConvE) train on inverse-augmented batches.
+    per_epoch = len(graph.train) * (
+        2 if getattr(model, "inverse_offset", None) is not None else 1
+    )
+    triples = per_epoch * args.epochs
+    if triples:
+        print(f"{seconds:.2f} s ({triples / max(seconds, 1e-9):,.0f} triples/s)")
+    else:
+        print(f"{seconds:.2f} s (0 epochs: nothing trained)")
+    save_model(model, args.out)
+    print(f"Saved checkpoint to {args.out} (serve it with `repro serve --model-path {args.out}`)")
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     import time
 
@@ -170,9 +241,20 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     dataset = load(args.dataset)
     graph = dataset.graph
     model = build_model(
-        args.model, graph.num_entities, graph.num_relations, dim=args.dim, seed=args.seed
+        args.model,
+        graph.num_entities,
+        graph.num_relations,
+        dim=args.dim,
+        seed=args.seed,
+        dtype=args.dtype,
     )
-    config = TrainingConfig(epochs=args.epochs, lr=args.lr, loss=args.loss, seed=args.seed)
+    config = TrainingConfig(
+        epochs=args.epochs,
+        lr=args.lr,
+        loss=args.loss,
+        seed=args.seed,
+        use_fused=not args.no_fused,
+    )
     print(f"Training {args.model} on {graph.name} for {args.epochs} epochs ...")
     history = Trainer(config).fit(model, graph)
     if history.losses:
@@ -247,6 +329,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
                 "fraction": args.fraction,
                 "seed": args.seed,
                 "workers": args.workers,
+                "dtype": args.dtype,
             },
             seconds=time.perf_counter() - wall_start,
             metrics={
@@ -394,15 +477,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_dataset_argument(analyze)
 
+    train = commands.add_parser(
+        "train", help="train a model (fused kernels) and save its checkpoint"
+    )
+    _add_dataset_argument(train)
+    train.add_argument("--model", default="complex", choices=available_models())
+    _add_training_arguments(train)
+    train.add_argument("--batch-size", type=int, default=512)
+    train.add_argument(
+        "--optimizer", default="adam", choices=("adagrad", "adam", "sgd")
+    )
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--out", required=True, metavar="PATH", help="checkpoint .npz path to write"
+    )
+
     evaluate = commands.add_parser(
         "evaluate", help="train a model and compare evaluation protocols"
     )
     _add_dataset_argument(evaluate)
     evaluate.add_argument("--model", default="complex", choices=available_models())
-    evaluate.add_argument("--epochs", type=int, default=8)
-    evaluate.add_argument("--dim", type=int, default=32)
-    evaluate.add_argument("--lr", type=float, default=0.05)
-    evaluate.add_argument("--loss", default="softplus")
+    _add_training_arguments(evaluate)
     evaluate.add_argument(
         "--recommender", default="l-wd", choices=available_recommenders()
     )
@@ -525,6 +620,7 @@ _HANDLERS = {
     "easy-negatives": _cmd_easy_negatives,
     "complexity": _cmd_complexity,
     "analyze": _cmd_analyze,
+    "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "serve": _cmd_serve,
     "runs": _cmd_runs,

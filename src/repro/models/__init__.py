@@ -6,12 +6,13 @@ the names used in the paper's tables.
 
 from __future__ import annotations
 
-from repro.models.base import KGEModel, xavier_uniform
+from repro.models.base import DTYPES, KGEModel, xavier_uniform
 from repro.models.complex_ import ComplEx
 from repro.models.conve import ConvE
 from repro.models.distmult import DistMult
+from repro.models.kernels import available_kernels, get_kernel, has_kernel
 from repro.models.losses import available_losses, get_loss
-from repro.models.optim import SGD, Adam, build_optimizer
+from repro.models.optim import SGD, Adagrad, Adam, build_optimizer, coalesce_rows
 from repro.models.oracle import OracleModel
 from repro.models.random_model import RandomModel
 from repro.models.rescal import RESCAL
@@ -58,7 +59,9 @@ def build_model(
 
 
 __all__ = [
+    "DTYPES",
     "MODEL_REGISTRY",
+    "Adagrad",
     "Adam",
     "ComplEx",
     "ConvE",
@@ -76,11 +79,15 @@ __all__ = [
     "TransE",
     "TuckER",
     "UniformNegativeSampler",
+    "available_kernels",
     "available_losses",
     "available_models",
     "build_model",
     "build_optimizer",
+    "coalesce_rows",
+    "get_kernel",
     "get_loss",
+    "has_kernel",
     "load_model",
     "save_model",
     "xavier_uniform",

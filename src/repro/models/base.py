@@ -29,6 +29,14 @@ from repro.kg.graph import HEAD, Side
 
 Array = np.ndarray
 
+#: Parameter dtypes a model may be built with.  float64 is the substrate
+#: default (and the precision the kernel-equivalence tests run at);
+#: float32 halves memory traffic for the fused training kernels.
+DTYPES: dict[str, np.dtype] = {
+    "float32": np.dtype(np.float32),
+    "float64": np.dtype(np.float64),
+}
+
 
 def xavier_uniform(rng: np.random.Generator, shape: tuple[int, ...]) -> Array:
     """Xavier/Glorot uniform initialisation used by all embedding tables."""
@@ -51,6 +59,10 @@ class KGEModel(abc.ABC):
     seed:
         Initialisation seed; two models built with the same arguments are
         bit-identical.
+    dtype:
+        ``"float64"`` (default) or ``"float32"``.  Initial values are
+        always drawn in float64 and then cast, so a float32 model starts
+        at the float32 rounding of its float64 twin.
     """
 
     name: str = "kge"
@@ -63,15 +75,27 @@ class KGEModel(abc.ABC):
     #: enforces the invariant against every registered constructor.
     extra_init_fields: tuple[str, ...] = ()
 
-    def __init__(self, num_entities: int, num_relations: int, dim: int = 32, seed: int = 0):
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        dim: int = 32,
+        seed: int = 0,
+        dtype: str = "float64",
+    ):
         if num_entities <= 0 or num_relations <= 0:
             raise ValueError("model needs at least one entity and one relation")
         if dim <= 0:
             raise ValueError(f"embedding dim must be positive, got {dim}")
+        if dtype not in DTYPES:
+            raise ValueError(
+                f"dtype must be one of {sorted(DTYPES)}, got {dtype!r}"
+            )
         self.num_entities = num_entities
         self.num_relations = num_relations
         self.dim = dim
         self.seed = seed
+        self.dtype = dtype
         self._rng = np.random.default_rng(seed)
         self._params: dict[str, Tensor] = {}
         self.training = False
@@ -87,9 +111,14 @@ class KGEModel(abc.ABC):
     def _add_parameter(self, name: str, data: Array) -> Tensor:
         if name in self._params:
             raise ValueError(f"duplicate parameter {name!r}")
-        tensor = parameter(data)
+        tensor = parameter(np.asarray(data, dtype=self.np_dtype))
         self._params[name] = tensor
         return tensor
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The numpy dtype all parameter tables are stored in."""
+        return DTYPES[self.dtype]
 
     @property
     def parameters(self) -> Mapping[str, Tensor]:

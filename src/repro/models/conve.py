@@ -102,6 +102,7 @@ class ConvE(KGEModel):
         num_relations: int,
         dim: int = 32,
         seed: int = 0,
+        dtype: str = "float64",
         embedding_height: int | None = None,
         num_filters: int = 8,
         kernel_size: int = 3,
@@ -117,7 +118,7 @@ class ConvE(KGEModel):
         self.image_height = 2 * embedding_height
         self.image_width = self.embedding_width
         self._patches = _im2col_indices(self.image_height, self.image_width, kernel_size)
-        super().__init__(num_entities, num_relations, dim=dim, seed=seed)
+        super().__init__(num_entities, num_relations, dim=dim, seed=seed, dtype=dtype)
 
     @property
     def inverse_offset(self) -> int:

@@ -34,6 +34,7 @@ def save_model(model: KGEModel, path: str | os.PathLike[str]) -> None:
         "num_relations": model.num_relations,
         "dim": model.dim,
         "seed": model.seed,
+        "dtype": model.dtype,
     }
     for field in model.extra_init_fields:
         meta[field] = getattr(model, field)
@@ -62,6 +63,9 @@ def load_model(path: str | os.PathLike[str]) -> KGEModel:
             meta.pop("num_relations"),
             dim=meta.pop("dim"),
             seed=meta.pop("seed"),
+            # Checkpoints written before the dtype knob default to float64,
+            # which is exactly what they were trained in.
+            dtype=meta.pop("dtype", "float64"),
             **meta,
         )
         for key, tensor in model.parameters.items():

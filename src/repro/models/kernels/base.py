@@ -1,0 +1,247 @@
+"""Shared machinery of the analytic training kernels.
+
+An :class:`AnalyticKernel` is a hand-derived fused score+gradient rule for
+one model family: ``score`` computes plain-numpy triple scores (no autodiff
+graph), ``backward`` turns upstream per-triple score gradients into
+*row-indexed* parameter gradients — only the embedding rows a batch
+actually touches, never a dense table.  :func:`fused_step` glues a kernel
+to a fused loss gradient (:mod:`repro.models.kernels.losses`) into the one
+vectorized pass per batch the fast training path runs.
+
+Correctness is enforced by construction rather than trusted:
+:func:`autodiff_gradients` replays the same batch through the pure-Python
+autodiff engine and :func:`fused_gradients` densifies a kernel's row
+gradients, so tests (and ``benchmarks/bench_training.py``) can assert the
+two agree to ~1e-9 in float64 for every registered (model, loss) pair.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+import numpy as np
+
+from repro.models.base import KGEModel, check_ids
+
+Array = np.ndarray
+
+#: One kernel gradient contribution: (parameter name, row ids, row grads).
+#: Row ids may repeat across and within contributions; accumulation is the
+#: consumer's job (``repro.models.optim.coalesce_rows``).
+RowGrad = tuple[str, Array, Array]
+
+#: Fused loss gradient: (positive (b,), negative (b, k), margin) ->
+#: (loss value, d loss / d positive, d loss / d negative).
+LossGrad = Callable[[Array, Array, float], tuple[float, Array, Array]]
+
+
+class AnalyticKernel(abc.ABC):
+    """Fused score+gradient rule for one registered model name.
+
+    Two surfaces:
+
+    * the *generic* pair :meth:`score` / :meth:`backward` handles
+      arbitrary flat triple batches — it is the reference the equivalence
+      tests drive and the fallback for everything below;
+    * the *structured* pair :meth:`score_corrupted` /
+      :meth:`backward_corrupted` exploits the negative-sampling shape
+      (every negative shares its positive's relation and uncorrupted
+      side): kernels that override it score all ``k`` corruptions of a
+      positive against one precomputed query vector instead of ``k``
+      independent triples, and return the uncorrupted side's gradient as
+      one pre-summed row instead of ``k`` duplicate rows.  The default
+      implementation flattens to the generic pair.
+    """
+
+    #: The :attr:`KGEModel.name` this kernel implements.  Dispatch is by
+    #: name, so a subclass overriding ``score_triples`` must re-register
+    #: (or clear) its kernel under a new name.
+    model_name: str = ""
+
+    @abc.abstractmethod
+    def score(
+        self, model: KGEModel, heads: Array, relations: Array, tails: Array
+    ) -> tuple[Array, object]:
+        """``(n,)`` scores plus an opaque cache for :meth:`backward`.
+
+        Must equal ``model.score_triples(...)`` values (same formula, same
+        epsilons) — the parity the kernel tests assert.
+        """
+
+    @abc.abstractmethod
+    def backward(self, model: KGEModel, cache: object, dscore: Array) -> list[RowGrad]:
+        """Row gradients of ``sum(dscore * scores)`` w.r.t. the parameters."""
+
+    def score_corrupted(
+        self,
+        model: KGEModel,
+        heads: Array,
+        relations: Array,
+        tails: Array,
+        corrupted: Array,
+        corrupt_head: Array,
+    ) -> tuple[Array, Array, object]:
+        """``(b,)`` positive and ``(b, k)`` negative scores plus a cache.
+
+        ``corrupted[i]`` holds the replacement entities of triple ``i``;
+        ``corrupt_head[i]`` says which side they replace.
+        """
+        b, k = corrupted.shape
+        neg_heads = np.where(corrupt_head[:, None], corrupted, heads[:, None])
+        neg_tails = np.where(corrupt_head[:, None], tails[:, None], corrupted)
+        all_heads = np.concatenate([heads, neg_heads.reshape(-1)])
+        all_tails = np.concatenate([tails, neg_tails.reshape(-1)])
+        all_relations = np.concatenate(
+            [relations, np.repeat(relations, k)]
+        )
+        scores, cache = self.score(model, all_heads, all_relations, all_tails)
+        return scores[:b], scores[b:].reshape(b, k), cache
+
+    def backward_corrupted(
+        self, model: KGEModel, cache: object, d_pos: Array, d_neg: Array
+    ) -> list[RowGrad]:
+        """Row gradients matching :meth:`score_corrupted`'s cache."""
+        dscore = np.concatenate([d_pos, d_neg.reshape(-1)])
+        return self.backward(model, cache, dscore)
+
+
+def fused_step(
+    model: KGEModel,
+    kernel: AnalyticKernel,
+    loss_grad: LossGrad,
+    heads: Array,
+    relations: Array,
+    tails: Array,
+    corrupted: Array,
+    corrupt_head: Array,
+    margin: float = 1.0,
+) -> tuple[float, dict[str, tuple[Array, Array]]]:
+    """One fused forward+backward pass over a batch and its corruptions.
+
+    Positives and negatives are scored in one structured kernel call; the
+    fused loss gradient then weights every score, and one backward call
+    yields per-parameter ``(rows, grads)`` pairs (duplicate rows are the
+    optimizer's to accumulate).  Returns
+    ``(loss value, {param name: (rows, grads)})``.
+    """
+    heads = check_ids(heads, model.num_entities, "head")
+    tails = check_ids(tails, model.num_entities, "tail")
+    relations = check_ids(relations, model.num_relations, "relation")
+    corrupted = check_ids(corrupted, model.num_entities, "corrupted entity")
+    positive, negative, cache = kernel.score_corrupted(
+        model, heads, relations, tails, corrupted, corrupt_head
+    )
+    loss, d_pos, d_neg = loss_grad(positive, negative, margin)
+    dtype = positive.dtype
+    merged: dict[str, tuple[list[Array], list[Array]]] = {}
+    contributions = kernel.backward_corrupted(
+        model,
+        cache,
+        d_pos.astype(dtype, copy=False),
+        d_neg.astype(dtype, copy=False),
+    )
+    for name, rows, grads in contributions:
+        rows_list, grads_list = merged.setdefault(name, ([], []))
+        rows_list.append(rows.reshape(-1))
+        grads_list.append(grads.reshape(rows.size, -1))
+    return loss, {
+        name: (
+            np.concatenate(rows_list),
+            np.concatenate(grads_list, axis=0).reshape(
+                -1, *model.parameters[name].data.shape[1:]
+            ),
+        )
+        for name, (rows_list, grads_list) in merged.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Equivalence helpers (used by tests and benchmarks/bench_training.py)
+# ----------------------------------------------------------------------
+def _dense_from_rows(
+    model: KGEModel, row_grads: dict[str, tuple[Array, Array]]
+) -> dict[str, Array]:
+    dense = {name: np.zeros_like(p.data) for name, p in model.parameters.items()}
+    for name, (rows, grads) in row_grads.items():
+        np.add.at(dense[name], rows, grads)
+    return dense
+
+
+def fused_gradients(
+    model: KGEModel,
+    loss_name: str,
+    heads: Array,
+    relations: Array,
+    tails: Array,
+    corrupted: Array,
+    corrupt_head: Array,
+    margin: float = 1.0,
+) -> tuple[float, dict[str, Array]]:
+    """The kernel path's gradients (structured entry point), densified."""
+    from repro.models.kernels import get_kernel
+    from repro.models.kernels.losses import get_fused_loss
+
+    kernel = get_kernel(model)
+    if kernel is None:
+        raise KeyError(f"no analytic kernel registered for {model.name!r}")
+    loss_grad = get_fused_loss(loss_name)
+    if loss_grad is None:
+        raise KeyError(f"no fused gradient for loss {loss_name!r}")
+    loss, row_grads = fused_step(
+        model,
+        kernel,
+        loss_grad,
+        heads,
+        relations,
+        tails,
+        corrupted,
+        corrupt_head,
+        margin=margin,
+    )
+    return loss, _dense_from_rows(model, row_grads)
+
+
+def expand_corruptions(
+    heads: Array, relations: Array, tails: Array, corrupted: Array, corrupt_head: Array
+) -> tuple[Array, Array, Array]:
+    """Materialise ``(neg_heads, neg_relations, neg_tails)`` triples."""
+    k = corrupted.shape[1]
+    neg_heads = np.where(corrupt_head[:, None], corrupted, heads[:, None])
+    neg_tails = np.where(corrupt_head[:, None], tails[:, None], corrupted)
+    neg_relations = np.repeat(relations[:, None], k, axis=1)
+    return neg_heads, neg_relations, neg_tails
+
+
+def autodiff_gradients(
+    model: KGEModel,
+    loss_name: str,
+    heads: Array,
+    relations: Array,
+    tails: Array,
+    corrupted: Array,
+    corrupt_head: Array,
+    margin: float = 1.0,
+) -> tuple[float, dict[str, Array]]:
+    """The reference gradients: the trainer's autodiff fallback, verbatim."""
+    from repro.autodiff.engine import reshape
+    from repro.models.losses import get_loss
+
+    b, k = corrupted.shape
+    neg_heads, neg_relations, neg_tails = expand_corruptions(
+        heads, relations, tails, corrupted, corrupt_head
+    )
+    model.zero_grad()
+    positive = model.score_triples(heads, relations, tails)
+    negative_flat = model.score_triples(
+        neg_heads.reshape(-1), neg_relations.reshape(-1), neg_tails.reshape(-1)
+    )
+    negative = reshape(negative_flat, (b, k))
+    loss = get_loss(loss_name)(positive, negative, margin=margin)
+    loss.backward()
+    grads = {
+        name: (np.zeros_like(p.data) if p.grad is None else p.grad.copy())
+        for name, p in model.parameters.items()
+    }
+    model.zero_grad()
+    return float(loss.data), grads

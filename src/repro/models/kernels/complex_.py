@@ -1,0 +1,127 @@
+"""Analytic kernel for ComplEx: ``score = Re(<h, r, conj(t)>)``.
+
+With ``hr_re = h_re r_re - h_im r_im`` and ``hr_im = h_re r_im + h_im r_re``
+the score is ``hr_re . t_re + hr_im . t_im``; differentiating the expanded
+real form gives::
+
+    d/d h_re = r_re t_re + r_im t_im      d/d h_im = r_re t_im - r_im t_re
+    d/d r_re = h_re t_re + h_im t_im      d/d r_im = h_re t_im - h_im t_re
+    d/d t_re = hr_re                      d/d t_im = hr_im
+
+Rows store ``[re | im]`` halves concatenated, matching the model layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.kernels.base import AnalyticKernel, Array, RowGrad
+
+
+class ComplExKernel(AnalyticKernel):
+    model_name = "complex"
+
+    def score(self, model, heads: Array, relations: Array, tails: Array):
+        d = model.dim
+        h = model.entity.data[heads]
+        r = model.relation.data[relations]
+        t = model.entity.data[tails]
+        h_re, h_im = h[:, :d], h[:, d:]
+        r_re, r_im = r[:, :d], r[:, d:]
+        t_re, t_im = t[:, :d], t[:, d:]
+        hr_re = h_re * r_re - h_im * r_im
+        hr_im = h_re * r_im + h_im * r_re
+        scores = (hr_re * t_re + hr_im * t_im).sum(axis=-1)
+        cache = (heads, relations, tails, h_re, h_im, r_re, r_im, t_re, t_im, hr_re, hr_im)
+        return scores, cache
+
+    def backward(self, model, cache, dscore: Array) -> list[RowGrad]:
+        heads, relations, tails, h_re, h_im, r_re, r_im, t_re, t_im, hr_re, hr_im = cache
+        g = dscore[:, None]
+        grad_h = np.concatenate(
+            [g * (r_re * t_re + r_im * t_im), g * (r_re * t_im - r_im * t_re)], axis=1
+        )
+        grad_r = np.concatenate(
+            [g * (h_re * t_re + h_im * t_im), g * (h_re * t_im - h_im * t_re)], axis=1
+        )
+        grad_t = np.concatenate([g * hr_re, g * hr_im], axis=1)
+        return [
+            ("entity", heads, grad_h),
+            ("relation", relations, grad_r),
+            ("entity", tails, grad_t),
+        ]
+
+    def score_corrupted(self, model, heads, relations, tails, corrupted, corrupt_head):
+        d = model.dim
+        h = model.entity.data[heads]
+        r = model.relation.data[relations]
+        t = model.entity.data[tails]
+        candidates = model.entity.data[corrupted]  # (b, k, 2d)
+        h_re, h_im = h[:, :d], h[:, d:]
+        r_re, r_im = r[:, :d], r[:, d:]
+        t_re, t_im = t[:, :d], t[:, d:]
+        tc = np.flatnonzero(~corrupt_head)
+        hc = np.flatnonzero(corrupt_head)
+        # The score is linear in the corrupted side: candidate . q, with
+        # q = h * r for tail candidates and q = conj(r) * t-side form for
+        # head candidates (the score_all query vectors).
+        q_re = np.empty_like(h_re)
+        q_im = np.empty_like(h_im)
+        q_re[tc] = h_re[tc] * r_re[tc] - h_im[tc] * r_im[tc]
+        q_im[tc] = h_re[tc] * r_im[tc] + h_im[tc] * r_re[tc]
+        q_re[hc] = r_re[hc] * t_re[hc] + r_im[hc] * t_im[hc]
+        q_im[hc] = r_re[hc] * t_im[hc] - r_im[hc] * t_re[hc]
+        other_re = np.empty_like(h_re)
+        other_im = np.empty_like(h_im)
+        other_re[tc], other_im[tc] = t_re[tc], t_im[tc]
+        other_re[hc], other_im[hc] = h_re[hc], h_im[hc]
+        positive = (q_re * other_re + q_im * other_im).sum(axis=-1)
+        negative = np.einsum("bkd,bd->bk", candidates[:, :, :d], q_re) + np.einsum(
+            "bkd,bd->bk", candidates[:, :, d:], q_im
+        )
+        cache = (
+            heads, relations, tails, corrupted, tc, hc,
+            h_re, h_im, r_re, r_im, t_re, t_im,
+            candidates, q_re, q_im, other_re, other_im,
+        )
+        return positive, negative, cache
+
+    def backward_corrupted(self, model, cache, d_pos, d_neg) -> list[RowGrad]:
+        (
+            heads, relations, tails, corrupted, tc, hc,
+            h_re, h_im, r_re, r_im, t_re, t_im,
+            candidates, q_re, q_im, other_re, other_im,
+        ) = cache
+        d = q_re.shape[1]
+        g = d_pos[:, None]
+        gq_re = g * other_re + np.einsum("bk,bkd->bd", d_neg, candidates[:, :, :d])
+        gq_im = g * other_im + np.einsum("bk,bkd->bd", d_neg, candidates[:, :, d:])
+        grad_candidates = np.concatenate(
+            [d_neg[:, :, None] * q_re[:, None, :], d_neg[:, :, None] * q_im[:, None, :]],
+            axis=2,
+        )
+        shape = (q_re.shape[0], 2 * d)
+        grad_h = np.empty(shape, dtype=q_re.dtype)
+        grad_r = np.empty(shape, dtype=q_re.dtype)
+        grad_t = np.empty(shape, dtype=q_re.dtype)
+        # Tail-corrupt rows: q = h x r (complex product).
+        grad_h[tc, :d] = gq_re[tc] * r_re[tc] + gq_im[tc] * r_im[tc]
+        grad_h[tc, d:] = -gq_re[tc] * r_im[tc] + gq_im[tc] * r_re[tc]
+        grad_r[tc, :d] = gq_re[tc] * h_re[tc] + gq_im[tc] * h_im[tc]
+        grad_r[tc, d:] = -gq_re[tc] * h_im[tc] + gq_im[tc] * h_re[tc]
+        grad_t[tc, :d] = g[tc] * q_re[tc]
+        grad_t[tc, d:] = g[tc] * q_im[tc]
+        # Head-corrupt rows: q_re = r_re t_re + r_im t_im,
+        #                    q_im = r_re t_im - r_im t_re.
+        grad_r[hc, :d] = gq_re[hc] * t_re[hc] + gq_im[hc] * t_im[hc]
+        grad_r[hc, d:] = gq_re[hc] * t_im[hc] - gq_im[hc] * t_re[hc]
+        grad_t[hc, :d] = gq_re[hc] * r_re[hc] - gq_im[hc] * r_im[hc]
+        grad_t[hc, d:] = gq_re[hc] * r_im[hc] + gq_im[hc] * r_re[hc]
+        grad_h[hc, :d] = g[hc] * q_re[hc]
+        grad_h[hc, d:] = g[hc] * q_im[hc]
+        return [
+            ("entity", heads, grad_h),
+            ("relation", relations, grad_r),
+            ("entity", tails, grad_t),
+            ("entity", corrupted, grad_candidates),
+        ]

@@ -1,0 +1,80 @@
+"""Analytic kernel for RESCAL: ``score = h^T W_r t``.
+
+The bilinear form's gradients are ``d/d h = W t``, ``d/d t = W^T h`` and
+``d/d W = h t^T`` (a rank-one outer product per triple).  The relation
+gradient is the heavy one — ``(n, dim, dim)`` — which is exactly why the
+sparse row update matters most for RESCAL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.kernels.base import AnalyticKernel, Array, RowGrad
+
+
+class RESCALKernel(AnalyticKernel):
+    model_name = "rescal"
+
+    def score(self, model, heads: Array, relations: Array, tails: Array):
+        h = model.entity.data[heads]
+        w = model.relation.data[relations]
+        t = model.entity.data[tails]
+        hw = np.einsum("bi,bij->bj", h, w)
+        scores = (hw * t).sum(axis=-1)
+        return scores, (heads, relations, tails, h, w, t, hw)
+
+    def backward(self, model, cache, dscore: Array) -> list[RowGrad]:
+        heads, relations, tails, h, w, t, hw = cache
+        g = dscore[:, None]
+        grad_h = g * np.einsum("bij,bj->bi", w, t)
+        grad_w = dscore[:, None, None] * (h[:, :, None] * t[:, None, :])
+        grad_t = g * hw
+        return [
+            ("entity", heads, grad_h),
+            ("relation", relations, grad_w),
+            ("entity", tails, grad_t),
+        ]
+
+    def score_corrupted(self, model, heads, relations, tails, corrupted, corrupt_head):
+        h = model.entity.data[heads]
+        w = model.relation.data[relations]  # (b, d, d)
+        t = model.entity.data[tails]
+        candidates = model.entity.data[corrupted]  # (b, k, d)
+        tc = np.flatnonzero(~corrupt_head)
+        hc = np.flatnonzero(corrupt_head)
+        # q is the vector the corrupted side is dotted with: h W for tail
+        # candidates, W t for head candidates; `other` is the positive's
+        # uncorrupted entity row.
+        q = np.empty_like(h)
+        q[tc] = np.einsum("bi,bij->bj", h[tc], w[tc])
+        q[hc] = np.einsum("bij,bj->bi", w[hc], t[hc])
+        other = np.empty_like(h)
+        other[tc] = t[tc]
+        other[hc] = h[hc]
+        positive = (q * other).sum(axis=-1)
+        negative = np.einsum("bkd,bd->bk", candidates, q)
+        cache = (heads, relations, tails, corrupted, tc, hc, h, w, t, candidates, q, other)
+        return positive, negative, cache
+
+    def backward_corrupted(self, model, cache, d_pos, d_neg) -> list[RowGrad]:
+        heads, relations, tails, corrupted, tc, hc, h, w, t, candidates, q, other = cache
+        grad_q = d_pos[:, None] * other + np.einsum("bk,bkd->bd", d_neg, candidates)
+        grad_candidates = d_neg[:, :, None] * q[:, None, :]
+        grad_h = np.empty_like(h)
+        grad_t = np.empty_like(t)
+        grad_w = np.empty_like(w)
+        # Tail-corrupt rows: q = h W, so W's gradient is h (x) grad_q.
+        grad_h[tc] = np.einsum("bij,bj->bi", w[tc], grad_q[tc])
+        grad_w[tc] = h[tc][:, :, None] * grad_q[tc][:, None, :]
+        grad_t[tc] = d_pos[tc, None] * q[tc]
+        # Head-corrupt rows: q = W t, so W's gradient is grad_q (x) t.
+        grad_t[hc] = np.einsum("bij,bi->bj", w[hc], grad_q[hc])
+        grad_w[hc] = grad_q[hc][:, :, None] * t[hc][:, None, :]
+        grad_h[hc] = d_pos[hc, None] * q[hc]
+        return [
+            ("entity", heads, grad_h),
+            ("relation", relations, grad_w),
+            ("entity", tails, grad_t),
+            ("entity", corrupted, grad_candidates),
+        ]

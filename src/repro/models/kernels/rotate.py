@@ -1,0 +1,57 @@
+"""Analytic kernel for RotatE: ``score = -sum_d |h_d e^{i theta_d} - t_d|``.
+
+With ``rot = h * e^{i theta}`` (componentwise complex rotation), the
+residual ``delta = rot - t`` has modulus ``m = sqrt(delta_re^2 +
+delta_im^2 + 1e-12)`` (the engine's sqrt epsilon).  Each modulus pulls
+``-delta / m`` back through the rotation::
+
+    d score / d delta      = -delta / m
+    d rot / d theta        = i * rot          (rotate by 90 degrees)
+    d score / d theta      = (delta_re rot_im - delta_im rot_re) / m
+    d score / d h          = conj-rotation of d score / d rot
+    d score / d t          = +delta / m
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.kernels.base import AnalyticKernel, Array, RowGrad
+
+
+class RotatEKernel(AnalyticKernel):
+    model_name = "rotate"
+
+    def score(self, model, heads: Array, relations: Array, tails: Array):
+        d = model.dim
+        h = model.entity.data[heads]
+        t = model.entity.data[tails]
+        theta = model.phase.data[relations]
+        h_re, h_im = h[:, :d], h[:, d:]
+        t_re, t_im = t[:, :d], t[:, d:]
+        c, s = np.cos(theta), np.sin(theta)
+        rot_re = h_re * c - h_im * s
+        rot_im = h_re * s + h_im * c
+        delta_re = rot_re - t_re
+        delta_im = rot_im - t_im
+        modulus = np.sqrt(delta_re**2 + delta_im**2 + 1e-12)
+        scores = -modulus.sum(axis=-1)
+        cache = (heads, relations, tails, c, s, rot_re, rot_im, delta_re, delta_im, modulus)
+        return scores, cache
+
+    def backward(self, model, cache, dscore: Array) -> list[RowGrad]:
+        heads, relations, tails, c, s, rot_re, rot_im, delta_re, delta_im, modulus = cache
+        g = dscore[:, None]
+        # Upstream-weighted gradient w.r.t. the residual components.
+        gd_re = -g * (delta_re / modulus)
+        gd_im = -g * (delta_im / modulus)
+        grad_h = np.concatenate(
+            [gd_re * c + gd_im * s, -gd_re * s + gd_im * c], axis=1
+        )
+        grad_t = np.concatenate([-gd_re, -gd_im], axis=1)
+        grad_theta = gd_im * rot_re - gd_re * rot_im
+        return [
+            ("entity", heads, grad_h),
+            ("phase", relations, grad_theta),
+            ("entity", tails, grad_t),
+        ]

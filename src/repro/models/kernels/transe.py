@@ -1,0 +1,94 @@
+"""Analytic kernel for TransE: ``score = -||h + r - t||_p``, p in {1, 2}.
+
+L1 gradient: with ``s = sign(h + r - t)``,
+``d score / d h = -s``, ``d/d r = -s``, ``d/d t = +s``.
+
+L2 gradient: with ``m = sqrt(sum d^2 + 1e-12)`` (the engine's sqrt
+epsilon), ``d score / d d = -d / m`` and the same +-routing as L1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.kernels.base import AnalyticKernel, Array, RowGrad
+
+
+class TransEKernel(AnalyticKernel):
+    model_name = "transe"
+
+    def score(self, model, heads: Array, relations: Array, tails: Array):
+        h = model.entity.data[heads]
+        r = model.relation.data[relations]
+        t = model.entity.data[tails]
+        diff = (h + r) - t
+        if model.norm == 1:
+            scores = -np.abs(diff).sum(axis=-1)
+            cache = (heads, relations, tails, np.sign(diff), None)
+        else:
+            norm = np.sqrt((diff**2).sum(axis=-1) + 1e-12)
+            scores = -norm
+            cache = (heads, relations, tails, diff, norm)
+        return scores, cache
+
+    def backward(self, model, cache, dscore: Array) -> list[RowGrad]:
+        heads, relations, tails, direction, norm = cache
+        if norm is not None:  # L2: direction is the raw diff
+            direction = direction / norm[:, None]
+        g = -dscore[:, None] * direction
+        return [
+            ("entity", heads, g),
+            ("relation", relations, g),
+            ("entity", tails, -g),
+        ]
+
+    def score_corrupted(self, model, heads, relations, tails, corrupted, corrupt_head):
+        h = model.entity.data[heads]
+        r = model.relation.data[relations]
+        t = model.entity.data[tails]
+        candidates = model.entity.data[corrupted]  # (b, k, d)
+        tc = np.flatnonzero(~corrupt_head)
+        hc = np.flatnonzero(corrupt_head)
+        # Tail-corrupt rows: diff = (h + r) - candidate; head-corrupt rows:
+        # diff = candidate + (r - t).  ``sign`` is the per-candidate offset
+        # added to q: -1 for tail candidates, +1 for head candidates.
+        q = np.empty_like(h)
+        q[tc] = h[tc] + r[tc]
+        q[hc] = r[hc] - t[hc]
+        sign = np.where(corrupt_head, 1.0, -1.0).astype(h.dtype)[:, None, None]
+        diff_pos = np.empty_like(h)
+        diff_pos[tc] = q[tc] - t[tc]
+        diff_pos[hc] = h[hc] + q[hc]
+        diff_neg = q[:, None, :] + sign * candidates
+        if model.norm == 1:
+            positive = -np.abs(diff_pos).sum(axis=-1)
+            negative = -np.abs(diff_neg).sum(axis=-1)
+            dir_pos, dir_neg = np.sign(diff_pos), np.sign(diff_neg)
+        else:
+            norm_pos = np.sqrt((diff_pos**2).sum(axis=-1) + 1e-12)
+            norm_neg = np.sqrt((diff_neg**2).sum(axis=-1) + 1e-12)
+            positive, negative = -norm_pos, -norm_neg
+            dir_pos = diff_pos / norm_pos[:, None]
+            dir_neg = diff_neg / norm_neg[..., None]
+        cache = (heads, relations, tails, corrupted, tc, hc, sign, dir_pos, dir_neg)
+        return positive, negative, cache
+
+    def backward_corrupted(self, model, cache, d_pos, d_neg) -> list[RowGrad]:
+        heads, relations, tails, corrupted, tc, hc, sign, dir_pos, dir_neg = cache
+        g_pos = -d_pos[:, None] * dir_pos  # d loss / d diff_pos
+        g_neg = -d_neg[..., None] * dir_neg  # d loss / d diff_neg
+        grad_q = g_pos + g_neg.sum(axis=1)
+        grad_candidates = sign * g_neg
+        grad_h = np.empty_like(dir_pos)
+        grad_r = grad_q  # q depends on r with coefficient +1 on both sides
+        grad_t = np.empty_like(dir_pos)
+        grad_h[tc] = grad_q[tc]
+        grad_t[tc] = -g_pos[tc]
+        grad_h[hc] = g_pos[hc]
+        grad_t[hc] = -grad_q[hc]
+        return [
+            ("entity", heads, grad_h),
+            ("relation", relations, grad_r),
+            ("entity", tails, grad_t),
+            ("entity", corrupted, grad_candidates),
+        ]

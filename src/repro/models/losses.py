@@ -96,9 +96,13 @@ def l2_penalty(tensors: list[Tensor], coefficient: float) -> Tensor | None:
     return total * coefficient
 
 
-def loss_value(loss: Tensor) -> float:
-    """Extract the scalar value of a loss tensor (guards NaN explosions)."""
-    value = float(loss.data)
+def loss_value(loss: Tensor | float) -> float:
+    """Extract the scalar loss value (guards NaN explosions).
+
+    Accepts an autodiff Tensor or the plain float the fused kernel path
+    produces — both training paths share the same divergence guard.
+    """
+    value = float(loss.data) if isinstance(loss, Tensor) else float(loss)
     if not np.isfinite(value):
         raise FloatingPointError(f"loss diverged to {value}")
     return value

@@ -27,6 +27,7 @@ import numpy as np
 from repro.autodiff.engine import reshape
 from repro.kg.graph import KnowledgeGraph
 from repro.models.base import KGEModel
+from repro.models.kernels import fused_step, get_fused_loss, get_kernel
 from repro.models.losses import get_loss, loss_value
 from repro.models.optim import build_optimizer
 
@@ -51,12 +52,49 @@ class NegativeSampler(Protocol):
 
 
 class UniformNegativeSampler:
-    """Uniform corruption over the full entity vocabulary."""
+    """Uniform corruption over the full entity vocabulary.
 
-    def __init__(self, num_entities: int):
+    ``filter_positives=True`` opts into vectorized false-negative
+    rejection: corruptions that collide with a known true triple are
+    redrawn (uniformly, in bounded rounds) until the batch is collision
+    free.  ``known_triples`` accepts a :class:`~repro.kg.graph.
+    KnowledgeGraph` (all splits, via its filter structures) or an
+    ``(n, 3)`` integer array / iterable of ``(h, r, t)`` triples.  The
+    trainer calls :meth:`resample_collisions` in place of its legacy
+    per-triple Python loop whenever the sampler was built this way.
+    """
+
+    def __init__(
+        self,
+        num_entities: int,
+        known_triples=None,
+        filter_positives: bool = False,
+        max_rounds: int = 16,
+    ):
         if num_entities <= 0:
             raise ValueError("need a positive entity count")
+        if filter_positives and known_triples is None:
+            raise ValueError("filter_positives=True requires known_triples")
         self.num_entities = num_entities
+        self.filter_positives = filter_positives
+        self.max_rounds = max_rounds
+        self._known_keys: np.ndarray | None = None
+        self._relation_factor = 0
+        if known_triples is not None:
+            triples = (
+                known_triples.all_triples.array
+                if isinstance(known_triples, KnowledgeGraph)
+                else np.asarray(list(known_triples), dtype=np.int64).reshape(-1, 3)
+            )
+            self._relation_factor = int(triples[:, 1].max()) + 1 if len(triples) else 1
+            self._known_keys = np.unique(self._pack(triples[:, 0], triples[:, 1], triples[:, 2]))
+
+    def _pack(self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray) -> np.ndarray:
+        """Collision-free int64 key per triple (within the known id ranges)."""
+        return (
+            np.asarray(heads, dtype=np.int64) * self._relation_factor
+            + np.asarray(relations, dtype=np.int64)
+        ) * self.num_entities + np.asarray(tails, dtype=np.int64)
 
     def corrupt(
         self,
@@ -69,6 +107,47 @@ class UniformNegativeSampler:
         return rng.integers(
             self.num_entities, size=(relations.shape[0], num_negatives)
         )
+
+    def resample_collisions(
+        self,
+        neg_heads: np.ndarray,
+        neg_relations: np.ndarray,
+        neg_tails: np.ndarray,
+        corrupt_head: np.ndarray,
+        rng: np.random.Generator,
+    ) -> int:
+        """Redraw (in place) corruptions that form known true triples.
+
+        Returns the number of collisions remaining after ``max_rounds``
+        (0 in practice: each round redraws uniformly, so survivors decay
+        geometrically with the true-triple density).
+        """
+        if self._known_keys is None:
+            raise ValueError("sampler was built without known_triples")
+        head_slots = np.broadcast_to(corrupt_head[:, None], neg_heads.shape)
+
+        def collisions() -> np.ndarray:
+            # Relations beyond the known range cannot collide by
+            # construction; mask them out of the packed-key lookup.
+            in_range = neg_relations < self._relation_factor
+            keys = self._pack(neg_heads, neg_relations, neg_tails)
+            return in_range & np.isin(keys, self._known_keys)
+
+        for _ in range(self.max_rounds):
+            colliding = collisions()
+            if not colliding.any():
+                return 0
+            redraw_heads = colliding & head_slots
+            redraw_tails = colliding & ~head_slots
+            if redraw_heads.any():
+                neg_heads[redraw_heads] = rng.integers(
+                    self.num_entities, size=int(redraw_heads.sum())
+                )
+            if redraw_tails.any():
+                neg_tails[redraw_tails] = rng.integers(
+                    self.num_entities, size=int(redraw_tails.sum())
+                )
+        return int(collisions().sum())
 
 
 class RecommenderNegativeSampler:
@@ -148,6 +227,12 @@ class TrainingConfig:
     recommender-guided corruption concentrates on credible entities and
     would otherwise push *true* triples down — the classic hard-negative
     false-negative trap.
+
+    ``use_fused`` (default True) routes models with an analytic kernel
+    (:mod:`repro.models.kernels`) through the fused score+gradient fast
+    path with sparse row-indexed optimizer updates; models without a
+    kernel — or ``use_fused=False`` (CLI ``--no-fused``) — train through
+    the autodiff engine exactly as before.
     """
 
     epochs: int = 20
@@ -159,6 +244,7 @@ class TrainingConfig:
     optimizer: str = "adam"
     weight_decay: float = 0.0
     filter_false_negatives: bool = True
+    use_fused: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -245,8 +331,15 @@ class Trainer:
         known_triples = (
             {(int(h), int(r), int(t)) for h, r, t in triples}
             if config.filter_false_negatives
+            and not getattr(sampler, "filter_positives", False)
             else None
         )
+        fused = None
+        if config.use_fused:
+            kernel = get_kernel(model)
+            loss_grad = get_fused_loss(config.loss)
+            if kernel is not None and loss_grad is not None:
+                fused = (kernel, loss_grad)
 
         history = TrainingHistory()
         callbacks = callbacks or []
@@ -258,7 +351,7 @@ class Trainer:
             for batch_idx in self._batches(triples.shape[0], rng):
                 batch = triples[batch_idx]
                 loss = self._step(
-                    model, batch, sampler, loss_fn, optimizer, rng, known_triples
+                    model, batch, sampler, loss_fn, optimizer, rng, known_triples, fused
                 )
                 epoch_loss += loss
                 num_batches += 1
@@ -310,6 +403,7 @@ class Trainer:
         optimizer,
         rng: np.random.Generator,
         known_triples: set[tuple[int, int, int]] | None = None,
+        fused: tuple | None = None,
     ) -> float:
         config = self.config
         heads, relations, tails = batch[:, 0], batch[:, 1], batch[:, 2]
@@ -322,7 +416,11 @@ class Trainer:
         neg_heads[corrupt_head] = replacements[corrupt_head]
         neg_tails[~corrupt_head] = replacements[~corrupt_head]
         neg_relations = np.repeat(relations[:, None], config.num_negatives, axis=1)
-        if known_triples is not None:
+        if getattr(sampler, "filter_positives", False):
+            sampler.resample_collisions(
+                neg_heads, neg_relations, neg_tails, corrupt_head, rng
+            )
+        elif known_triples is not None:
             self._filter_false_negatives(
                 neg_heads,
                 neg_relations,
@@ -332,6 +430,30 @@ class Trainer:
                 rng,
                 model.num_entities,
             )
+
+        if fused is not None:
+            kernel, loss_grad = fused
+            # The post-filtering corrupted side, back in (b, k) form.
+            corrupted = np.where(corrupt_head[:, None], neg_heads, neg_tails)
+            loss, row_grads = fused_step(
+                model,
+                kernel,
+                loss_grad,
+                heads,
+                relations,
+                tails,
+                corrupted,
+                corrupt_head,
+                margin=config.margin,
+            )
+            parameters = model.parameters
+            optimizer.step_rows(
+                [
+                    (parameters[name], rows, grads)
+                    for name, (rows, grads) in row_grads.items()
+                ]
+            )
+            return loss_value(loss)
 
         positive = model.score_triples(heads, relations, tails)
         negative_flat = model.score_triples(

@@ -25,12 +25,13 @@ class TransE(KGEModel):
         num_relations: int,
         dim: int = 32,
         seed: int = 0,
+        dtype: str = "float64",
         norm: int = 1,
     ):
         if norm not in (1, 2):
             raise ValueError(f"TransE norm must be 1 or 2, got {norm}")
         self.norm = norm
-        super().__init__(num_entities, num_relations, dim=dim, seed=seed)
+        super().__init__(num_entities, num_relations, dim=dim, seed=seed, dtype=dtype)
 
     def _build_parameters(self, rng: np.random.Generator) -> None:
         self.entity = self._add_parameter(

@@ -1,0 +1,86 @@
+"""The finite-difference gradient checker, including its doctests."""
+
+import doctest
+import importlib
+
+import numpy as np
+import pytest
+
+# The package re-exports the gradcheck *function* under the same name as
+# the submodule, so `import repro.autodiff.gradcheck as ...` would bind
+# the function; resolve the module explicitly.
+gradcheck_module = importlib.import_module("repro.autodiff.gradcheck")
+from repro.autodiff.engine import (
+    Tensor,
+    einsum,
+    gather,
+    parameter,
+    sigmoid,
+    square,
+    sum_,
+)
+from repro.autodiff.gradcheck import GradcheckError, gradcheck
+
+
+def test_module_doctests_pass():
+    result = doctest.testmod(
+        gradcheck_module,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+        verbose=False,
+    )
+    assert result.attempted >= 2
+    assert result.failed == 0
+
+
+def test_passes_on_a_composite_graph(rng):
+    table = parameter(rng.standard_normal((5, 3)))
+    weights = parameter(rng.standard_normal((3, 2)))
+    idx = np.asarray([0, 2, 2, 4])
+
+    def fn():
+        rows = gather(table, idx)
+        projected = einsum("bi,ij->bj", rows, weights)
+        return sum_(square(sigmoid(projected)))
+
+    assert gradcheck(fn, [table, weights]) < 1e-7
+
+
+def test_catches_a_wrong_backward_rule():
+    x = parameter(np.asarray([1.5]))
+
+    def wrong():
+        # claims d(x^2)/dx = x instead of 2x
+        return Tensor(
+            x.data**2,
+            parents=(x,),
+            backward=lambda grad: x.accumulate_grad(grad * x.data),
+        )
+
+    with pytest.raises(GradcheckError, match="finite difference"):
+        gradcheck(wrong, [x])
+
+
+def test_restores_parameter_values(rng):
+    x = parameter(rng.standard_normal(4))
+    snapshot = x.data.copy()
+    gradcheck(lambda: sum_(square(x)), [x])
+    np.testing.assert_array_equal(x.data, snapshot)
+    assert x.grad is None
+
+
+def test_rejects_non_scalar_fn():
+    x = parameter(np.ones(3))
+    with pytest.raises(ValueError, match="scalar"):
+        gradcheck(lambda: square(x), [x])
+
+
+def test_rejects_non_parameters():
+    x = Tensor(np.ones(2))  # no requires_grad
+    with pytest.raises(ValueError, match="require gradients"):
+        gradcheck(lambda: sum_(square(x)), [x])
+
+
+def test_rejects_bad_eps():
+    x = parameter(np.ones(1))
+    with pytest.raises(ValueError, match="eps"):
+        gradcheck(lambda: sum_(square(x)), [x], eps=0.0)

@@ -1,0 +1,313 @@
+"""Analytic kernels: gradient equivalence, dispatch, dtype, trainer parity.
+
+The contract under test is "correct by construction": for every
+registered (kernel model, loss) pair, float64 analytic gradients must
+match the autodiff engine's to 1e-9 (they actually agree to ~1e-16 — the
+tolerance absorbs accumulation-order rounding), scores must match
+``score_triples`` exactly, and training through the fused path must land
+on the same parameters as the autodiff path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import gradcheck
+from repro.models import Trainer, TrainingConfig, build_model
+from repro.models.kernels import (
+    autodiff_gradients,
+    available_fused_losses,
+    available_kernels,
+    fused_gradients,
+    fused_step,
+    get_fused_loss,
+    get_kernel,
+    has_kernel,
+)
+from repro.models.kernels.base import expand_corruptions
+from repro.models.losses import get_loss
+
+GRAD_TOL = 1e-9
+
+KERNEL_MODELS = ("transe", "distmult", "complex", "rescal", "rotate")
+LOSSES = ("margin", "bce", "softplus")
+
+#: Model variants exercised beyond defaults (TransE's L2 branch).
+VARIANTS = {"transe": [{"norm": 1}, {"norm": 2}]}
+
+
+def _batch(rng, num_entities, num_relations, b=24, k=5):
+    heads = rng.integers(num_entities, size=b)
+    relations = rng.integers(num_relations, size=b)
+    tails = rng.integers(num_entities, size=b)
+    corrupted = rng.integers(num_entities, size=(b, k))
+    corrupt_head = rng.random(b) < 0.5
+    return heads, relations, tails, corrupted, corrupt_head
+
+
+class TestRegistry:
+    def test_kernel_family_is_complete(self):
+        assert set(available_kernels()) == set(KERNEL_MODELS)
+
+    def test_deep_models_have_no_kernel(self):
+        for name in ("conve", "tucker"):
+            assert get_kernel(build_model(name, 10, 2, dim=8)) is None
+            assert not has_kernel(name)
+
+    def test_every_loss_has_a_fused_gradient(self):
+        assert set(available_fused_losses()) == set(LOSSES)
+        assert get_fused_loss("nope") is None
+
+    def test_subclass_with_custom_scoring_falls_back(self):
+        """Overriding score_triples voids the inherited kernel: silently
+        training a modified model with the base analytic gradients would
+        be wrong, so dispatch returns None (-> autodiff path)."""
+        from repro.models import DistMult
+
+        class ScaledDistMult(DistMult):
+            def score_triples(self, heads, relations, tails):
+                return super().score_triples(heads, relations, tails) * 2.0
+
+        assert get_kernel(ScaledDistMult(10, 2, dim=4)) is None
+        # A subclass that keeps the scoring rule keeps the kernel.
+
+        class RenamedOnly(DistMult):
+            pass
+
+        assert get_kernel(RenamedOnly(10, 2, dim=4)) is not None
+        # Name-based lookups (no instance to inspect) still resolve.
+        assert get_kernel("distmult") is not None
+
+
+class TestScoreParity:
+    @pytest.mark.parametrize("name", KERNEL_MODELS)
+    def test_kernel_scores_equal_score_triples(self, name, rng):
+        model = build_model(name, 30, 4, dim=6, seed=1)
+        kernel = get_kernel(model)
+        heads = rng.integers(30, size=16)
+        relations = rng.integers(4, size=16)
+        tails = rng.integers(30, size=16)
+        scores, _ = kernel.score(model, heads, relations, tails)
+        expected = model.score_triples(heads, relations, tails).data
+        np.testing.assert_allclose(scores, expected, atol=1e-12)
+
+    @pytest.mark.parametrize("name", KERNEL_MODELS)
+    def test_structured_scores_equal_flat_scores(self, name, rng):
+        """score_corrupted agrees with scoring the expanded triples."""
+        model = build_model(name, 30, 4, dim=6, seed=1)
+        kernel = get_kernel(model)
+        heads, relations, tails, corrupted, corrupt_head = _batch(rng, 30, 4)
+        positive, negative, _ = kernel.score_corrupted(
+            model, heads, relations, tails, corrupted, corrupt_head
+        )
+        neg_h, neg_r, neg_t = expand_corruptions(
+            heads, relations, tails, corrupted, corrupt_head
+        )
+        expected_pos = model.score_triples(heads, relations, tails).data
+        expected_neg = model.score_triples(
+            neg_h.reshape(-1), neg_r.reshape(-1), neg_t.reshape(-1)
+        ).data.reshape(negative.shape)
+        np.testing.assert_allclose(positive, expected_pos, atol=1e-9)
+        np.testing.assert_allclose(negative, expected_neg, atol=1e-9)
+
+
+class TestGradientEquivalence:
+    @pytest.mark.parametrize("loss", LOSSES)
+    @pytest.mark.parametrize("name", KERNEL_MODELS)
+    def test_fused_matches_autodiff_to_1e9(self, name, loss, rng):
+        for extra in VARIANTS.get(name, [{}]):
+            model = build_model(name, 40, 5, dim=8, seed=2, **extra)
+            batch = _batch(rng, 40, 5)
+            loss_a, grads_a = autodiff_gradients(model, loss, *batch, margin=1.0)
+            loss_f, grads_f = fused_gradients(model, loss, *batch, margin=1.0)
+            assert abs(loss_a - loss_f) <= GRAD_TOL
+            assert set(grads_a) == set(grads_f)
+            for key in grads_a:
+                diff = np.abs(grads_a[key] - grads_f[key]).max()
+                assert diff <= GRAD_TOL, f"{name}/{extra}/{loss}/{key}: {diff}"
+
+    @pytest.mark.parametrize("name", KERNEL_MODELS)
+    def test_one_sided_corruption_batches(self, name, rng):
+        """All-head and all-tail corruption exercise both structured arms."""
+        model = build_model(name, 40, 5, dim=8, seed=2)
+        heads, relations, tails, corrupted, _ = _batch(rng, 40, 5)
+        for corrupt_head in (np.zeros(len(heads), bool), np.ones(len(heads), bool)):
+            batch = (heads, relations, tails, corrupted, corrupt_head)
+            _, grads_a = autodiff_gradients(model, "margin", *batch)
+            _, grads_f = fused_gradients(model, "margin", *batch)
+            for key in grads_a:
+                assert np.abs(grads_a[key] - grads_f[key]).max() <= GRAD_TOL
+
+    def test_duplicate_rows_accumulate(self, rng):
+        """A batch hammering one entity still matches autodiff exactly."""
+        model = build_model("distmult", 40, 5, dim=8, seed=2)
+        b, k = 16, 4
+        heads = np.zeros(b, dtype=np.int64)  # every positive shares entity 0
+        relations = np.zeros(b, dtype=np.int64)
+        tails = rng.integers(40, size=b)
+        corrupted = np.full((b, k), 7, dtype=np.int64)  # every negative too
+        corrupt_head = np.zeros(b, dtype=bool)
+        batch = (heads, relations, tails, corrupted, corrupt_head)
+        _, grads_a = autodiff_gradients(model, "softplus", *batch)
+        _, grads_f = fused_gradients(model, "softplus", *batch)
+        for key in grads_a:
+            assert np.abs(grads_a[key] - grads_f[key]).max() <= GRAD_TOL
+
+    def test_autodiff_reference_passes_finite_differences(self, rng):
+        """Anchor the chain: autodiff itself is checked against gradcheck."""
+        model = build_model("distmult", 12, 3, dim=4, seed=0)
+        heads, relations, tails, corrupted, corrupt_head = _batch(rng, 12, 3, b=6, k=3)
+        neg_h, neg_r, neg_t = expand_corruptions(
+            heads, relations, tails, corrupted, corrupt_head
+        )
+        loss_fn = get_loss("softplus")
+
+        def compute():
+            from repro.autodiff.engine import reshape
+
+            positive = model.score_triples(heads, relations, tails)
+            negative = reshape(
+                model.score_triples(
+                    neg_h.reshape(-1), neg_r.reshape(-1), neg_t.reshape(-1)
+                ),
+                corrupted.shape,
+            )
+            return loss_fn(positive, negative, margin=1.0)
+
+        assert gradcheck(compute, model.parameter_list(), eps=1e-6) < 1e-7
+
+
+class TestTrainerDispatch:
+    def _run_both_paths(self, graph, optimizer):
+        def run(use_fused):
+            model = build_model(
+                "distmult", graph.num_entities, graph.num_relations, dim=8, seed=0
+            )
+            config = TrainingConfig(
+                epochs=2,
+                batch_size=128,
+                num_negatives=4,
+                lr=0.05,
+                loss="softplus",
+                optimizer=optimizer,
+                seed=3,
+                use_fused=use_fused,
+            )
+            history = Trainer(config).fit(model, graph)
+            return model, history
+
+        return run(True), run(False)
+
+    @pytest.mark.parametrize("optimizer", ["sgd", "adagrad"])
+    def test_fused_and_autodiff_training_agree(self, codex_s, optimizer):
+        """Same seeds, both paths: near-identical parameters after 2 epochs.
+
+        SGD and Adagrad carry no decaying state, so their sparse updates
+        are exactly the dense updates whenever the gradients agree.
+        """
+        (fused_model, fused_history), (auto_model, auto_history) = self._run_both_paths(
+            codex_s.graph, optimizer
+        )
+        np.testing.assert_allclose(fused_history.losses, auto_history.losses, atol=1e-9)
+        np.testing.assert_allclose(
+            fused_model.entity.data, auto_model.entity.data, atol=1e-7
+        )
+
+    def test_adam_lazy_updates_track_dense_adam(self, codex_s):
+        """Sparse Adam is *lazy* (decay only on touched rows), so it is
+        close to — but deliberately not bit-identical with — dense Adam."""
+        (fused_model, fused_history), (auto_model, auto_history) = self._run_both_paths(
+            codex_s.graph, "adam"
+        )
+        np.testing.assert_allclose(fused_history.losses, auto_history.losses, atol=5e-3)
+        correlation = np.corrcoef(
+            fused_model.entity.data.ravel(), auto_model.entity.data.ravel()
+        )[0, 1]
+        assert correlation > 0.95
+
+    def test_no_fused_flag_forces_autodiff(self, codex_s, monkeypatch):
+        graph = codex_s.graph
+        model = build_model("distmult", graph.num_entities, graph.num_relations, dim=8)
+        calls = []
+        import repro.models.training as training_module
+
+        original = training_module.fused_step
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(training_module, "fused_step", spy)
+        Trainer(TrainingConfig(epochs=1, use_fused=False)).fit(model, graph)
+        assert not calls
+        Trainer(TrainingConfig(epochs=1, use_fused=True)).fit(model, graph)
+        assert calls
+
+    def test_models_without_kernel_fall_back(self, codex_s, monkeypatch):
+        """ConvE trains through autodiff even with use_fused=True."""
+        graph = codex_s.graph
+        model = build_model("conve", graph.num_entities, graph.num_relations, dim=16)
+        import repro.models.training as training_module
+
+        monkeypatch.setattr(
+            training_module,
+            "fused_step",
+            lambda *a, **k: (_ for _ in ()).throw(AssertionError("fused on ConvE")),
+        )
+        history = Trainer(TrainingConfig(epochs=1, loss="bce", use_fused=True)).fit(
+            model, graph
+        )
+        assert len(history.losses) == 1
+
+    def test_fused_loss_decreases(self, codex_s):
+        graph = codex_s.graph
+        model = build_model("complex", graph.num_entities, graph.num_relations, dim=16)
+        history = Trainer(
+            TrainingConfig(epochs=4, lr=0.1, loss="softplus", use_fused=True)
+        ).fit(model, graph)
+        assert history.losses[-1] < history.losses[0]
+
+
+class TestDtype:
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError, match="dtype"):
+            build_model("distmult", 10, 2, dim=4, dtype="float16")
+
+    def test_float32_initialisation_is_cast_float64(self):
+        """float32 params start at the rounding of the float64 init."""
+        m64 = build_model("complex", 20, 3, dim=8, seed=5)
+        m32 = build_model("complex", 20, 3, dim=8, seed=5, dtype="float32")
+        np.testing.assert_array_equal(
+            m32.entity.data, m64.entity.data.astype(np.float32)
+        )
+
+    def test_float32_fused_training_stays_float32(self, codex_s):
+        graph = codex_s.graph
+        model = build_model(
+            "distmult", graph.num_entities, graph.num_relations, dim=8, dtype="float32"
+        )
+        Trainer(TrainingConfig(epochs=1, loss="softplus")).fit(model, graph)
+        assert model.entity.data.dtype == np.float32
+        assert model.score_all(0, 0, "tail").dtype == np.float32
+
+    def test_float32_autodiff_fallback_trains(self, codex_s):
+        """Models without a kernel accept float32 too (upcast internally)."""
+        graph = codex_s.graph
+        model = build_model(
+            "tucker", graph.num_entities, graph.num_relations, dim=8, dtype="float32"
+        )
+        history = Trainer(TrainingConfig(epochs=1, loss="bce")).fit(model, graph)
+        assert len(history.losses) == 1
+        assert model.entity.data.dtype == np.float32
+
+
+def test_fused_step_rejects_out_of_range_ids():
+    model = build_model("distmult", 10, 2, dim=4)
+    kernel = get_kernel(model)
+    loss_grad = get_fused_loss("margin")
+    bad = np.asarray([99])
+    ok = np.asarray([0])
+    with pytest.raises(IndexError):
+        fused_step(
+            model, kernel, loss_grad, bad, ok, ok,
+            np.asarray([[1]]), np.asarray([False]),
+        )

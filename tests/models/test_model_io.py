@@ -9,7 +9,7 @@ from repro.models import MODEL_REGISTRY, Trainer, TrainingConfig, build_model
 from repro.models.io import load_model, save_model
 
 #: The constructor parameters every KGEModel shares (not "extra").
-_COMMON_INIT_PARAMS = {"self", "num_entities", "num_relations", "dim", "seed"}
+_COMMON_INIT_PARAMS = {"self", "num_entities", "num_relations", "dim", "seed", "dtype"}
 
 #: Non-default constructor kwargs exercised by the round-trip test, so
 #: checkpoints are proven to carry them (defaults would mask a drop).
@@ -74,6 +74,42 @@ def test_trained_parameters_survive(tmp_path, codex_s):
     path = tmp_path / "trained.npz"
     save_model(model, path)
     loaded = load_model(path)
+    np.testing.assert_array_equal(loaded.entity.data, model.entity.data)
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+def test_float32_dtype_round_trips(name, tmp_path):
+    """A float32 checkpoint reloads as a float32 model, scores identical."""
+    model = build_model(
+        name, 20, 4, dim=8, seed=3, dtype="float32", **_EXTRA_KWARGS.get(name, {})
+    )
+    assert model.entity.data.dtype == np.float32
+    path = tmp_path / f"{name}-f32.npz"
+    save_model(model, path)
+    loaded = load_model(path)
+    assert loaded.dtype == "float32"
+    for key, tensor in loaded.parameters.items():
+        assert tensor.data.dtype == np.float32, key
+    np.testing.assert_array_equal(
+        loaded.score_all(2, 1, "tail"), model.score_all(2, 1, "tail")
+    )
+
+
+def test_pre_dtype_checkpoints_load_as_float64(tmp_path):
+    """Checkpoints written before the dtype knob default to float64."""
+    import json
+
+    model = build_model("distmult", 10, 2, dim=4)
+    path = tmp_path / "old.npz"
+    save_model(model, path)
+    with np.load(path) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    meta = json.loads(bytes(arrays["__meta__"].tobytes()).decode("utf-8"))
+    del meta["dtype"]  # simulate an old checkpoint
+    arrays["__meta__"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **arrays)
+    loaded = load_model(path)
+    assert loaded.dtype == "float64"
     np.testing.assert_array_equal(loaded.entity.data, model.entity.data)
 
 

@@ -36,6 +36,103 @@ class TestUniformSampler:
             UniformNegativeSampler(0)
 
 
+class TestFilterPositives:
+    """The opt-in vectorized false-negative rejection (filter_positives)."""
+
+    def _dense_graph(self):
+        """5 entities, 1 relation, relation 0 nearly complete: random
+        corruption collides with a true triple more often than not."""
+        from repro.kg import KnowledgeGraph, TripleSet, Vocabulary
+
+        triples = [(h, 0, t) for h in range(5) for t in range(5) if h != t][:12]
+        return KnowledgeGraph(
+            entities=Vocabulary([f"e{i}" for i in range(5)]),
+            relations=Vocabulary(["r"]),
+            train=TripleSet(triples),
+            name="dense",
+        )
+
+    def _collisions(self, graph, neg_heads, neg_relations, neg_tails):
+        known = {(int(h), int(r), int(t)) for h, r, t in graph.train}
+        return sum(
+            (int(h), int(r), int(t)) in known
+            for h, r, t in zip(
+                neg_heads.reshape(-1), neg_relations.reshape(-1), neg_tails.reshape(-1)
+            )
+        )
+
+    def test_collision_rate_drops_to_zero(self, rng):
+        graph = self._dense_graph()
+        sampler = UniformNegativeSampler(
+            graph.num_entities,
+            known_triples=graph,
+            filter_positives=True,
+            # The graph is deliberately so dense that most redraws collide
+            # again; give the geometric decay room to finish.
+            max_rounds=64,
+        )
+        triples = graph.train.array
+        heads, relations, tails = triples[:, 0], triples[:, 1], triples[:, 2]
+        corrupt_head = rng.random(len(triples)) < 0.5
+        replacements = sampler.corrupt(relations, 8, corrupt_head, rng)
+        neg_heads = np.repeat(heads[:, None], 8, axis=1)
+        neg_tails = np.repeat(tails[:, None], 8, axis=1)
+        neg_heads[corrupt_head] = replacements[corrupt_head]
+        neg_tails[~corrupt_head] = replacements[~corrupt_head]
+        neg_relations = np.repeat(relations[:, None], 8, axis=1)
+        before = self._collisions(graph, neg_heads, neg_relations, neg_tails)
+        assert before > 0, "dense graph must produce raw collisions"
+        remaining = sampler.resample_collisions(
+            neg_heads, neg_relations, neg_tails, corrupt_head, rng
+        )
+        assert remaining == 0
+        assert self._collisions(graph, neg_heads, neg_relations, neg_tails) == 0
+
+    def test_accepts_triple_arrays(self, rng):
+        sampler = UniformNegativeSampler(
+            10, known_triples=[(0, 0, 1), (2, 1, 3)], filter_positives=True
+        )
+        neg_heads = np.asarray([[0]])
+        neg_relations = np.asarray([[0]])
+        neg_tails = np.asarray([[1]])  # exactly the known triple
+        remaining = sampler.resample_collisions(
+            neg_heads, neg_relations, neg_tails, np.asarray([False]), rng
+        )
+        assert remaining == 0
+        assert (int(neg_heads[0, 0]), 0, int(neg_tails[0, 0])) != (0, 1)
+
+    def test_requires_known_triples(self):
+        with pytest.raises(ValueError, match="known_triples"):
+            UniformNegativeSampler(10, filter_positives=True)
+
+    def test_resample_without_known_rejected(self, rng):
+        sampler = UniformNegativeSampler(10)
+        with pytest.raises(ValueError, match="known_triples"):
+            sampler.resample_collisions(
+                np.zeros((1, 1), dtype=np.int64),
+                np.zeros((1, 1), dtype=np.int64),
+                np.zeros((1, 1), dtype=np.int64),
+                np.asarray([True]),
+                rng,
+            )
+
+    def test_trainer_uses_the_sampler_filter(self, codex_s, monkeypatch):
+        """With a filtering sampler the trainer skips its legacy loop."""
+        graph = codex_s.graph
+        sampler = UniformNegativeSampler(
+            graph.num_entities, known_triples=graph, filter_positives=True
+        )
+        model = build_model("distmult", graph.num_entities, graph.num_relations, dim=8)
+        trainer = Trainer(TrainingConfig(epochs=1, loss="softplus"), sampler=sampler)
+        monkeypatch.setattr(
+            trainer,
+            "_filter_false_negatives",
+            lambda *a, **k: (_ for _ in ()).throw(AssertionError("legacy loop used")),
+        )
+        history = trainer.fit(model, graph)
+        assert len(history.losses) == 1
+
+
 class TestRecommenderSampler:
     def test_draws_from_relation_support(self, codex_s, rng):
         graph = codex_s.graph

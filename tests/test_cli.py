@@ -32,6 +32,7 @@ class TestParser:
             "easy-negatives",
             "complexity",
             "analyze",
+            "train",
             "evaluate",
             "serve",
             "runs",
@@ -143,6 +144,55 @@ class TestCommands:
         from repro.models import load_model
 
         assert load_model(checkpoint).name == "distmult"
+
+    def test_train_writes_checkpoint(self, capsys, tmp_path):
+        checkpoint = tmp_path / "trained.npz"
+        code = main(
+            [
+                "train",
+                "--dataset",
+                "codex-s-lite",
+                "--model",
+                "transe",
+                "--epochs",
+                "1",
+                "--dim",
+                "8",
+                "--dtype",
+                "float32",
+                "--out",
+                str(checkpoint),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "triples/s" in out
+        from repro.models import load_model
+
+        loaded = load_model(checkpoint)
+        assert loaded.name == "transe"
+        assert loaded.dtype == "float32"
+
+    def test_train_no_fused_flag(self, capsys, tmp_path):
+        """--no-fused trains through the autodiff path (and says so)."""
+        code = main(
+            [
+                "train",
+                "--dataset",
+                "codex-s-lite",
+                "--model",
+                "distmult",
+                "--epochs",
+                "1",
+                "--dim",
+                "8",
+                "--no-fused",
+                "--out",
+                str(tmp_path / "m.npz"),
+            ]
+        )
+        assert code == 0
+        assert "autodiff path" in capsys.readouterr().out
 
     def test_evaluate_save_alias_still_works(self, tmp_path):
         """--save (the pre-serve spelling) remains an alias of --save-model."""
