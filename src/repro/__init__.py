@@ -14,6 +14,8 @@ Subpackages
 ``repro.metrics``       ranking + agreement metrics
 ``repro.bench``         experiment drivers for every paper table/figure
 ``repro.store``         persistent experiment store: artifact cache + run journal
+``repro.serve``         online link-prediction serving (micro-batched HTTP API)
+``repro.experiment``    declarative experiment specs + orchestrator (``repro run``)
 """
 
 __version__ = "1.0.0"

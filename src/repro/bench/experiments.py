@@ -18,10 +18,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.bench.runner import StudyResult
+
+if TYPE_CHECKING:
+    from repro.experiment.runner import ExperimentResult
 from repro.core.candidates import build_static_candidates, evaluate_tradeoff
 from repro.core.easy_negatives import EasyNegativeReport, mine_easy_negatives
 from repro.core.complexity import sampling_complexity
@@ -140,6 +144,46 @@ def table5_recommenders(
             )
             row = {"Dataset": dataset_name, **report.as_row()}
             rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Spec-driven runs: the evaluation comparison table
+# ----------------------------------------------------------------------
+def evaluation_comparison_rows(result: "ExperimentResult") -> list[dict]:
+    """Full vs random vs guided rows of one spec run (the CLI's table).
+
+    Shared by ``repro evaluate``, ``repro run`` and notebooks consuming
+    :class:`~repro.experiment.ExperimentResult` directly.
+    """
+    evaluation = result.spec.evaluation
+    size = (
+        f"{evaluation.sample_fraction:.0%}"
+        if evaluation.sample_fraction is not None
+        else f"n={evaluation.num_samples}"
+    )
+
+    def _row(protocol: str, outcome) -> dict:
+        return {
+            "Protocol": protocol,
+            "MRR": outcome.metrics.mrr,
+            "Hits@10": outcome.metrics.hits_at(10),
+            "Seconds": outcome.seconds,
+            "Scores": outcome.num_scored,
+        }
+
+    rows: list[dict] = []
+    if result.truth is not None:
+        rows.append(_row("full filtered ranking", result.truth))
+    if result.random_estimate is not None:
+        rows.append(_row(f"random @ {size}", result.random_estimate))
+    if result.guided_estimate is not None:
+        rows.append(
+            _row(
+                f"{evaluation.strategy} ({evaluation.recommender}) @ {size}",
+                result.guided_estimate,
+            )
+        )
     return rows
 
 

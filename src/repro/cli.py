@@ -3,29 +3,36 @@
 ``repro <command>`` exposes the workflows a downstream user reaches for
 first:
 
+* ``run``             — execute a declarative experiment spec (JSON):
+  one file naming dataset, model, training recipe and evaluation
+  protocol, with ``--set key=value`` dotted overrides, ``--dry-run``
+  printing the fully resolved spec, and an optional ``"sweep"`` section
+  expanding grid/zip variants;
 * ``datasets``        — list the zoo with Table 4 statistics;
 * ``generate``        — export a zoo dataset (triples + types) as TSV;
 * ``recommenders``    — CR/RR/runtime comparison on one dataset (Table 5);
 * ``easy-negatives``  — zero-score mining + false-negative audit (Tables 2/10);
 * ``complexity``      — sampling-cost accounting (Table 3);
-* ``train``           — train a model and write its checkpoint; the fused
-  analytic kernels are the default fast path (``--no-fused`` opts out,
-  ``--dtype float32`` halves parameter memory);
+* ``train``           — train a model and write its checkpoint;
 * ``evaluate``        — train a model, then compare the full ranking
   against the random and guided estimates (the quickstart as one command);
-  ``--workers N`` fans the ranking passes across N scoring processes;
-  ``--save-model PATH`` writes the trained checkpoint for ``serve``;
 * ``serve``           — online link-prediction HTTP API over saved
   checkpoints, with micro-batching and candidate-filtered top-k;
-* ``runs``            — list/show the experiment store's run journal;
+* ``runs``            — list/show the experiment store's run journal
+  (spec-driven runs print their originating spec JSON);
 * ``cache``           — list or garbage-collect the artifact cache.
+
+``train``, ``evaluate`` and ``serve`` are thin shims: each builds an
+:class:`repro.experiment.ExperimentSpec` from its flags and hands it to
+the same orchestrator behind ``repro run``, so a flag invocation and the
+equivalent spec produce identical results and identical store keys.
 
 Every command prints the same fixed-width tables the benchmark suite
 writes, so CLI output and ``benchmarks/results/`` are directly comparable.
 
 Store-aware commands resolve their root as ``--store`` > ``$REPRO_STORE``
-> ``.repro_store``; ``evaluate --store PATH`` caches its artifacts and
-journals the run, so repeating it is near-instant.
+> ``.repro_store``; with a store, repeated runs are served from the
+artifact cache and journalled.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ import sys
 from pathlib import Path
 
 from repro.bench.experiments import (
+    evaluation_comparison_rows,
     table2_easy_negatives,
     table4_dataset_statistics,
     table5_recommenders,
@@ -42,11 +50,27 @@ from repro.bench.experiments import (
 )
 from repro.bench.tables import render_table
 from repro.core.complexity import sampling_complexity
-from repro.core.protocol import EvaluationProtocol
 from repro.engine.chunking import DEFAULT_CHUNK_SIZE
 from repro.datasets.zoo import available_datasets, load
+from repro.experiment import (
+    DatasetSpec,
+    EvaluationSpec,
+    ExperimentResult,
+    ExperimentSpec,
+    ModelSpec,
+    ServeSpec,
+    SpecError,
+    TrainingSpec,
+    apply_overrides,
+    build_registry,
+    load_spec_file,
+    parse_set_expression,
+    split_sweep,
+    sweep,
+)
+from repro.experiment import run as run_experiment
 from repro.kg.io import save_graph_dir, write_types
-from repro.models import Trainer, TrainingConfig, available_models, build_model
+from repro.models import available_models
 from repro.recommenders.registry import available_recommenders
 from repro.store import (
     ExperimentStore,
@@ -57,20 +81,15 @@ from repro.store import (
 from repro.store.report import FORMATS
 
 
+# ----------------------------------------------------------------------
+# Shared argument wiring
+# ----------------------------------------------------------------------
 def _add_dataset_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--dataset",
         default="codex-s-lite",
         choices=available_datasets(),
         help="zoo dataset name",
-    )
-
-
-def _add_store_argument(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--store",
-        default=None,
-        help="experiment store root (default: $REPRO_STORE or .repro_store)",
     )
 
 
@@ -83,6 +102,85 @@ def _add_format_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _store_parent() -> argparse.ArgumentParser:
+    """Shared ``--store`` flag (optional value: env/default root)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--store",
+        nargs="?",
+        const="",
+        default=None,
+        help="experiment store root; without a value: $REPRO_STORE or "
+        ".repro_store",
+    )
+    return parent
+
+
+def _seed_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=0, help="model/pool seed")
+    return parent
+
+
+def _engine_parent() -> argparse.ArgumentParser:
+    """Shared parallel-engine knobs."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="scoring processes for the ranking passes "
+        "(1 = serial, -1 = all cores; results are identical at any count)",
+    )
+    parent.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_CHUNK_SIZE,
+        help="queries ranked per score-matrix chunk",
+    )
+    return parent
+
+
+def _dtype_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--dtype",
+        default="float64",
+        choices=("float32", "float64"),
+        help="embedding parameter dtype (float32 halves memory)",
+    )
+    return parent
+
+
+def _add_training_arguments(parser: argparse.ArgumentParser) -> None:
+    """Knobs shared by ``train`` and ``evaluate``."""
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--lr", type=float, default=0.05)
+    parser.add_argument("--loss", default="softplus")
+    parser.add_argument(
+        "--no-fused",
+        action="store_true",
+        help="train through the autodiff engine even when the model has "
+        "an analytic kernel (debugging / A-B timing)",
+    )
+
+
+def _required_store(args: argparse.Namespace) -> ExperimentStore:
+    """The store for commands that always need one (serve/runs/cache)."""
+    return ExperimentStore.from_env(args.store or None)
+
+
+def _optional_store(args: argparse.Namespace) -> ExperimentStore | None:
+    """The store for commands where ``--store`` opts in (run/train/evaluate)."""
+    if args.store is None:
+        return None
+    return ExperimentStore.from_env(args.store or None)
+
+
+# ----------------------------------------------------------------------
+# Table / analysis commands
+# ----------------------------------------------------------------------
 def _cmd_datasets(args: argparse.Namespace) -> int:
     rows = table4_dataset_statistics()
     print(render_table(rows, title="Zoo datasets (Table 4 statistics)"))
@@ -164,224 +262,100 @@ def _cmd_complexity(args: argparse.Namespace) -> int:
     return 0
 
 
-def _add_training_arguments(parser: argparse.ArgumentParser) -> None:
-    """Knobs shared by ``train`` and ``evaluate``."""
-    parser.add_argument("--epochs", type=int, default=8)
-    parser.add_argument("--dim", type=int, default=32)
-    parser.add_argument("--lr", type=float, default=0.05)
-    parser.add_argument("--loss", default="softplus")
-    parser.add_argument(
-        "--dtype",
-        default="float64",
-        choices=("float32", "float64"),
-        help="embedding parameter dtype (float32 halves memory)",
+# ----------------------------------------------------------------------
+# Spec-building shims: train / evaluate / serve
+# ----------------------------------------------------------------------
+def _spec_from_training_args(
+    args: argparse.Namespace, task: str, checkpoint: str | None
+) -> ExperimentSpec:
+    """The spec equivalent of ``train``/``evaluate`` flags (the shim core)."""
+    model = ModelSpec(
+        name=args.model, dim=args.dim, seed=args.seed, dtype=args.dtype
     )
-    parser.add_argument(
-        "--no-fused",
-        action="store_true",
-        help="train through the autodiff engine even when the model has "
-        "an analytic kernel (debugging / A-B timing)",
-    )
-
-
-def _cmd_train(args: argparse.Namespace) -> int:
-    import time
-
-    from repro.models import save_model
-
-    dataset = load(args.dataset)
-    graph = dataset.graph
-    model = build_model(
-        args.model,
-        graph.num_entities,
-        graph.num_relations,
-        dim=args.dim,
-        seed=args.seed,
-        dtype=args.dtype,
-    )
-    config = TrainingConfig(
+    training = TrainingSpec(
         epochs=args.epochs,
-        batch_size=args.batch_size,
+        batch_size=getattr(args, "batch_size", TrainingSpec.batch_size),
         lr=args.lr,
         loss=args.loss,
-        optimizer=args.optimizer,
-        seed=args.seed,
+        optimizer=getattr(args, "optimizer", TrainingSpec.optimizer),
         use_fused=not args.no_fused,
+        seed=args.seed,
     )
-    path_note = " (autodiff path)" if args.no_fused else ""
-    print(
-        f"Training {args.model} ({args.dtype}) on {graph.name} "
-        f"for {args.epochs} epochs{path_note} ..."
+    evaluation = EvaluationSpec(
+        recommender=getattr(args, "recommender", EvaluationSpec.recommender),
+        strategy=getattr(args, "strategy", EvaluationSpec.strategy),
+        sample_fraction=getattr(args, "fraction", EvaluationSpec.sample_fraction),
+        seed=args.seed,
+        workers=getattr(args, "workers", 1),
+        chunk_size=getattr(args, "chunk_size", DEFAULT_CHUNK_SIZE),
     )
-    start = time.perf_counter()
-    history = Trainer(config).fit(model, graph)
-    seconds = time.perf_counter() - start
-    if history.losses:
-        print(f"loss: {history.losses[0]:.3f} -> {history.losses[-1]:.3f}")
-    # Reciprocal-relation models (ConvE) train on inverse-augmented batches.
-    per_epoch = len(graph.train) * (
-        2 if getattr(model, "inverse_offset", None) is not None else 1
+    return ExperimentSpec(
+        task=task,
+        dataset=DatasetSpec(name=args.dataset),
+        model=model,
+        training=training,
+        evaluation=evaluation,
+        checkpoint=checkpoint,
     )
-    triples = per_epoch * args.epochs
+
+
+def _print_train_summary(result: ExperimentResult, epochs: int) -> None:
+    seconds = result.train_seconds
+    triples = result.triples_per_epoch * epochs
     if triples:
         print(f"{seconds:.2f} s ({triples / max(seconds, 1e-9):,.0f} triples/s)")
     else:
         print(f"{seconds:.2f} s (0 epochs: nothing trained)")
-    save_model(model, args.out)
-    print(f"Saved checkpoint to {args.out} (serve it with `repro serve --model-path {args.out}`)")
+
+
+def _print_evaluation_summary(
+    result: ExperimentResult, store: ExperimentStore | None
+) -> None:
+    print()
+    print(render_table(evaluation_comparison_rows(result), title="Evaluation comparison"))
+    assert result.truth is not None and result.guided_estimate is not None
+    guided_error = abs(result.guided_estimate.metrics.mrr - result.truth.metrics.mrr)
+    if result.random_estimate is not None:
+        random_error = abs(result.random_estimate.metrics.mrr - result.truth.metrics.mrr)
+        print(f"\nMRR error: random={random_error:.3f}, guided={guided_error:.3f}")
+    else:
+        print(f"\nMRR error: guided={guided_error:.3f}")
+    if store is not None and result.run_id is not None:
+        print(f"Journaled run {result.run_id} in {store.root}")
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    spec = _spec_from_training_args(args, task="train", checkpoint=args.out)
+    result = run_experiment(
+        spec, store=_optional_store(args), kind="cli:train", progress=print
+    )
+    _print_train_summary(result, spec.training.epochs)
+    print(f"Serve the checkpoint with `repro serve --model-path {args.out}`")
     return 0
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    import time
-
-    # ``--store`` with no value opts into the default ($REPRO_STORE) root.
-    store = ExperimentStore.from_env(args.store or None) if args.store is not None else None
-    wall_start = time.perf_counter()
-    dataset = load(args.dataset)
-    graph = dataset.graph
-    model = build_model(
-        args.model,
-        graph.num_entities,
-        graph.num_relations,
-        dim=args.dim,
-        seed=args.seed,
-        dtype=args.dtype,
+    spec = _spec_from_training_args(
+        args, task="evaluate", checkpoint=args.save_model or None
     )
-    config = TrainingConfig(
-        epochs=args.epochs,
-        lr=args.lr,
-        loss=args.loss,
-        seed=args.seed,
-        use_fused=not args.no_fused,
-    )
-    print(f"Training {args.model} on {graph.name} for {args.epochs} epochs ...")
-    history = Trainer(config).fit(model, graph)
-    if history.losses:
-        print(f"loss: {history.losses[0]:.3f} -> {history.losses[-1]:.3f}")
-    if args.save_model:
-        from repro.models import save_model
-
-        save_model(model, args.save_model)
-        print(f"Saved checkpoint to {args.save_model}")
-
-    guided = EvaluationProtocol(
-        graph,
-        recommender=args.recommender,
-        strategy=args.strategy,
-        sample_fraction=args.fraction,
-        types=dataset.types,
-        seed=args.seed,
-        store=store,
-        workers=args.workers,
-        chunk_size=args.chunk_size,
-    )
-    guided.prepare()
-    random_protocol = EvaluationProtocol(
-        graph, strategy="random", sample_fraction=args.fraction, seed=args.seed,
-        store=store, workers=args.workers, chunk_size=args.chunk_size,
-    )
-    truth = guided.evaluate_full(model)
-    random_estimate = random_protocol.evaluate(model)
-    guided_estimate = guided.evaluate(model)
-    rows = [
-        {
-            "Protocol": "full filtered ranking",
-            "MRR": truth.metrics.mrr,
-            "Hits@10": truth.metrics.hits_at(10),
-            "Seconds": truth.seconds,
-            "Scores": truth.num_scored,
-        },
-        {
-            "Protocol": f"random @ {args.fraction:.0%}",
-            "MRR": random_estimate.metrics.mrr,
-            "Hits@10": random_estimate.metrics.hits_at(10),
-            "Seconds": random_estimate.seconds,
-            "Scores": random_estimate.num_scored,
-        },
-        {
-            "Protocol": f"{args.strategy} ({args.recommender}) @ {args.fraction:.0%}",
-            "MRR": guided_estimate.metrics.mrr,
-            "Hits@10": guided_estimate.metrics.hits_at(10),
-            "Seconds": guided_estimate.seconds,
-            "Scores": guided_estimate.num_scored,
-        },
-    ]
-    print()
-    print(render_table(rows, title="Evaluation comparison"))
-    random_error = abs(random_estimate.metrics.mrr - truth.metrics.mrr)
-    guided_error = abs(guided_estimate.metrics.mrr - truth.metrics.mrr)
-    print(
-        f"\nMRR error: random={random_error:.3f}, guided={guided_error:.3f}"
-    )
-    if store is not None:
-        record = store.journal.append(
-            "cli:evaluate",
-            config={
-                "dataset": args.dataset,
-                "model": args.model,
-                "epochs": args.epochs,
-                "dim": args.dim,
-                "lr": args.lr,
-                "loss": args.loss,
-                "recommender": args.recommender,
-                "strategy": args.strategy,
-                "fraction": args.fraction,
-                "seed": args.seed,
-                "workers": args.workers,
-                "dtype": args.dtype,
-            },
-            seconds=time.perf_counter() - wall_start,
-            metrics={
-                "mrr": truth.metrics.mrr,
-                "hits@10": truth.metrics.hits_at(10),
-                "estimated_mrr": guided_estimate.metrics.mrr,
-            },
-            cache_hit=guided.preparation is not None and guided.preparation.from_cache,
-        )
-        print(f"Journaled run {record.run_id} in {store.root}")
+    store = _optional_store(args)
+    result = run_experiment(spec, store=store, kind="cli:evaluate", progress=print)
+    _print_evaluation_summary(result, store)
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve import LinkPredictionService, ModelRegistry, run_server
+def _serve_from_spec(
+    spec: ExperimentSpec, store: ExperimentStore, dry_run: bool
+) -> int:
+    """Stand up (or dry-run) the serving stack behind a ``serve`` spec."""
+    from repro.serve import LinkPredictionService, run_server
 
-    store = ExperimentStore.from_env(args.store)
-    dataset = load(args.dataset)
-    registry = ModelRegistry(
-        store, dataset.graph, types=dataset.types, recommender=args.recommender
-    )
-    for spec in args.model_path or ():
-        # Accept `NAME=PATH` or a bare path (named by its file stem).  A
-        # spec that exists on disk is always one bare path, so '=' inside
-        # a real filename (`run=3/dm.npz`) never splits; otherwise split
-        # at the first '=' unless the would-be name contains a separator.
-        if Path(spec).exists():
-            name, path = "", spec
-        else:
-            name, sep, path = spec.partition("=")
-            if not sep or "/" in name or "\\" in name:
-                name, path = "", spec
-        registry.register_path(path, name=name or None)
-    discovered = registry.discover()
+    registry, discovered = build_registry(spec, store, progress=print)
     if discovered:
-        print(f"Discovered checkpoints in {registry.checkpoint_dir}: {', '.join(discovered)}")
-    if not len(registry):
         print(
-            f"Training an ad-hoc {args.model} (no --model-path given, "
-            f"none under {registry.checkpoint_dir}) ..."
+            f"Discovered checkpoints in {registry.checkpoint_dir}: "
+            f"{', '.join(discovered)}"
         )
-        model = build_model(
-            args.model,
-            dataset.graph.num_entities,
-            dataset.graph.num_relations,
-            dim=args.dim,
-            seed=args.seed,
-        )
-        Trainer(TrainingConfig(epochs=args.epochs, seed=args.seed)).fit(
-            model, dataset.graph
-        )
-        registry.register(args.model, model)
     rows = [
         {
             "Name": row["name"],
@@ -393,26 +367,139 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         }
         for row in registry.rows()
     ]
-    print(render_table(rows, title=f"Serving {dataset.graph.name} ({len(registry)} models)"))
-    if args.dry_run:
+    print(
+        render_table(
+            rows, title=f"Serving {registry.graph.name} ({len(registry)} models)"
+        )
+    )
+    if dry_run:
         print("Dry run: not binding the port.")
         return 0
+    serve = spec.serve
     service = LinkPredictionService(
         registry,
-        max_batch_size=args.max_batch,
-        max_wait=args.max_wait_ms / 1000.0,
-        cache_size=args.cache_size,
+        max_batch_size=serve.max_batch,
+        max_wait=serve.max_wait_ms / 1000.0,
+        cache_size=serve.cache_size,
     )
     print(
-        f"Serving on http://{args.host}:{args.port} "
-        f"(max batch {args.max_batch}, max wait {args.max_wait_ms} ms) — Ctrl-C stops."
+        f"Serving on http://{serve.host}:{serve.port} "
+        f"(max batch {serve.max_batch}, max wait {serve.max_wait_ms} ms) — Ctrl-C stops."
     )
-    run_server(service, host=args.host, port=args.port)
+    run_server(service, host=serve.host, port=serve.port)
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec(
+        task="serve",
+        dataset=DatasetSpec(name=args.dataset),
+        model=ModelSpec(name=args.model, dim=args.dim, seed=args.seed),
+        # loss="margin": the ad-hoc fallback has always trained with the
+        # TrainingConfig default, not the spec/CLI default of softplus —
+        # keep the served model identical across the spec migration.
+        training=TrainingSpec(epochs=args.epochs, seed=args.seed, loss="margin"),
+        serve=ServeSpec(
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            cache_size=args.cache_size,
+            recommender=args.recommender,
+            model_paths=tuple(args.model_path or ()),
+        ),
+    )
+    return _serve_from_spec(spec, _required_store(args), dry_run=args.dry_run)
+
+
+# ----------------------------------------------------------------------
+# repro run — the declarative front door
+# ----------------------------------------------------------------------
+def _sweep_variants(spec: ExperimentSpec, sweep_section: dict | None):
+    if not sweep_section:
+        return None
+    unknown = sorted(set(sweep_section) - {"grid", "zip"})
+    if unknown:
+        raise SpecError(
+            f"sweep: unknown key(s) {', '.join(map(repr, unknown))}; "
+            f"valid keys: grid, zip"
+        )
+    return sweep(
+        spec, grid=sweep_section.get("grid"), zip_=sweep_section.get("zip")
+    )
+
+
+def _run_sweep(variants, store: ExperimentStore | None) -> int:
+    rows = []
+    for index, variant in enumerate(variants):
+        print(f"[{index + 1}/{len(variants)}] {variant.label}  ({variant.key[:12]})")
+        result = run_experiment(
+            variant.spec, store=store, kind="cli:run", progress=print
+        )
+        row: dict = {
+            "Variant": variant.label,
+            "Key": variant.key[:12],
+        }
+        if result.truth is not None:
+            row["MRR"] = result.truth.metrics.mrr
+            row["Hits@10"] = result.truth.metrics.hits_at(10)
+        if result.guided_estimate is not None:
+            row["Est MRR"] = result.guided_estimate.metrics.mrr
+        if result.truth is None and result.losses:
+            row["Loss"] = round(result.losses[-1], 4)
+        row["Seconds"] = round(result.seconds, 2)
+        row["Cache"] = "hit" if result.cache_hit else "miss"
+        rows.append(row)
+        print()
+    print(render_table(rows, title=f"Sweep summary ({len(rows)} variants)"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        payload = load_spec_file(args.spec)
+        overrides = dict(parse_set_expression(item) for item in args.overrides)
+        if overrides:
+            # Before the sweep split, so `--set sweep.grid=...` works too.
+            payload = apply_overrides(payload, overrides)
+        payload, sweep_section = split_sweep(payload)
+        spec = ExperimentSpec.from_dict(payload)
+        variants = _sweep_variants(spec, sweep_section)
+        if variants and spec.task == "serve":
+            raise SpecError("sweep: serve specs cannot be swept")
+    except SpecError as error:
+        print(f"spec error: {error}", file=sys.stderr)
+        return 2
+    if args.dry_run:
+        print(spec.to_json())
+        if variants:
+            rows = [{"Variant": v.label, "Key": v.key} for v in variants]
+            print()
+            print(render_table(rows, title=f"Sweep: {len(variants)} variants"))
+        else:
+            print(f"\nSpec key: {spec.key()}")
+        print("Dry run: nothing executed.")
+        return 0
+    if spec.task == "serve":
+        return _serve_from_spec(spec, _required_store(args), dry_run=False)
+    store = _optional_store(args)
+    if variants:
+        return _run_sweep(variants, store)
+    result = run_experiment(spec, store=store, kind="cli:run", progress=print)
+    if spec.task == "evaluate":
+        _print_evaluation_summary(result, store)
+    else:
+        _print_train_summary(result, spec.training.epochs)
+        if store is not None and result.run_id is not None:
+            print(f"Journaled run {result.run_id} in {store.root}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Store commands
+# ----------------------------------------------------------------------
 def _cmd_runs(args: argparse.Namespace) -> int:
-    store = ExperimentStore.from_env(args.store)
+    store = _required_store(args)
     if args.runs_command == "list":
         print(render_runs(store.journal, fmt=args.format, limit=args.limit))
         return 0
@@ -425,7 +512,7 @@ def _cmd_runs(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    store = ExperimentStore.from_env(args.store)
+    store = _required_store(args)
     if args.cache_command == "ls":
         print(render_cache(store.artifacts, fmt=args.format))
         return 0
@@ -437,12 +524,39 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Fast, accurate evaluation of knowledge graph link predictors.",
     )
     commands = parser.add_subparsers(dest="command", required=True)
+    store_parent = _store_parent()
+    seed_parent = _seed_parent()
+    engine_parent = _engine_parent()
+    dtype_parent = _dtype_parent()
+
+    run_parser = commands.add_parser(
+        "run",
+        parents=[store_parent],
+        help="execute a declarative experiment spec (JSON)",
+    )
+    run_parser.add_argument("spec", metavar="SPEC.json", help="experiment spec file")
+    run_parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="dotted override (repeatable), e.g. --set training.lr=0.1",
+    )
+    run_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the fully resolved spec (and sweep variants) without running",
+    )
 
     commands.add_parser("datasets", help="list zoo datasets with statistics")
 
@@ -478,7 +592,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_argument(analyze)
 
     train = commands.add_parser(
-        "train", help="train a model (fused kernels) and save its checkpoint"
+        "train",
+        parents=[seed_parent, dtype_parent, store_parent],
+        help="train a model (fused kernels) and save its checkpoint",
     )
     _add_dataset_argument(train)
     train.add_argument("--model", default="complex", choices=available_models())
@@ -487,13 +603,14 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument(
         "--optimizer", default="adam", choices=("adagrad", "adam", "sgd")
     )
-    train.add_argument("--seed", type=int, default=0)
     train.add_argument(
         "--out", required=True, metavar="PATH", help="checkpoint .npz path to write"
     )
 
     evaluate = commands.add_parser(
-        "evaluate", help="train a model and compare evaluation protocols"
+        "evaluate",
+        parents=[seed_parent, dtype_parent, engine_parent, store_parent],
+        help="train a model and compare evaluation protocols",
     )
     _add_dataset_argument(evaluate)
     evaluate.add_argument("--model", default="complex", choices=available_models())
@@ -506,20 +623,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument("--fraction", type=float, default=0.1)
     evaluate.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="scoring processes for the ranking passes "
-        "(1 = serial, -1 = all cores; results are identical at any count)",
-    )
-    evaluate.add_argument(
-        "--chunk-size",
-        type=int,
-        default=DEFAULT_CHUNK_SIZE,
-        help="queries ranked per score-matrix chunk",
-    )
-    evaluate.add_argument("--seed", type=int, default=0)
-    evaluate.add_argument(
         "--save-model",
         "--save",  # original spelling, kept as an alias
         dest="save_model",
@@ -527,17 +630,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the trained checkpoint to this .npz path "
         "(serve it with `repro serve --model-path PATH`)",
     )
-    evaluate.add_argument(
-        "--store",
-        nargs="?",
-        const="",
-        default=None,
-        help="cache artifacts + journal the run in this experiment store "
-        "(no value: $REPRO_STORE or .repro_store)",
-    )
 
     serve = commands.add_parser(
-        "serve", help="serve link prediction over HTTP (micro-batched)"
+        "serve",
+        parents=[seed_parent, store_parent],
+        help="serve link prediction over HTTP (micro-batched)",
     )
     _add_dataset_argument(serve)
     serve.add_argument(
@@ -581,39 +678,42 @@ def build_parser() -> argparse.ArgumentParser:
         default=1024,
         help="LRU top-k result cache entries (0 disables)",
     )
-    serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
         "--dry-run",
         action="store_true",
         help="load models and print the serving table without binding the port",
     )
-    _add_store_argument(serve)
 
     runs = commands.add_parser("runs", help="inspect the run journal")
     runs_commands = runs.add_subparsers(dest="runs_command", required=True)
-    runs_list = runs_commands.add_parser("list", help="list journaled runs")
-    _add_store_argument(runs_list)
+    runs_list = runs_commands.add_parser(
+        "list", parents=[store_parent], help="list journaled runs"
+    )
     _add_format_argument(runs_list)
     runs_list.add_argument(
         "--limit", type=int, default=None, help="only the most recent N runs"
     )
-    runs_show = runs_commands.add_parser("show", help="show one run in full")
+    runs_show = runs_commands.add_parser(
+        "show", parents=[store_parent], help="show one run in full"
+    )
     runs_show.add_argument("run_id", help="run id (prefixes accepted)")
-    _add_store_argument(runs_show)
 
     cache = commands.add_parser("cache", help="inspect the artifact cache")
     cache_commands = cache.add_subparsers(dest="cache_command", required=True)
-    cache_ls = cache_commands.add_parser("ls", help="list cached artifacts")
-    _add_store_argument(cache_ls)
-    _add_format_argument(cache_ls)
-    cache_gc = cache_commands.add_parser(
-        "gc", help="remove orphaned artifacts (interrupted writes)"
+    cache_ls = cache_commands.add_parser(
+        "ls", parents=[store_parent], help="list cached artifacts"
     )
-    _add_store_argument(cache_gc)
+    _add_format_argument(cache_ls)
+    cache_commands.add_parser(
+        "gc",
+        parents=[store_parent],
+        help="remove orphaned artifacts (interrupted writes)",
+    )
     return parser
 
 
 _HANDLERS = {
+    "run": _cmd_run,
     "datasets": _cmd_datasets,
     "generate": _cmd_generate,
     "recommenders": _cmd_recommenders,

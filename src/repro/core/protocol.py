@@ -245,15 +245,31 @@ class EvaluationProtocol:
         return self.preparation
 
     def resample(self, seed: int) -> None:
-        """Redraw the pools with a new seed (for repeated-sampling CIs)."""
+        """Redraw the pools with a new seed (for repeated-sampling CIs).
+
+        The protocol's ``seed`` is updated to the new draw, so the store
+        cache key follows the pools: resampled artifacts persist under
+        the *new* seed's preparation key and never collide with (or
+        overwrite) the original draw's cached pools.  With a store
+        attached, a previously persisted draw of the same seed is
+        restored instead of redrawn — ``resample`` is exactly as
+        cache-friendly as ``prepare``.
+        """
         if self.preparation is None:
             self.seed = seed
             self.prepare()
             return
+        self.seed = seed
+        if self.store is not None:
+            restored = self._restore_preparation(self._preparation_key())
+            if restored is not None:
+                self.preparation = restored
+                return
         if self.strategy == "probabilistic" and self.fitted is None:
             # A cache-restored preparation skips fitting; resampling under
             # the probabilistic strategy genuinely needs the score matrix.
             self.fitted = self.recommender.fit(self.graph, self.types)
+        start = time.perf_counter()
         self.pools = build_pools(
             self.graph,
             self.strategy,
@@ -263,6 +279,15 @@ class EvaluationProtocol:
             fitted=self.fitted,
             candidates=self.candidates,
         )
+        self.preparation = PreparationReport(
+            recommender_name=self.preparation.recommender_name,
+            strategy=self.preparation.strategy,
+            fit_seconds=self.preparation.fit_seconds,
+            candidates_seconds=self.preparation.candidates_seconds,
+            pools_seconds=time.perf_counter() - start,
+        )
+        if self.store is not None:
+            self._persist_preparation(self._preparation_key(), self.preparation)
 
     # ------------------------------------------------------------------
     def evaluate(

@@ -1,0 +1,64 @@
+"""``repro.experiment`` — the declarative, spec-driven front door.
+
+One typed :class:`ExperimentSpec` names a dataset, model, training
+recipe, evaluation protocol and serving configuration; :func:`run`
+orchestrates it through the trainer, the evaluation protocol, the
+parallel engine and the experiment store; :func:`sweep` expands a base
+spec into deterministic multi-config variants.  The CLI's ``repro run``
+command (and the ``train`` / ``evaluate`` / ``serve`` shims) are thin
+wrappers over exactly this API::
+
+    from repro.experiment import ExperimentSpec, run
+
+    spec = ExperimentSpec.from_dict({
+        "dataset": {"name": "codex-s-lite"},
+        "model": {"name": "distmult", "dim": 16},
+        "training": {"epochs": 4},
+        "evaluation": {"recommender": "l-wd", "sample_fraction": 0.1},
+    })
+    result = run(spec)            # -> ExperimentResult
+    print(result.truth.metrics.mrr, result.guided_estimate.metrics.mrr)
+"""
+
+from repro.experiment.runner import (
+    ExperimentResult,
+    build_registry,
+    load_dataset,
+    run,
+)
+from repro.experiment.specs import (
+    DatasetSpec,
+    EvaluationSpec,
+    ExperimentSpec,
+    ModelSpec,
+    ServeSpec,
+    SpecError,
+    TrainingSpec,
+    apply_overrides,
+    load_spec_file,
+    parse_set_expression,
+    spec_key,
+    split_sweep,
+)
+from repro.experiment.sweep import SweepVariant, sweep
+
+__all__ = [
+    "DatasetSpec",
+    "EvaluationSpec",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "ModelSpec",
+    "ServeSpec",
+    "SpecError",
+    "SweepVariant",
+    "TrainingSpec",
+    "apply_overrides",
+    "build_registry",
+    "load_dataset",
+    "load_spec_file",
+    "parse_set_expression",
+    "run",
+    "spec_key",
+    "split_sweep",
+    "sweep",
+]

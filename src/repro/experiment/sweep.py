@@ -1,0 +1,118 @@
+"""Sweep expansion: one base spec, many deterministic variants.
+
+``sweep(spec, grid=...)`` expands dotted-path override axes into fully
+validated variant specs.  Two axis kinds compose:
+
+* ``grid`` — a cartesian product over every combination (``{"model.dim":
+  [16, 32], "training.lr": [0.01, 0.05]}`` is four variants);
+* ``zip_`` — parallel lists advanced together (``{"model.name":
+  ["transe", "distmult"], "training.loss": ["margin", "softplus"]}`` is
+  two variants), the way paired hyperparameters are swept.
+
+Each variant carries a deterministic :func:`~repro.experiment.spec_key`
+derived from its *resolved spec content*, so re-running a sweep — or a
+different sweep sharing some variants — reuses the store's artifact
+cache for every shared stage: two variants differing only in training
+hyperparameters share the prepared pools, and two differing only in the
+evaluation seed share the trained model's ground-truth cache entries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.experiment.specs import (
+    ExperimentSpec,
+    SpecError,
+    apply_overrides,
+    spec_key,
+)
+
+
+@dataclass(frozen=True)
+class SweepVariant:
+    """One expanded sweep point: the spec, its overrides, its identity."""
+
+    spec: ExperimentSpec
+    overrides: dict[str, Any]
+    key: str
+
+    @property
+    def label(self) -> str:
+        """Human-readable override summary (``dim=16, lr=0.01``)."""
+        if not self.overrides:
+            return "(base)"
+        return ", ".join(
+            f"{dotted.rsplit('.', 1)[-1]}={value}"
+            for dotted, value in self.overrides.items()
+        )
+
+
+def _check_axes(name: str, axes: Mapping[str, Sequence[Any]] | None) -> dict[str, list[Any]]:
+    if axes is None:
+        return {}
+    checked: dict[str, list[Any]] = {}
+    for dotted, values in axes.items():
+        if isinstance(values, (str, bytes)) or not isinstance(values, Sequence):
+            raise SpecError(
+                f"sweep.{name}[{dotted!r}]: expected a list of values, "
+                f"got {values!r}"
+            )
+        if not values:
+            raise SpecError(f"sweep.{name}[{dotted!r}]: empty value list")
+        checked[dotted] = list(values)
+    return checked
+
+
+def sweep(
+    spec: ExperimentSpec,
+    grid: Mapping[str, Sequence[Any]] | None = None,
+    zip_: Mapping[str, Sequence[Any]] | None = None,
+) -> list[SweepVariant]:
+    """Expand a base spec into validated variants (grid × zip).
+
+    Variant order is deterministic: zip bundles advance outermost, grid
+    axes vary in insertion order with the last axis fastest.  Every
+    variant re-validates through ``ExperimentSpec.from_dict``, so a bad
+    override value fails the whole sweep up front with the field path in
+    the message.  With neither axis given, the base spec itself is the
+    single variant.
+    """
+    grid_axes = _check_axes("grid", grid)
+    zip_axes = _check_axes("zip", zip_)
+    lengths = {len(values) for values in zip_axes.values()}
+    if len(lengths) > 1:
+        detail = ", ".join(f"{k}: {len(v)}" for k, v in zip_axes.items())
+        raise SpecError(f"sweep.zip: axes must share one length, got {detail}")
+
+    zip_bundles: list[dict[str, Any]] = [{}]
+    if zip_axes:
+        length = lengths.pop()
+        zip_bundles = [
+            {dotted: values[i] for dotted, values in zip_axes.items()}
+            for i in range(length)
+        ]
+    grid_combos: list[dict[str, Any]] = [{}]
+    if grid_axes:
+        keys = list(grid_axes)
+        grid_combos = [
+            dict(zip(keys, combo))
+            for combo in itertools.product(*(grid_axes[k] for k in keys))
+        ]
+
+    base = spec.to_dict()
+    variants: list[SweepVariant] = []
+    for bundle in zip_bundles:
+        for combo in grid_combos:
+            overrides = {**bundle, **combo}
+            variant_spec = ExperimentSpec.from_dict(apply_overrides(base, overrides))
+            variants.append(
+                SweepVariant(
+                    spec=variant_spec,
+                    overrides=overrides,
+                    key=spec_key(variant_spec),
+                )
+            )
+    return variants

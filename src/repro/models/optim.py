@@ -32,6 +32,10 @@ from repro.autodiff.engine import Tensor, stack_parameters
 
 Array = np.ndarray
 
+#: Names accepted by :func:`build_optimizer` (and validated eagerly by
+#: :class:`~repro.models.training.TrainingConfig`).
+OPTIMIZERS = ("adagrad", "adam", "sgd")
+
 #: One sparse gradient: (parameter tensor, row indices, per-row gradients).
 #: Row indices may repeat; ``step_rows`` accumulates duplicates.
 RowUpdate = tuple[Tensor, Array, Array]
@@ -267,4 +271,6 @@ def build_optimizer(name: str, params: list[Tensor], lr: float, **kwargs) -> Opt
         return Adagrad(params, lr=lr, **kwargs)
     if name == "sgd":
         return SGD(params, lr=lr, **kwargs)
-    raise KeyError(f"unknown optimizer {name!r}; available: adagrad, adam, sgd")
+    raise KeyError(
+        f"unknown optimizer {name!r}; available: {', '.join(OPTIMIZERS)}"
+    )

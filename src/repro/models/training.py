@@ -252,6 +252,22 @@ class TrainingConfig:
             raise ValueError(f"epochs must be >= 0, got {self.epochs}")
         if self.batch_size <= 0 or self.num_negatives <= 0:
             raise ValueError("batch_size and num_negatives must be positive")
+        # Fail at construction, not mid-fit: a typo'd loss or optimizer
+        # name would otherwise surface only after the dataset is loaded
+        # and the first batch assembled.
+        from repro.models.losses import available_losses
+        from repro.models.optim import OPTIMIZERS
+
+        if self.loss not in available_losses():
+            raise ValueError(
+                f"unknown loss {self.loss!r}; available: "
+                f"{', '.join(available_losses())}"
+            )
+        if self.optimizer.lower() not in OPTIMIZERS:
+            raise ValueError(
+                f"unknown optimizer {self.optimizer!r}; available: "
+                f"{', '.join(OPTIMIZERS)}"
+            )
 
 
 @dataclass

@@ -30,6 +30,24 @@ from repro.store.store import ExperimentStore
 CHECKPOINT_DIR = "serve"
 
 
+def parse_model_path(spec: str) -> tuple[str | None, str]:
+    """Split one ``[NAME=]PATH`` checkpoint spec into ``(name, path)``.
+
+    Accepts ``NAME=PATH`` or a bare path (``name`` is then ``None`` and
+    callers fall back to the file stem).  A spec that exists on disk is
+    always one bare path, so '=' inside a real filename (``run=3/dm.npz``)
+    never splits; otherwise split at the first '=' unless the would-be
+    name contains a path separator.  Shared by the CLI's ``--model-path``
+    and :class:`~repro.experiment.ServeSpec.model_paths`.
+    """
+    if Path(spec).exists():
+        return None, spec
+    name, sep, path = spec.partition("=")
+    if not sep or "/" in name or "\\" in name:
+        return None, spec
+    return name or None, path
+
+
 @dataclass
 class ServingEntry:
     """One named model in the registry.

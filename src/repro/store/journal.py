@@ -22,7 +22,14 @@ from typing import Any, Iterator
 
 @dataclass(frozen=True)
 class RunRecord:
-    """One journal line: the who/what/how-long of a single run."""
+    """One journal line: the who/what/how-long of a single run.
+
+    ``spec`` carries the originating declarative spec (its resolved dict
+    form) for spec-driven runs — ``repro runs show`` prints it, and
+    ``repro run`` of that JSON reproduces the run.  Non-spec runs leave
+    it ``None`` and their journal lines are byte-identical to the
+    pre-spec format.
+    """
 
     run_id: str
     timestamp: str
@@ -32,25 +39,27 @@ class RunRecord:
     metrics: dict[str, float] = field(default_factory=dict)
     cache_hit: bool = False
     note: str = ""
+    spec: dict[str, Any] | None = None
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "run_id": self.run_id,
-                "timestamp": self.timestamp,
-                "kind": self.kind,
-                "config": self.config,
-                "seconds": self.seconds,
-                "metrics": self.metrics,
-                "cache_hit": self.cache_hit,
-                "note": self.note,
-            },
-            sort_keys=True,
-        )
+        payload = {
+            "run_id": self.run_id,
+            "timestamp": self.timestamp,
+            "kind": self.kind,
+            "config": self.config,
+            "seconds": self.seconds,
+            "metrics": self.metrics,
+            "cache_hit": self.cache_hit,
+            "note": self.note,
+        }
+        if self.spec is not None:
+            payload["spec"] = self.spec
+        return json.dumps(payload, sort_keys=True)
 
     @classmethod
     def from_json(cls, line: str) -> "RunRecord":
         payload = json.loads(line)
+        spec = payload.get("spec")
         return cls(
             run_id=str(payload["run_id"]),
             timestamp=str(payload["timestamp"]),
@@ -60,6 +69,7 @@ class RunRecord:
             metrics={k: float(v) for k, v in payload.get("metrics", {}).items()},
             cache_hit=bool(payload.get("cache_hit", False)),
             note=str(payload.get("note", "")),
+            spec=dict(spec) if isinstance(spec, dict) else None,
         )
 
 
@@ -80,6 +90,7 @@ class RunJournal:
         metrics: dict[str, float] | None = None,
         cache_hit: bool = False,
         note: str = "",
+        spec: dict[str, Any] | None = None,
     ) -> RunRecord:
         """Record one run; returns the written record (with its run id)."""
         record = RunRecord(
@@ -91,6 +102,7 @@ class RunJournal:
             metrics=metrics or {},
             cache_hit=cache_hit,
             note=note,
+            spec=spec,
         )
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(record.to_json() + "\n")

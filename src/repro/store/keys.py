@@ -19,7 +19,9 @@ Key composition (documented here because it *is* the cache contract):
   training-study runner draws all three strategies from one RNG);
 * ``ground_truth_key``   — graph + model + (split, hits@K): one full
   filtered-ranking evaluation;
-* ``study_key``          — every argument of ``run_training_study``.
+* ``study_key``          — every argument of ``run_training_study``;
+* ``experiment_key``     — the resolved dict form of one declarative
+  :class:`~repro.experiment.ExperimentSpec` (sweep-variant identity).
 """
 
 from __future__ import annotations
@@ -198,6 +200,17 @@ def ground_truth_key(
             "hits_at": list(hits_at),
         },
     )
+
+
+def experiment_key(spec_fields: Mapping[str, Any]) -> str:
+    """Key of one declarative experiment spec (``repro.experiment``).
+
+    Hashes the spec's fully resolved dict form, so two specs that differ
+    only in JSON field order or in spelling out defaults share a key,
+    and any differing field — a sweep variant's override, a new pool
+    seed — produces a new one.
+    """
+    return cache_key("experiment", dict(spec_fields))
 
 
 def study_key(graph, **config: Any) -> str:

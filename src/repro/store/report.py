@@ -106,7 +106,11 @@ def render_runs(
 
 
 def render_run_detail(record: RunRecord) -> str:
-    """The ``repro runs show`` body: the full record, pretty-printed."""
+    """The ``repro runs show`` body: the full record, pretty-printed.
+
+    Spec-driven runs include their originating ``spec`` JSON — pipe it
+    to a file and ``repro run`` it to reproduce the run.
+    """
     payload = {
         "run_id": record.run_id,
         "timestamp": record.timestamp,
@@ -117,6 +121,8 @@ def render_run_detail(record: RunRecord) -> str:
         "metrics": record.metrics,
         "note": record.note,
     }
+    if record.spec is not None:
+        payload["spec"] = record.spec
     return json.dumps(payload, indent=2, sort_keys=True)
 
 

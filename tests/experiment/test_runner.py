@@ -1,0 +1,200 @@
+"""The spec orchestrator end to end: run(), stores, sweeps, serving."""
+
+import numpy as np
+import pytest
+
+from repro.experiment import (
+    DatasetSpec,
+    ExperimentSpec,
+    build_registry,
+    load_dataset,
+    run,
+    sweep,
+)
+from repro.models import load_model
+from repro.store import ExperimentStore
+
+
+@pytest.fixture
+def store(tmp_path) -> ExperimentStore:
+    return ExperimentStore(tmp_path / "store")
+
+
+TINY = {
+    "task": "evaluate",
+    "dataset": {"name": "codex-s-lite"},
+    "model": {"name": "distmult", "dim": 8},
+    "training": {"epochs": 1},
+}
+
+
+def tiny_spec(**top_level) -> ExperimentSpec:
+    payload = dict(TINY, **top_level)
+    return ExperimentSpec.from_dict(payload)
+
+
+class TestRun:
+    def test_evaluate_produces_all_three_results(self):
+        result = run(tiny_spec())
+        assert result.truth is not None
+        assert result.random_estimate is not None
+        assert result.guided_estimate is not None
+        assert result.truth.metrics.mrr > 0
+        assert result.key == tiny_spec().key()
+        assert len(result.losses) == 1
+
+    def test_compare_random_off_skips_the_baseline(self):
+        spec = tiny_spec(evaluation={"compare_random": False})
+        result = run(spec)
+        assert result.random_estimate is None
+        assert result.guided_estimate is not None
+
+    def test_train_task_skips_evaluation(self, tmp_path):
+        checkpoint = tmp_path / "m.npz"
+        spec = tiny_spec(task="train", checkpoint=str(checkpoint))
+        result = run(spec)
+        assert result.truth is None and result.guided_estimate is None
+        assert result.checkpoint_path == str(checkpoint)
+        assert load_model(checkpoint).name == "distmult"
+        assert result.metric_summary() == {"loss": result.losses[-1]}
+
+    def test_serve_task_rejected(self):
+        with pytest.raises(ValueError, match="serve specs"):
+            run(tiny_spec(task="serve"))
+
+    def test_runs_are_deterministic(self):
+        first = run(tiny_spec())
+        second = run(tiny_spec())
+        assert first.truth.metrics == second.truth.metrics
+        assert first.guided_estimate.metrics.mrr == second.guided_estimate.metrics.mrr
+
+    def test_progress_messages(self):
+        messages = []
+        run(tiny_spec(), progress=messages.append)
+        assert any("Training distmult" in m for m in messages)
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        payload = run(tiny_spec()).to_dict()
+        json.dumps(payload)
+        assert payload["spec"]["model"]["name"] == "distmult"
+        assert payload["full"]["mrr"] == pytest.approx(payload["full"]["mrr"])
+
+    def test_dataset_overrides_build_a_variant_graph(self):
+        dataset = load_dataset(
+            DatasetSpec(name="codex-s-lite", options={"num_entities": 500})
+        )
+        # The generator may fall slightly short of the target (uncovered
+        # entities are dropped), but the variant is clearly distinct.
+        assert dataset.graph.num_entities > 450
+        assert "num_entities=500" in dataset.graph.name
+        # The unmodified zoo entry is untouched.
+        assert load_dataset(DatasetSpec(name="codex-s-lite")).graph.num_entities == 400
+
+
+class TestRunWithStore:
+    def test_journal_carries_the_spec(self, store):
+        spec = tiny_spec()
+        result = run(spec, store=store, kind="test:run")
+        record = store.journal.get(result.run_id)
+        assert record is not None
+        assert record.kind == "test:run"
+        assert record.spec == spec.to_dict()
+        assert record.metrics["mrr"] == pytest.approx(result.truth.metrics.mrr)
+
+    def test_second_run_hits_the_cache(self, store):
+        first = run(tiny_spec(), store=store)
+        second = run(tiny_spec(), store=store)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.truth.metrics == first.truth.metrics
+
+    def test_resample_seed_changes_pools_not_truth(self, store):
+        base = run(tiny_spec(), store=store)
+        resampled = run(
+            tiny_spec(evaluation={"resample_seed": 7}), store=store
+        )
+        # Ground truth is pool-independent; the sampled estimate is not.
+        assert resampled.truth.metrics == base.truth.metrics
+        assert (
+            resampled.guided_estimate.metrics.mrr
+            != base.guided_estimate.metrics.mrr
+        )
+
+    def test_sweep_variants_share_cached_stages(self, store):
+        """Two lrs differ only in training: they share the prepared pools."""
+        base = tiny_spec()
+        variants = sweep(base, grid={"training.lr": [0.01, 0.05]})
+        for variant in variants:
+            run(variant.spec, store=store)
+        preps = [e for e in store.artifacts.entries() if e.kind == "prep"]
+        pools = [e for e in store.artifacts.entries() if e.kind == "pools"]
+        truths = [e for e in store.artifacts.entries() if e.kind == "truth"]
+        # One guided + one random preparation serve both variants ...
+        assert len(preps) == 2 and len(pools) == 2
+        # ... while each trained model has its own ground truth.
+        assert len(truths) == 2
+
+
+class TestBuildRegistry:
+    def test_ad_hoc_model_trained_and_persisted(self, store):
+        spec = tiny_spec(task="serve", training={"epochs": 1})
+        registry, discovered = build_registry(spec, store)
+        assert discovered == []
+        assert registry.names() == ["distmult"]
+        assert (store.root / "serve" / "distmult.npz").exists()
+
+    def test_model_paths_registered_by_name(self, store, tmp_path):
+        checkpoint = tmp_path / "ckpt.npz"
+        run(tiny_spec(task="train", checkpoint=str(checkpoint)))
+        spec = tiny_spec(
+            task="serve", serve={"model_paths": [f"prod={checkpoint}"]}
+        )
+        registry, _ = build_registry(spec, store)
+        assert "prod" in registry.names()
+        assert registry.model("prod").name == "distmult"
+
+    def test_discovery_skips_ad_hoc_training(self, store):
+        first_spec = tiny_spec(task="serve", training={"epochs": 1})
+        build_registry(first_spec, store)
+        registry, discovered = build_registry(first_spec, store)
+        assert discovered == ["distmult"]
+        entry = registry.entry("distmult")
+        assert entry.model is None  # lazily loaded, not retrained
+
+
+class TestShimParity:
+    """The library-level acceptance check: spec == legacy hand-wiring."""
+
+    def test_run_matches_hand_wired_pipeline(self):
+        from repro.core.protocol import EvaluationProtocol
+        from repro.datasets.zoo import load
+        from repro.models import Trainer, TrainingConfig, build_model
+
+        spec = tiny_spec()
+        result = run(spec)
+
+        dataset = load("codex-s-lite")
+        graph = dataset.graph
+        model = build_model(
+            "distmult", graph.num_entities, graph.num_relations, dim=8, seed=0
+        )
+        config = TrainingConfig(epochs=1, lr=0.05, loss="softplus", seed=0)
+        Trainer(config).fit(model, graph)
+        protocol = EvaluationProtocol(
+            graph,
+            recommender="l-wd",
+            strategy="static",
+            sample_fraction=0.1,
+            types=dataset.types,
+            seed=0,
+        )
+        protocol.prepare()
+        truth = protocol.evaluate_full(model)
+        estimate = protocol.evaluate(model)
+        assert result.truth.metrics == truth.metrics
+        assert result.guided_estimate.metrics.mrr == estimate.metrics.mrr
+        assert np.array_equal(
+            sorted(result.truth.ranks.values()), sorted(truth.ranks.values())
+        )

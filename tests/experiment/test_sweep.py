@@ -1,0 +1,93 @@
+"""Sweep expansion: grid/zip semantics and deterministic variant keys."""
+
+import pytest
+
+from repro.experiment import ExperimentSpec, SpecError, spec_key, sweep
+
+
+@pytest.fixture
+def base():
+    return ExperimentSpec.from_dict(
+        {"model": {"name": "distmult", "dim": 8}, "training": {"epochs": 1}}
+    )
+
+
+class TestExpansion:
+    def test_no_axes_yields_the_base(self, base):
+        variants = sweep(base)
+        assert len(variants) == 1
+        assert variants[0].spec == base
+        assert variants[0].overrides == {}
+        assert variants[0].label == "(base)"
+
+    def test_grid_is_cartesian(self, base):
+        variants = sweep(
+            base, grid={"model.dim": [4, 8], "training.lr": [0.01, 0.05]}
+        )
+        assert len(variants) == 4
+        combos = {(v.spec.model.dim, v.spec.training.lr) for v in variants}
+        assert combos == {(4, 0.01), (4, 0.05), (8, 0.01), (8, 0.05)}
+
+    def test_grid_order_last_axis_fastest(self, base):
+        variants = sweep(base, grid={"model.dim": [4, 8], "training.lr": [0.01, 0.05]})
+        assert [(v.spec.model.dim, v.spec.training.lr) for v in variants] == [
+            (4, 0.01), (4, 0.05), (8, 0.01), (8, 0.05),
+        ]
+
+    def test_zip_is_parallel(self, base):
+        variants = sweep(
+            base,
+            zip_={
+                "model.name": ["transe", "distmult"],
+                "training.loss": ["margin", "softplus"],
+            },
+        )
+        assert [(v.spec.model.name, v.spec.training.loss) for v in variants] == [
+            ("transe", "margin"),
+            ("distmult", "softplus"),
+        ]
+
+    def test_zip_lengths_must_match(self, base):
+        with pytest.raises(SpecError, match="share one length"):
+            sweep(base, zip_={"model.dim": [4, 8], "training.lr": [0.01]})
+
+    def test_grid_and_zip_compose(self, base):
+        variants = sweep(
+            base,
+            grid={"model.dim": [4, 8]},
+            zip_={"training.lr": [0.01, 0.05], "training.margin": [0.5, 1.0]},
+        )
+        assert len(variants) == 4  # 2 zip bundles x 2 grid points
+
+    def test_empty_axis_rejected(self, base):
+        with pytest.raises(SpecError, match="empty value list"):
+            sweep(base, grid={"model.dim": []})
+
+    def test_scalar_axis_rejected(self, base):
+        with pytest.raises(SpecError, match="list of values"):
+            sweep(base, grid={"model.dim": 8})
+
+    def test_invalid_override_value_fails_upfront(self, base):
+        with pytest.raises(SpecError, match="model.name"):
+            sweep(base, grid={"model.name": ["distmult", "nope"]})
+
+
+class TestVariantKeys:
+    def test_keys_are_deterministic_and_content_addressed(self, base):
+        first = sweep(base, grid={"model.dim": [4, 8]})
+        second = sweep(base, grid={"model.dim": [4, 8]})
+        assert [v.key for v in first] == [v.key for v in second]
+        assert len({v.key for v in first}) == 2
+
+    def test_base_matching_variant_shares_the_base_key(self, base):
+        variants = sweep(base, grid={"model.dim": [4, base.model.dim]})
+        assert variants[1].key == spec_key(base)
+        assert variants[0].key != spec_key(base)
+
+    def test_key_equals_variant_spec_key(self, base):
+        for variant in sweep(base, grid={"training.lr": [0.01, 0.05]}):
+            assert variant.key == spec_key(variant.spec)
+
+    def test_label_summarises_overrides(self, base):
+        variant = sweep(base, grid={"model.dim": [4], "training.lr": [0.01]})[0]
+        assert variant.label == "dim=4, lr=0.01"

@@ -70,3 +70,32 @@ def test_record_json_round_trip():
         note="n",
     )
     assert RunRecord.from_json(record.to_json()) == record
+
+
+def test_spec_field_round_trips(tmp_path):
+    """Spec-driven runs journal their originating spec; others omit it."""
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    spec = {"task": "evaluate", "model": {"name": "distmult", "dim": 8}}
+    with_spec = journal.append("cli:run", spec=spec)
+    without = journal.append("cli:evaluate")
+    records = journal.records()
+    assert records[0].spec == spec
+    assert records[1].spec is None
+    # Non-spec lines stay byte-identical to the pre-spec format.
+    assert '"spec"' not in without.to_json()
+    assert journal.get(with_spec.run_id).spec == spec
+
+
+def test_render_run_detail_includes_spec():
+    from repro.store import render_run_detail
+
+    record = RunRecord(
+        run_id="abc123",
+        timestamp="2026-07-30T00:00:00",
+        kind="cli:run",
+        spec={"task": "train", "model": {"name": "transe"}},
+    )
+    detail = render_run_detail(record)
+    assert '"spec"' in detail and '"transe"' in detail
+    plain = RunRecord(run_id="def456", timestamp="t", kind="cli:evaluate")
+    assert '"spec"' not in render_run_detail(plain)

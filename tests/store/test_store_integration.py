@@ -170,6 +170,91 @@ class TestProtocolStore:
         assert warm.pools is not None
 
 
+def _all_pools(pools) -> np.ndarray:
+    """Every pool flattened in a canonical order (for draw comparison).
+
+    Individual (relation, side) pools can saturate — the sample is the
+    whole candidate set, identical under any seed — so seed sensitivity
+    must be asserted on the full draw.
+    """
+    return np.concatenate(
+        [
+            pools.pool(relation, side)
+            for side in ("head", "tail")
+            for relation in sorted(pools.pools[side])
+        ]
+    )
+
+
+class TestResampleSeedKeying:
+    """resample(seed) threads the new pool seed into the store cache key."""
+
+    def test_resample_updates_the_preparation_key(self, store, codex_s):
+        protocol = EvaluationProtocol(
+            codex_s.graph, strategy="static", sample_fraction=0.1,
+            types=codex_s.types, seed=0, store=store,
+        )
+        protocol.prepare()
+        original_key = protocol._preparation_key()
+        protocol.resample(seed=7)
+        assert protocol.seed == 7
+        assert protocol._preparation_key() != original_key
+
+    def test_resample_does_not_clobber_the_original_draw(self, store, codex_s):
+        protocol = EvaluationProtocol(
+            codex_s.graph, strategy="static", sample_fraction=0.1,
+            types=codex_s.types, seed=0, store=store,
+        )
+        protocol.prepare()
+        original = _all_pools(protocol.pools).copy()
+        protocol.resample(seed=7)
+        resampled = _all_pools(protocol.pools).copy()
+        assert not np.array_equal(original, resampled)
+        # A fresh seed-0 protocol still restores the *original* pools.
+        fresh = EvaluationProtocol(
+            codex_s.graph, strategy="static", sample_fraction=0.1,
+            types=codex_s.types, seed=0, store=store,
+        )
+        fresh.prepare()
+        assert fresh.preparation.from_cache
+        assert np.array_equal(_all_pools(fresh.pools), original)
+
+    def test_resampled_draw_is_cached_under_the_new_seed(self, store, codex_s):
+        protocol = EvaluationProtocol(
+            codex_s.graph, strategy="static", sample_fraction=0.1,
+            types=codex_s.types, seed=0, store=store,
+        )
+        protocol.prepare()
+        protocol.resample(seed=7)
+        resampled = _all_pools(protocol.pools).copy()
+        # A fresh seed-7 protocol restores the resampled draw from cache.
+        fresh = EvaluationProtocol(
+            codex_s.graph, strategy="static", sample_fraction=0.1,
+            types=codex_s.types, seed=7, store=store,
+        )
+        fresh.prepare()
+        assert fresh.preparation.from_cache
+        assert np.array_equal(_all_pools(fresh.pools), resampled)
+        # And resampling back to a cached seed restores rather than redraws.
+        protocol.resample(seed=0)
+        assert protocol.preparation.from_cache
+
+    def test_resample_matches_fresh_prepare_without_store(self, codex_s):
+        """The resampled draw equals what prepare(seed) would build."""
+        resampled = EvaluationProtocol(
+            codex_s.graph, strategy="static", sample_fraction=0.1,
+            types=codex_s.types, seed=0,
+        )
+        resampled.prepare()
+        resampled.resample(seed=7)
+        direct = EvaluationProtocol(
+            codex_s.graph, strategy="static", sample_fraction=0.1,
+            types=codex_s.types, seed=7,
+        )
+        direct.prepare()
+        assert np.array_equal(_all_pools(resampled.pools), _all_pools(direct.pools))
+
+
 class TestReportLayer:
     def test_journal_rows_and_formats(self, store):
         run_training_study(**STUDY_CONFIG, store=store)

@@ -26,6 +26,7 @@ class TestParser:
             if hasattr(action, "choices") and action.choices
         }
         assert set(actions["command"].choices) == {
+            "run",
             "datasets",
             "generate",
             "recommenders",
@@ -299,6 +300,169 @@ class TestCommands:
         assert "Serving codex-s-lite" in out
         # The ad-hoc model was persisted: a second serve discovers it.
         assert (tmp_path / "store" / "serve" / "distmult.npz").exists()
+
+
+class TestRunCommand:
+    """The declarative front door: `repro run <spec.json>`."""
+
+    @staticmethod
+    def _write_spec(path, payload):
+        import json
+
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    _TINY = {
+        "task": "evaluate",
+        "dataset": {"name": "codex-s-lite"},
+        "model": {"name": "distmult", "dim": 8},
+        "training": {"epochs": 1},
+    }
+
+    def test_dry_run_prints_resolved_spec(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path / "spec.json", self._TINY)
+        assert main(["run", spec, "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        import json
+
+        resolved = json.loads(out[: out.rindex("}") + 1])
+        # Every section is fully materialised with defaults.
+        assert resolved["evaluation"]["recommender"] == "l-wd"
+        assert resolved["training"]["lr"] == 0.05
+        assert resolved["model"]["dim"] == 8
+        assert "Spec key:" in out
+        assert "Dry run" in out
+
+    def test_set_overrides_resolve_before_validation(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path / "spec.json", self._TINY)
+        code = main(
+            ["run", spec, "--dry-run", "--set", "model.dim=16",
+             "--set", "evaluation.strategy=random"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"dim": 16' in out
+        assert '"strategy": "random"' in out
+
+    def test_unknown_key_fails_with_suggestion(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path / "spec.json", self._TINY)
+        assert main(["run", spec, "--set", "training.lrr=0.1"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'lr'" in err
+
+    def test_missing_spec_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "nope.json")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_run_executes_and_journals(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path / "spec.json", self._TINY)
+        store = str(tmp_path / "store")
+        assert main(["run", spec, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "full filtered ranking" in out
+        assert "Journaled run" in out
+        # The journal record carries the originating spec; `runs show`
+        # prints it.
+        from repro.store import ExperimentStore
+
+        record = ExperimentStore(store).journal.records()[-1]
+        assert record.kind == "cli:run"
+        assert record.spec is not None
+        capsys.readouterr()
+        assert main(["runs", "show", record.run_id, "--store", store]) == 0
+        detail = capsys.readouterr().out
+        assert '"spec"' in detail and '"distmult"' in detail
+
+    def test_train_task_writes_checkpoint(self, tmp_path, capsys):
+        payload = dict(self._TINY, task="train", checkpoint=str(tmp_path / "m.npz"))
+        spec = self._write_spec(tmp_path / "spec.json", payload)
+        assert main(["run", spec]) == 0
+        assert "triples/s" in capsys.readouterr().out
+        from repro.models import load_model
+
+        assert load_model(tmp_path / "m.npz").name == "distmult"
+
+    def test_sweep_expands_and_summarises(self, tmp_path, capsys):
+        payload = dict(self._TINY)
+        payload["sweep"] = {"grid": {"model.dim": [4, 8]}}
+        spec = self._write_spec(tmp_path / "spec.json", payload)
+        assert main(["run", spec]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep summary (2 variants)" in out
+        assert "dim=4" in out and "dim=8" in out
+
+    def test_set_can_override_the_sweep_section(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path / "spec.json", self._TINY)
+        code = main(
+            ["run", spec, "--dry-run",
+             "--set", 'sweep={"grid": {"model.dim": [4, 8]}}']
+        )
+        assert code == 0
+        assert "Sweep: 2 variants" in capsys.readouterr().out
+
+    def test_serve_shim_preserves_margin_loss(self, tmp_path, monkeypatch):
+        """The ad-hoc fallback keeps its historical training objective."""
+        import repro.cli as cli
+
+        captured = {}
+        monkeypatch.setattr(
+            cli,
+            "_serve_from_spec",
+            lambda spec, store, dry_run: captured.update(spec=spec) or 0,
+        )
+        assert main(["serve", "--store", str(tmp_path / "s"), "--dry-run"]) == 0
+        assert captured["spec"].training.loss == "margin"
+
+    def test_sweep_dry_run_lists_variants(self, tmp_path, capsys):
+        payload = dict(self._TINY)
+        payload["sweep"] = {"grid": {"training.lr": [0.01, 0.05, 0.1]}}
+        spec = self._write_spec(tmp_path / "spec.json", payload)
+        assert main(["run", spec, "--dry-run"]) == 0
+        assert "Sweep: 3 variants" in capsys.readouterr().out
+
+    def test_cli_parity_with_evaluate_flags(self, tmp_path, capsys):
+        """Acceptance: flags and the equivalent spec produce identical
+        metrics and identical store keys."""
+        store_flags = tmp_path / "flags"
+        store_spec = tmp_path / "spec"
+        assert (
+            main(
+                [
+                    "evaluate",
+                    "--dataset", "codex-s-lite",
+                    "--model", "distmult",
+                    "--epochs", "1",
+                    "--dim", "8",
+                    "--fraction", "0.1",
+                    "--store", str(store_flags),
+                ]
+            )
+            == 0
+        )
+        spec = self._write_spec(
+            tmp_path / "spec.json",
+            {
+                "task": "evaluate",
+                "dataset": {"name": "codex-s-lite"},
+                "model": {"name": "distmult", "dim": 8},
+                "training": {"epochs": 1},
+                "evaluation": {"sample_fraction": 0.1},
+            },
+        )
+        assert main(["run", spec, "--store", str(store_spec)]) == 0
+        capsys.readouterr()
+        from repro.store import ExperimentStore
+
+        flags_store = ExperimentStore(store_flags)
+        spec_store = ExperimentStore(store_spec)
+        flag_keys = {(e.kind, e.key) for e in flags_store.artifacts.entries()}
+        spec_keys = {(e.kind, e.key) for e in spec_store.artifacts.entries()}
+        assert flag_keys == spec_keys and flag_keys
+        flag_record = flags_store.journal.records()[-1]
+        spec_record = spec_store.journal.records()[-1]
+        assert flag_record.metrics == spec_record.metrics
+        # The shim itself is spec-driven: both journal the same spec.
+        assert flag_record.spec == spec_record.spec
 
 
 class TestStoreCommands:
