@@ -118,6 +118,13 @@ def test_parallel_engine_speedup(emit, emit_json):
             "min_speedup_asserted": MIN_SPEEDUP,
             "ranks_equal": True,
         },
+        config={
+            "workers": WORKERS,
+            "chunk_size": CHUNK_SIZE,
+            "batch_latency": BATCH_LATENCY,
+            "model": "distmult",
+            "dim": 32,
+        },
     )
     assert latency_speedup >= MIN_SPEEDUP
 

@@ -195,6 +195,14 @@ def test_micro_batched_throughput(tmp_path, emit, emit_json):
             "mean_batch_size": batch_stats["mean_batch_size"],
             "min_speedup_asserted": MIN_SPEEDUP,
         },
+        config={
+            "clients": NUM_CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "max_batch": MAX_BATCH,
+            "max_wait": MAX_WAIT,
+            "call_latency": CALL_LATENCY,
+            "dataset": "codex-s-lite",
+        },
     )
     assert seq_stats["max_batch_size"] == 1  # the baseline really is sequential
     assert batch_stats["mean_batch_size"] > 1.5  # coalescing actually happened

@@ -191,6 +191,15 @@ def test_training_speedup_and_metric_parity(emit, emit_json):
             "mrr_float32": mrr_f32,
             "mrr_float64": mrr_f64,
         },
+        config={
+            "model": MODEL,
+            "dim": DIM,
+            "batch_size": BATCH_SIZE,
+            "num_negatives": NUM_NEGATIVES,
+            "epochs": EPOCHS,
+            "num_entities": 5000,
+            "num_triples": 20000,
+        },
     )
 
     assert np.array_equal(fused_history.losses, auto_history.losses) or np.allclose(
@@ -201,6 +210,45 @@ def test_training_speedup_and_metric_parity(emit, emit_json):
     assert speedup >= MIN_SPEEDUP, (
         f"fused path only {speedup:.2f}x faster (floor {MIN_SPEEDUP}x); "
         f"autodiff {auto_epoch:.3f}s vs fused {fused_epoch:.3f}s per epoch"
+    )
+
+
+def test_tracing_overhead_under_five_percent():
+    """Enabled span tracing costs <5% of a fused training epoch.
+
+    The tracer's spans sit permanently in ``Trainer.fit``'s hot loop, so
+    this is the acceptance bound that keeps them there.  Losses must
+    also match bitwise — tracing never touches the RNG stream.  The
+    median of three runs per side absorbs scheduler noise; the bound
+    gets a small absolute slack for the same reason.
+    """
+    from repro.obs import set_tracing
+
+    graph = _graph()
+
+    def epochs(samples=3):
+        return sorted(_train(graph, use_fused=True)[2] for _ in range(samples))[1]
+
+    set_tracing(False)
+    _, baseline_history, _ = _train(graph, use_fused=True)
+    baseline = epochs()
+    try:
+        set_tracing(True)
+        _, traced_history, _ = _train(graph, use_fused=True)
+        traced = epochs()
+    finally:
+        set_tracing(False)
+
+    assert np.array_equal(baseline_history.losses, traced_history.losses), (
+        "tracing must not perturb training"
+    )
+    assert traced <= baseline * 1.05 + 0.02, (
+        f"tracing overhead too high: {traced:.4f}s vs {baseline:.4f}s per epoch "
+        f"({traced / baseline - 1:+.1%})"
+    )
+    print(
+        f"\ntracing overhead: {traced / baseline - 1:+.2%} "
+        f"({baseline:.4f}s -> {traced:.4f}s per epoch)"
     )
 
 

@@ -19,15 +19,20 @@ Delete that directory (or run ``repro cache gc``) to force a cold run.
 from __future__ import annotations
 
 import json
+import os
 from functools import lru_cache
 from pathlib import Path
 
 import pytest
 
-from repro.bench import run_training_study
+from repro.bench import run_training_study, stamp_bench_record
 from repro.store import ExperimentStore
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Where BENCH_*.json perf records land; the CI gate redirects fresh
+#: candidate records away from the committed baselines with this.
+BENCH_RESULTS_DIR = Path(os.environ.get("REPRO_BENCH_RESULTS", RESULTS_DIR))
 
 #: The persistent store every benchmark study goes through.
 STORE = ExperimentStore(RESULTS_DIR / "store")
@@ -99,13 +104,20 @@ def _jsonable(value):
 
 @pytest.fixture
 def emit_json():
-    """Persist a machine-readable perf record as BENCH_<name>.json."""
+    """Persist a machine-readable perf record as BENCH_<name>.json.
 
-    def _emit(name: str, payload: dict) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / f"BENCH_{name}.json"
+    Records are stamped (schema version, timestamp, config fingerprint
+    when the bench passes ``config=``) and land in ``BENCH_RESULTS_DIR``
+    — ``benchmarks/results/`` unless ``$REPRO_BENCH_RESULTS`` redirects
+    them (the CI gate's candidate directory).
+    """
+
+    def _emit(name: str, payload: dict, config: dict | None = None) -> None:
+        BENCH_RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = BENCH_RESULTS_DIR / f"BENCH_{name}.json"
+        stamped = stamp_bench_record(payload, config=config)
         path.write_text(
-            json.dumps(payload, indent=2, sort_keys=True, default=_jsonable) + "\n",
+            json.dumps(stamped, indent=2, sort_keys=True, default=_jsonable) + "\n",
             encoding="utf-8",
         )
         print(f"\n[perf record] {path}")

@@ -30,6 +30,7 @@ from repro.bench.runner import (
     StudyResult,
     evaluate_epoch,
     run_training_study,
+    stamp_bench_record,
 )
 from repro.bench.scorers import LatencyBoundScorer
 from repro.bench.tables import render_series, render_table
@@ -54,6 +55,7 @@ __all__ = [
     "render_series",
     "render_table",
     "run_training_study",
+    "stamp_bench_record",
     "table10_false_negative_audit",
     "table2_easy_negatives",
     "table3_sampling_complexity",

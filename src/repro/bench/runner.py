@@ -397,3 +397,26 @@ def _study_summary(study: StudyResult) -> dict[str, float]:
         "hits@10": final.hits_at(10),
         "epochs": float(len(study.records)),
     }
+
+
+def stamp_bench_record(
+    payload: dict, config: dict | None = None
+) -> dict:
+    """Stamp a ``BENCH_*.json`` payload with its schema + provenance.
+
+    Adds ``schema_version``, a wall-clock ``timestamp`` and — when the
+    bench passes its configuration — a ``config_fingerprint`` hash, so
+    committed records are self-describing and ``repro bench trend`` /
+    ``gate`` can tell comparable records from config drift.  Returns a
+    new dict; the caller's payload is not mutated.
+    """
+    from repro.obs.bench import BENCH_SCHEMA_VERSION, config_fingerprint
+
+    stamped = dict(payload)
+    stamped["schema_version"] = BENCH_SCHEMA_VERSION
+    stamped["timestamp"] = time.strftime(
+        "%Y-%m-%dT%H:%M:%S", time.localtime()
+    )
+    if config is not None:
+        stamped["config_fingerprint"] = config_fingerprint(config)
+    return stamped

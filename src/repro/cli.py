@@ -20,7 +20,10 @@ first:
   checkpoints, with micro-batching and candidate-filtered top-k;
 * ``runs``            — list/show the experiment store's run journal
   (spec-driven runs print their originating spec JSON);
-* ``cache``           — list or garbage-collect the artifact cache.
+* ``cache``           — list or garbage-collect the artifact cache;
+* ``trace``           — render the span trace a ``--trace`` run journaled;
+* ``bench``           — trend view over committed ``BENCH_*.json`` records
+  and the perf-regression gate CI runs against them.
 
 ``train``, ``evaluate`` and ``serve`` are thin shims: each builds an
 :class:`repro.experiment.ExperimentSpec` from its flags and hands it to
@@ -71,6 +74,8 @@ from repro.experiment import (
 from repro.experiment import run as run_experiment
 from repro.kg.io import save_graph_dir, write_types
 from repro.models import available_models
+from repro.obs import get_tracer, set_tracing
+from repro.obs.trace import render_trace
 from repro.recommenders.registry import available_recommenders
 from repro.store import (
     ExperimentStore,
@@ -139,6 +144,33 @@ def _engine_parent() -> argparse.ArgumentParser:
         help="queries ranked per score-matrix chunk",
     )
     return parent
+
+
+def _trace_parent() -> argparse.ArgumentParser:
+    """Shared ``--trace`` opt-in for run/train/evaluate."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span trace (printed after the run; journaled with "
+        "--store, then `repro trace show RUN` renders it back)",
+    )
+    return parent
+
+
+def _start_tracing(args: argparse.Namespace) -> bool:
+    """Enable the global tracer when the command asked for ``--trace``."""
+    if getattr(args, "trace", False):
+        set_tracing(True)
+        return True
+    return False
+
+
+def _print_trace() -> None:
+    summary = get_tracer().summary()
+    if summary is not None:
+        print()
+        print(render_trace(summary, title="Span trace"))
 
 
 def _dtype_parent() -> argparse.ArgumentParser:
@@ -326,10 +358,13 @@ def _print_evaluation_summary(
 
 def _cmd_train(args: argparse.Namespace) -> int:
     spec = _spec_from_training_args(args, task="train", checkpoint=args.out)
+    traced = _start_tracing(args)
     result = run_experiment(
         spec, store=_optional_store(args), kind="cli:train", progress=print
     )
     _print_train_summary(result, spec.training.epochs)
+    if traced:
+        _print_trace()
     print(f"Serve the checkpoint with `repro serve --model-path {args.out}`")
     return 0
 
@@ -339,8 +374,11 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         args, task="evaluate", checkpoint=args.save_model or None
     )
     store = _optional_store(args)
+    traced = _start_tracing(args)
     result = run_experiment(spec, store=store, kind="cli:evaluate", progress=print)
     _print_evaluation_summary(result, store)
+    if traced:
+        _print_trace()
     return 0
 
 
@@ -483,6 +521,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if spec.task == "serve":
         return _serve_from_spec(spec, _required_store(args), dry_run=False)
     store = _optional_store(args)
+    traced = _start_tracing(args)
     if variants:
         return _run_sweep(variants, store)
     result = run_experiment(spec, store=store, kind="cli:run", progress=print)
@@ -492,6 +531,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _print_train_summary(result, spec.training.epochs)
         if store is not None and result.run_id is not None:
             print(f"Journaled run {result.run_id} in {store.root}")
+    if traced:
+        _print_trace()
     return 0
 
 
@@ -508,6 +549,70 @@ def _cmd_runs(args: argparse.Namespace) -> int:
         print(f"no run matching {args.run_id!r} in {store.journal.path}")
         return 1
     print(render_run_detail(record))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    store = _required_store(args)
+    record = store.journal.get(args.run_id)
+    if record is None:
+        print(f"no run matching {args.run_id!r} in {store.journal.path}")
+        return 1
+    if record.obs is None:
+        print(
+            f"run {record.run_id} carries no trace — re-run it with --trace "
+            f"to record one"
+        )
+        return 1
+    print(
+        render_trace(
+            record.obs, title=f"Span trace of run {record.run_id} ({record.kind})"
+        )
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.bench import gate_records, load_bench_records, trend_rows
+    from repro.store.report import render_rows
+
+    if args.bench_command == "trend":
+        records = load_bench_records(args.results)
+        if not records:
+            print(f"no BENCH_*.json records under {args.results}", file=sys.stderr)
+            return 1
+        title = f"Bench trend ({len(records)} records) — {args.results}"
+        print(
+            render_rows(
+                trend_rows(records),
+                fmt=args.format,
+                title=title if args.format == "table" else None,
+            )
+        )
+        return 0
+    try:
+        rows, regressions = gate_records(
+            args.baseline,
+            args.candidate,
+            max_regression=args.max_regression,
+            absolute=args.absolute,
+        )
+    except FileNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    title = f"Bench gate: {args.candidate} vs baseline {args.baseline}"
+    print(
+        render_rows(
+            rows, fmt=args.format, title=title if args.format == "table" else None
+        )
+    )
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} metric(s) regressed more than "
+            f"{args.max_regression:.0%}: {', '.join(regressions)}"
+        )
+        return 1
+    print(f"\nOK: no metric regressed more than {args.max_regression:.0%}.")
     return 0
 
 
@@ -537,10 +642,11 @@ def build_parser() -> argparse.ArgumentParser:
     seed_parent = _seed_parent()
     engine_parent = _engine_parent()
     dtype_parent = _dtype_parent()
+    trace_parent = _trace_parent()
 
     run_parser = commands.add_parser(
         "run",
-        parents=[store_parent],
+        parents=[store_parent, trace_parent],
         help="execute a declarative experiment spec (JSON)",
     )
     run_parser.add_argument("spec", metavar="SPEC.json", help="experiment spec file")
@@ -593,7 +699,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     train = commands.add_parser(
         "train",
-        parents=[seed_parent, dtype_parent, store_parent],
+        parents=[seed_parent, dtype_parent, store_parent, trace_parent],
         help="train a model (fused kernels) and save its checkpoint",
     )
     _add_dataset_argument(train)
@@ -609,7 +715,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     evaluate = commands.add_parser(
         "evaluate",
-        parents=[seed_parent, dtype_parent, engine_parent, store_parent],
+        parents=[seed_parent, dtype_parent, engine_parent, store_parent, trace_parent],
         help="train a model and compare evaluation protocols",
     )
     _add_dataset_argument(evaluate)
@@ -709,6 +815,57 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[store_parent],
         help="remove orphaned artifacts (interrupted writes)",
     )
+
+    trace = commands.add_parser("trace", help="inspect journaled span traces")
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    trace_show = trace_commands.add_parser(
+        "show", parents=[store_parent], help="render one run's span trace"
+    )
+    trace_show.add_argument("run_id", help="run id (prefixes accepted)")
+
+    bench = commands.add_parser(
+        "bench", help="benchmark records: trend view + regression gate"
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+    bench_trend = bench_commands.add_parser(
+        "trend", help="every trackable metric across BENCH_*.json records"
+    )
+    bench_trend.add_argument(
+        "--results",
+        default="benchmarks/results",
+        metavar="DIR",
+        help="directory holding BENCH_*.json records",
+    )
+    _add_format_argument(bench_trend)
+    bench_gate = bench_commands.add_parser(
+        "gate", help="fail when fresh bench records regress vs a baseline"
+    )
+    bench_gate.add_argument(
+        "--baseline",
+        required=True,
+        metavar="DIR",
+        help="committed baseline BENCH_*.json directory",
+    )
+    bench_gate.add_argument(
+        "--candidate",
+        default="benchmarks/results",
+        metavar="DIR",
+        help="freshly produced BENCH_*.json directory to judge",
+    )
+    bench_gate.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.2,
+        metavar="FRACTION",
+        help="largest tolerated relative regression (0.2 = 20%%)",
+    )
+    bench_gate.add_argument(
+        "--absolute",
+        action="store_true",
+        help="also gate absolute timings (seconds/latency); off by default "
+        "because wall clock is machine-dependent",
+    )
+    _add_format_argument(bench_gate)
     return parser
 
 
@@ -725,6 +882,8 @@ _HANDLERS = {
     "serve": _cmd_serve,
     "runs": _cmd_runs,
     "cache": _cmd_cache,
+    "trace": _cmd_trace,
+    "bench": _cmd_bench,
 }
 
 

@@ -45,6 +45,7 @@ from repro.engine.worker import (
 from repro.kg.graph import SIDES, KnowledgeGraph, Side
 from repro.metrics.ranking import HITS_AT, RankingMetrics, aggregate_ranks
 from repro.models.base import KGEModel
+from repro.obs import get_registry, get_tracer
 
 if TYPE_CHECKING:
     from repro.core.sampling import NegativePools
@@ -133,27 +134,45 @@ class EvaluationEngine:
         streaming accumulator counts every scored query.
         """
         start = time.perf_counter()
-        state = build_state(model, graph, split, sides=sides, pools=pools)
-        tasks = plan_chunks(
-            [((g.relation, g.side), g.queries) for g in state.groups],
-            self.chunk_size,
-        )
-        accumulator = RankAccumulator(hits_at)
-        ranks: dict[Query, float] | None = {} if keep_ranks else None
-        num_scored = 0
-        num_queries = 0
+        tracer = get_tracer()
+        registry = get_registry()
+        registry.gauge(
+            "repro_engine_workers", "Worker processes of the last engine run"
+        ).set(self.workers)
+        registry.gauge(
+            "repro_engine_chunk_size", "Chunk size of the last engine run"
+        ).set(self.chunk_size)
+        with tracer.span("engine.run"):
+            state = build_state(model, graph, split, sides=sides, pools=pools)
+            tasks = plan_chunks(
+                [((g.relation, g.side), g.queries) for g in state.groups],
+                self.chunk_size,
+            )
+            accumulator = RankAccumulator(hits_at)
+            ranks: dict[Query, float] | None = {} if keep_ranks else None
+            num_scored = 0
+            num_queries = 0
 
-        for task, (chunk_ranks, chunk_scored) in self._scored_chunks(state, tasks):
-            num_scored += chunk_scored
-            num_queries += chunk_ranks.size
-            if ranks is None:
-                accumulator.update(chunk_ranks)
-            else:
-                group = state.groups[task.group]
-                for (anchor, truth, h, t), rank in zip(
-                    group.queries[task.start : task.stop], chunk_ranks
-                ):
-                    ranks[(h, task.relation, t, task.side)] = float(rank)
+            for task, (chunk_ranks, chunk_scored) in self._scored_chunks(state, tasks):
+                num_scored += chunk_scored
+                num_queries += chunk_ranks.size
+                if ranks is None:
+                    accumulator.update(chunk_ranks)
+                else:
+                    group = state.groups[task.group]
+                    for (anchor, truth, h, t), rank in zip(
+                        group.queries[task.start : task.stop], chunk_ranks
+                    ):
+                        ranks[(h, task.relation, t, task.side)] = float(rank)
+            tracer.add("chunks", len(tasks))
+            tracer.add("queries", num_queries)
+            tracer.add("scored", num_scored)
+        registry.counter(
+            "repro_engine_chunks_total", "Chunks scored by the evaluation engine"
+        ).inc(len(tasks))
+        registry.counter(
+            "repro_engine_queries_total", "Queries ranked by the evaluation engine"
+        ).inc(num_queries)
 
         if ranks is not None:
             metrics = aggregate_ranks(ranks.values(), hits_at=hits_at)
@@ -175,10 +194,20 @@ class EvaluationEngine:
         self, state: EvaluationState, tasks: list[ChunkTask]
     ) -> Iterator[tuple[ChunkTask, tuple[np.ndarray, int]]]:
         """Yield ``(task, (ranks, scored))`` in deterministic schedule order."""
+        tracer = get_tracer()
         workers = min(self.workers, len(tasks)) if tasks else 1
         if workers <= 1:
-            for task in tasks:
-                yield task, score_chunk(state, task)
+            if tracer.enabled:
+                # A perf_counter pair per chunk is cheaper than a context
+                # manager in a loop that may run thousands of times.
+                for task in tasks:
+                    chunk_start = time.perf_counter()
+                    result = score_chunk(state, task)
+                    tracer.record("engine.chunk", time.perf_counter() - chunk_start)
+                    yield task, result
+            else:
+                for task in tasks:
+                    yield task, score_chunk(state, task)
             return
         context = multiprocessing.get_context(self.start_method)
         with context.Pool(
@@ -188,7 +217,14 @@ class EvaluationEngine:
         ) as pool:
             # imap preserves submission order, so the merge is
             # schedule-ordered no matter which worker finishes first.
-            yield from zip(tasks, pool.imap(run_task, tasks))
+            # Workers are separate processes, so only the merge-side wait
+            # is observable here.
+            results = pool.imap(run_task, tasks)
+            for task in tasks:
+                chunk_start = time.perf_counter()
+                result = next(results)
+                tracer.record("engine.chunk", time.perf_counter() - chunk_start)
+                yield task, result
 
     def __repr__(self) -> str:
         return (

@@ -27,6 +27,7 @@ from repro.datasets.zoo import load as load_zoo_dataset
 from repro.experiment.specs import DatasetSpec, ExperimentSpec, spec_key
 from repro.models import Trainer, TrainingHistory, build_model, save_model
 from repro.models.base import KGEModel
+from repro.obs import get_tracer
 
 if TYPE_CHECKING:
     from repro.serve.registry import ModelRegistry
@@ -187,53 +188,66 @@ def run(
             "`repro run` on the CLI)"
         )
     say: Progress = progress or (lambda message: None)
+    tracer = get_tracer()
+    if tracer.enabled:
+        # Each journaled run carries only its own trace (sweep variants
+        # that share the process each start from a clean tree).
+        tracer.reset()
     wall_start = time.perf_counter()
-    dataset = load_dataset(spec.dataset)
-    graph = dataset.graph
-    model, history, train_seconds, triples_per_epoch = _train(spec, graph, say)
+    with tracer.span("experiment.task"):
+        with tracer.span("dataset.load"):
+            dataset = load_dataset(spec.dataset)
+            graph = dataset.graph
+        model, history, train_seconds, triples_per_epoch = _train(spec, graph, say)
 
-    checkpoint_path: str | None = None
-    if spec.checkpoint:
-        save_model(model, spec.checkpoint)
-        checkpoint_path = spec.checkpoint
-        say(f"Saved checkpoint to {spec.checkpoint}")
+        checkpoint_path: str | None = None
+        if spec.checkpoint:
+            save_model(model, spec.checkpoint)
+            checkpoint_path = spec.checkpoint
+            say(f"Saved checkpoint to {spec.checkpoint}")
 
-    preparation = truth = random_estimate = guided_estimate = None
-    if spec.task == "evaluate":
-        evaluation = spec.evaluation
-        guided = EvaluationProtocol(
-            graph,
-            recommender=evaluation.recommender,
-            strategy=evaluation.strategy,
-            num_samples=evaluation.num_samples,
-            sample_fraction=evaluation.sample_fraction,
-            types=dataset.types,
-            include_observed=evaluation.include_observed,
-            seed=evaluation.seed,
-            store=store,
-            workers=evaluation.workers,
-            chunk_size=evaluation.chunk_size,
-        )
-        preparation = guided.prepare()
-        if evaluation.resample_seed is not None:
-            guided.resample(evaluation.resample_seed)
-            preparation = guided.preparation
-        truth = guided.evaluate_full(model, split=evaluation.split)
-        if evaluation.compare_random:
-            random_protocol = EvaluationProtocol(
+        preparation = truth = random_estimate = guided_estimate = None
+        if spec.task == "evaluate":
+            evaluation = spec.evaluation
+            guided = EvaluationProtocol(
                 graph,
-                strategy="random",
+                recommender=evaluation.recommender,
+                strategy=evaluation.strategy,
                 num_samples=evaluation.num_samples,
                 sample_fraction=evaluation.sample_fraction,
+                types=dataset.types,
+                include_observed=evaluation.include_observed,
                 seed=evaluation.seed,
                 store=store,
                 workers=evaluation.workers,
                 chunk_size=evaluation.chunk_size,
             )
-            if evaluation.resample_seed is not None:
-                random_protocol.resample(evaluation.resample_seed)
-            random_estimate = random_protocol.evaluate(model, split=evaluation.split)
-        guided_estimate = guided.evaluate(model, split=evaluation.split)
+            with tracer.span("evaluate.prepare"):
+                preparation = guided.prepare()
+                if evaluation.resample_seed is not None:
+                    guided.resample(evaluation.resample_seed)
+                    preparation = guided.preparation
+            with tracer.span("evaluate.full"):
+                truth = guided.evaluate_full(model, split=evaluation.split)
+            if evaluation.compare_random:
+                random_protocol = EvaluationProtocol(
+                    graph,
+                    strategy="random",
+                    num_samples=evaluation.num_samples,
+                    sample_fraction=evaluation.sample_fraction,
+                    seed=evaluation.seed,
+                    store=store,
+                    workers=evaluation.workers,
+                    chunk_size=evaluation.chunk_size,
+                )
+                if evaluation.resample_seed is not None:
+                    random_protocol.resample(evaluation.resample_seed)
+                with tracer.span("evaluate.random"):
+                    random_estimate = random_protocol.evaluate(
+                        model, split=evaluation.split
+                    )
+            with tracer.span("evaluate.guided"):
+                guided_estimate = guided.evaluate(model, split=evaluation.split)
 
     result = ExperimentResult(
         spec=spec,
@@ -258,6 +272,7 @@ def run(
             metrics=result.metric_summary(),
             cache_hit=result.cache_hit,
             spec=spec.to_dict(),
+            obs=tracer.summary() if tracer.enabled else None,
         )
         result.run_id = record.run_id
     return result

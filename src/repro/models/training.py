@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.autodiff.engine import reshape
 from repro.kg.graph import KnowledgeGraph
+from repro.obs import get_tracer
 from repro.models.base import KGEModel
 from repro.models.kernels import fused_step, get_fused_loss, get_kernel
 from repro.models.losses import get_loss, loss_value
@@ -359,26 +360,36 @@ class Trainer:
 
         history = TrainingHistory()
         callbacks = callbacks or []
+        tracer = get_tracer()
         model.train_mode(True)
-        for epoch in range(config.epochs):
-            start = time.perf_counter()
-            epoch_loss = 0.0
-            num_batches = 0
-            for batch_idx in self._batches(triples.shape[0], rng):
-                batch = triples[batch_idx]
-                loss = self._step(
-                    model, batch, sampler, loss_fn, optimizer, rng, known_triples, fused
+        with tracer.span("train.fit"):
+            for epoch in range(config.epochs):
+                start = time.perf_counter()
+                epoch_loss = 0.0
+                num_batches = 0
+                with tracer.span("train.epoch"):
+                    for batch_idx in self._batches(triples.shape[0], rng):
+                        batch = triples[batch_idx]
+                        loss = self._step(
+                            model, batch, sampler, loss_fn, optimizer, rng,
+                            known_triples, fused,
+                        )
+                        epoch_loss += loss
+                        num_batches += 1
+                    tracer.add("batches", num_batches)
+                    tracer.add("triples", triples.shape[0])
+                    tracer.add("loss", epoch_loss)
+                mean_loss = epoch_loss / max(num_batches, 1)
+                history.records.append(
+                    EpochRecord(
+                        epoch=epoch, loss=mean_loss, seconds=time.perf_counter() - start
+                    )
                 )
-                epoch_loss += loss
-                num_batches += 1
-            mean_loss = epoch_loss / max(num_batches, 1)
-            history.records.append(
-                EpochRecord(epoch=epoch, loss=mean_loss, seconds=time.perf_counter() - start)
-            )
-            model.train_mode(False)
-            for callback in callbacks:
-                callback(epoch, model, history)
-            model.train_mode(True)
+                model.train_mode(False)
+                with tracer.span("train.callbacks"):
+                    for callback in callbacks:
+                        callback(epoch, model, history)
+                model.train_mode(True)
         model.train_mode(False)
         return history
 

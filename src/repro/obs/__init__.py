@@ -1,0 +1,86 @@
+"""Observability: metrics, tracing, and perf-regression reporting.
+
+``repro.obs`` is the instrumentation layer the rest of the framework
+threads through its hot paths:
+
+* :mod:`repro.obs.metrics` — a thread-safe Counter / Gauge / Histogram
+  registry with Prometheus text-format exposition (the serving layer's
+  ``/metrics`` endpoint renders one of these);
+* :mod:`repro.obs.trace` — a span tracer (``with tracer.span("train.
+  epoch"): ...``) that aggregates nested timings by name and costs
+  nearly nothing while disabled, which it is by default;
+* :mod:`repro.obs.bench` — the committed ``BENCH_*.json`` record layer:
+  schema stamping, the ``repro bench trend`` view, and the
+  ``repro bench gate`` regression gate CI runs on every PR.
+
+Two process-global instances tie it together: :func:`get_tracer` is the
+tracer the trainer / engine / experiment runner write spans to (enable
+it with ``repro ... --trace`` or :func:`set_tracing`), and
+:func:`get_registry` is the default metrics registry non-serving code
+(the engine's gauges and counters) publishes into.  The serving layer
+builds its own registry per service so ``/metrics`` reflects exactly
+that service.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+)
+from repro.obs.trace import Tracer, render_trace
+
+#: The process-global tracer instrumented code writes spans to.
+_TRACER = Tracer()
+
+#: The process-global metrics registry (engine/trainer gauges + counters).
+_REGISTRY = MetricsRegistry()
+
+
+def get_tracer() -> Tracer:
+    """The process-global :class:`Tracer` (disabled until opted in)."""
+    return _TRACER
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global :class:`MetricsRegistry`."""
+    return _REGISTRY
+
+
+def set_tracing(enabled: bool) -> Tracer:
+    """Enable/disable the global tracer; returns it (reset when enabling).
+
+    Examples
+    --------
+    >>> tracer = set_tracing(True)
+    >>> with tracer.span("work"):
+    ...     pass
+    >>> tracer.summary()["spans"][0]["name"]
+    'work'
+    >>> _ = set_tracing(False)
+    """
+    if enabled:
+        _TRACER.reset()
+    _TRACER.enabled = enabled
+    return _TRACER
+
+
+def span(name: str):
+    """``get_tracer().span(name)`` — the convenience most callers want."""
+    return _TRACER.span(name)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "parse_prometheus",
+    "render_trace",
+    "set_tracing",
+    "span",
+]

@@ -1,0 +1,260 @@
+"""The ``BENCH_*.json`` record layer: schema, trend view, regression gate.
+
+Every speed benchmark persists a machine-readable record under
+``benchmarks/results/BENCH_<name>.json`` (the ``emit_json`` fixture),
+stamped — via :func:`repro.bench.runner.stamp_bench_record` — with
+``schema_version``, a wall-clock ``timestamp`` and a ``config_fingerprint``
+hash of the benchmark's configuration.  This module is everything that
+*consumes* those records:
+
+* :func:`trend_rows` — the ``repro bench trend`` view: one row per
+  comparable metric across every committed record (table/csv/json);
+* :func:`compare_records` / :func:`gate_records` — the ``repro bench
+  gate`` regression gate: fail when a candidate record regresses more
+  than ``max_regression`` versus the committed baseline.
+
+Metric comparability is inferred from key names
+(:func:`metric_direction`): ``*speedup*`` / ``mrr*`` / ``hits*`` /
+``*throughput*`` are higher-better, ``*seconds*`` / ``*latency*`` are
+lower-better, everything else (configuration, stamp fields) is ignored.
+Two refinements keep the gate honest on shared CI runners: *absolute*
+timings (the lower-better group) are machine-dependent and only gated
+when explicitly requested (``--absolute``), and ``cpu_bound_*`` ratios —
+known to swing with host load — are shown in the trend but never gated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+#: Version of the stamped BENCH_*.json schema (bump on breaking change).
+BENCH_SCHEMA_VERSION = 1
+
+#: Fields the stamp adds; never compared as metrics.
+STAMP_FIELDS = ("schema_version", "timestamp", "config_fingerprint")
+
+#: Keys reported in the trend view but never gated (host-load noise).
+NOISY_MARKERS = ("cpu_bound",)
+
+_IGNORED_KEYS = frozenset({"bench", "min_speedup_asserted", *STAMP_FIELDS})
+
+_HIGHER_MARKERS = ("speedup", "throughput", "per_second", "hit_rate")
+_LOWER_MARKERS = ("seconds", "latency")
+
+
+def config_fingerprint(config: dict[str, Any]) -> str:
+    """A short stable hash of a benchmark's configuration dict.
+
+    Key order does not matter; values are serialised with ``default=str``
+    so numpy scalars and paths fingerprint by their string form.
+
+    Examples
+    --------
+    >>> config_fingerprint({"dim": 64, "model": "complex"})
+    'ba164d2599ce'
+    >>> config_fingerprint({"model": "complex", "dim": 64})
+    'ba164d2599ce'
+    """
+    canonical = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def metric_direction(key: str) -> str | None:
+    """``"higher"`` / ``"lower"`` / ``None`` (not a gated metric).
+
+    Examples
+    --------
+    >>> metric_direction("latency_bound_speedup")
+    'higher'
+    >>> metric_direction("fused_seconds_per_epoch")
+    'lower'
+    >>> metric_direction("cpu_bound_speedup") is None  # noisy: never gated
+    True
+    >>> metric_direction("workers") is None
+    True
+    """
+    if key in _IGNORED_KEYS:
+        return None
+    if any(marker in key for marker in NOISY_MARKERS):
+        return None
+    if any(marker in key for marker in _HIGHER_MARKERS):
+        return "higher"
+    if key.startswith("mrr") or key.startswith("hits"):
+        return "higher"
+    if any(marker in key for marker in _LOWER_MARKERS):
+        return "lower"
+    return None
+
+
+def comparable_metrics(record: dict[str, Any], absolute: bool = False) -> dict[str, str]:
+    """``{key: direction}`` for every gated metric of one record.
+
+    Examples
+    --------
+    >>> record = {"speedup": 3.0, "seconds": 1.2, "bench": "demo"}
+    >>> comparable_metrics(record)
+    {'speedup': 'higher'}
+    >>> comparable_metrics(record, absolute=True)
+    {'speedup': 'higher', 'seconds': 'lower'}
+    """
+    out: dict[str, str] = {}
+    for key, value in record.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        direction = metric_direction(key)
+        if direction is None:
+            continue
+        if direction == "lower" and not absolute:
+            continue  # machine-dependent wall clock: opt-in only
+        out[key] = direction
+    return out
+
+
+def load_bench_records(directory: str | Path) -> dict[str, dict[str, Any]]:
+    """Every ``BENCH_<name>.json`` under ``directory``, keyed by name.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> root = Path(tempfile.mkdtemp())
+    >>> _ = (root / "BENCH_demo.json").write_text('{"speedup": 2.0}')
+    >>> load_bench_records(root)
+    {'demo': {'speedup': 2.0}}
+    """
+    root = Path(directory)
+    records: dict[str, dict[str, Any]] = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_"):]
+        records[name] = json.loads(path.read_text(encoding="utf-8"))
+    return records
+
+
+def trend_rows(records: dict[str, dict[str, Any]]) -> list[dict[str, Any]]:
+    """The ``repro bench trend`` body: one row per trackable metric.
+
+    ``cpu_bound_*`` ratios appear (direction ``"info"``) so the trend
+    view shows the full trajectory even though the gate skips them.
+
+    Examples
+    --------
+    >>> rows = trend_rows({"demo": {"speedup": 2.0, "schema_version": 1}})
+    >>> rows[0]["Bench"], rows[0]["Metric"], rows[0]["Direction"]
+    ('demo', 'speedup', 'higher')
+    """
+    rows: list[dict[str, Any]] = []
+    for name in sorted(records):
+        record = records[name]
+        stamp = {
+            "Schema": record.get("schema_version", "-"),
+            "When": record.get("timestamp", "-"),
+            "Config": record.get("config_fingerprint", "-"),
+        }
+        for key in sorted(record):
+            value = record[key]
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            direction = metric_direction(key)
+            if direction is None:
+                if not any(marker in key for marker in NOISY_MARKERS):
+                    continue
+                direction = "info"
+            rows.append(
+                {
+                    "Bench": name,
+                    "Metric": key,
+                    "Value": round(float(value), 6),
+                    "Direction": direction,
+                    **stamp,
+                }
+            )
+    return rows
+
+
+def compare_records(
+    baseline: dict[str, dict[str, Any]],
+    candidate: dict[str, dict[str, Any]],
+    max_regression: float = 0.2,
+    absolute: bool = False,
+) -> tuple[list[dict[str, Any]], list[str]]:
+    """Baseline-vs-candidate comparison rows plus the regressed metrics.
+
+    A metric regresses when it moves against its direction by more than
+    ``max_regression`` (relative).  Returns ``(rows, regressions)``
+    where each regression is ``"bench.metric"``.
+
+    Examples
+    --------
+    >>> _, regressions = compare_records(
+    ...     {"demo": {"speedup": 4.0}}, {"demo": {"speedup": 2.9}}
+    ... )
+    >>> regressions
+    ['demo.speedup']
+    >>> _, ok = compare_records({"demo": {"speedup": 4.0}}, {"demo": {"speedup": 3.9}})
+    >>> ok
+    []
+    """
+    if not 0.0 <= max_regression:
+        raise ValueError(f"max_regression must be >= 0, got {max_regression}")
+    rows: list[dict[str, Any]] = []
+    regressions: list[str] = []
+    for name in sorted(set(baseline) & set(candidate)):
+        base_record, cand_record = baseline[name], candidate[name]
+        metrics = comparable_metrics(base_record, absolute=absolute)
+        for key, direction in sorted(metrics.items()):
+            if key not in cand_record:
+                continue
+            base = float(base_record[key])
+            cand = float(cand_record[key])
+            if base == 0.0:
+                continue  # no relative change is defined
+            change = (cand - base) / abs(base)
+            regressed = (
+                change < -max_regression
+                if direction == "higher"
+                else change > max_regression
+            )
+            if regressed:
+                regressions.append(f"{name}.{key}")
+            rows.append(
+                {
+                    "Bench": name,
+                    "Metric": key,
+                    "Baseline": round(base, 6),
+                    "Candidate": round(cand, 6),
+                    "Change": f"{change:+.1%}",
+                    "Status": "REGRESSED" if regressed else "ok",
+                }
+            )
+    return rows, regressions
+
+
+def gate_records(
+    baseline_dir: str | Path,
+    candidate_dir: str | Path,
+    max_regression: float = 0.2,
+    absolute: bool = False,
+) -> tuple[list[dict[str, Any]], list[str]]:
+    """Directory-level :func:`compare_records` (the CLI/CI entry point).
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> base, cand = Path(tempfile.mkdtemp()), Path(tempfile.mkdtemp())
+    >>> _ = (base / "BENCH_demo.json").write_text('{"speedup": 4.0}')
+    >>> _ = (cand / "BENCH_demo.json").write_text('{"speedup": 4.1}')
+    >>> rows, regressions = gate_records(base, cand)
+    >>> regressions
+    []
+    """
+    baseline = load_bench_records(baseline_dir)
+    if not baseline:
+        raise FileNotFoundError(f"no BENCH_*.json records under {baseline_dir}")
+    candidate = load_bench_records(candidate_dir)
+    if not candidate:
+        raise FileNotFoundError(f"no BENCH_*.json records under {candidate_dir}")
+    return compare_records(
+        baseline, candidate, max_regression=max_regression, absolute=absolute
+    )

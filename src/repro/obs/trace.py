@@ -1,0 +1,274 @@
+"""Span tracing: nested wall-clock timing aggregated by span name.
+
+A span is one named region of work::
+
+    tracer = get_tracer()
+    with tracer.span("train.epoch"):
+        ...
+        tracer.add("triples", len(batch))
+
+Spans nest: a span opened while another is active becomes its child, so
+``train.fit`` naturally contains ``train.epoch`` contains
+``engine.run``.  Repeated spans of the same name under the same parent
+*aggregate* — one ``train.epoch`` node accumulates the count, total
+seconds and counters of every epoch — which keeps the recorded tree
+bounded by the code's span vocabulary rather than the run length, small
+enough to persist into the store's JSONL journal (``repro trace show``
+renders it back).
+
+The tracer is **disabled by default** and built to cost nearly nothing
+that way: ``span()`` returns one shared no-op context manager and
+``add()``/``record()`` return immediately after a single attribute
+check, so instrumentation can stay in the hot paths permanently
+(``benchmarks/bench_training.py`` asserts the end-to-end overhead).
+Span naming convention: dotted ``area.stage`` lowercase names —
+``train.fit``, ``train.epoch``, ``engine.run``, ``engine.chunk``,
+``evaluate.full`` (see ``docs/observability.md`` for the catalog).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+
+class SpanStats:
+    """One aggregated node of the span tree.
+
+    Examples
+    --------
+    >>> node = SpanStats("train.epoch")
+    >>> node.count += 1
+    >>> node.to_dict()
+    {'name': 'train.epoch', 'count': 1, 'seconds': 0.0}
+    """
+
+    __slots__ = ("name", "count", "seconds", "counters", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.seconds = 0.0
+        self.counters: dict[str, float] = {}
+        self.children: dict[str, "SpanStats"] = {}
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the journal's ``obs.spans`` entries)."""
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "count": self.count,
+            "seconds": self.seconds,
+        }
+        if self.counters:
+            payload["counters"] = dict(self.counters)
+        if self.children:
+            payload["children"] = [
+                child.to_dict() for child in self.children.values()
+            ]
+        return payload
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanStats({self.name!r}, count={self.count}, "
+            f"seconds={self.seconds:.4f})"
+        )
+
+
+class _NullSpan:
+    """The shared do-nothing context manager the disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """A live span: pushes its node on enter, accumulates on exit."""
+
+    __slots__ = ("_tracer", "_name", "_node", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._node = self._tracer._push(self._name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._tracer._pop(self._node, elapsed)
+
+
+class Tracer:
+    """Aggregating span tracer; one per process (see ``repro.obs.get_tracer``).
+
+    Enabled state is a plain attribute: flip ``tracer.enabled`` (or use
+    :func:`repro.obs.set_tracing`).  Span entry/exit from multiple
+    threads is safe — each thread keeps its own active-span stack, the
+    aggregated tree is shared under one lock.
+
+    Examples
+    --------
+    >>> tracer = Tracer(enabled=True)
+    >>> for _ in range(3):
+    ...     with tracer.span("train.epoch"):
+    ...         tracer.add("triples", 100)
+    >>> summary = tracer.summary()
+    >>> [(s["name"], s["count"], s["counters"]) for s in summary["spans"]]
+    [('train.epoch', 3, {'triples': 300.0})]
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._root = SpanStats("")
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Recording surface
+    # ------------------------------------------------------------------
+    def span(self, name: str):
+        """Context manager timing one region; no-op while disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, name)
+
+    def add(self, key: str, value: float = 1.0) -> None:
+        """Add ``value`` to a counter on the innermost active span."""
+        if not self.enabled:
+            return
+        node = self._current()
+        with self._lock:
+            node.counters[key] = node.counters.get(key, 0.0) + value
+
+    def record(self, name: str, seconds: float, count: int = 1) -> None:
+        """Fold an externally measured duration in as a child span.
+
+        The engine uses this for per-chunk timings: a ``perf_counter``
+        pair around the scoring call is cheaper than a context manager
+        in a loop that may run thousands of times.
+        """
+        if not self.enabled:
+            return
+        parent = self._current()
+        with self._lock:
+            node = parent.children.get(name)
+            if node is None:
+                node = parent.children.setdefault(name, SpanStats(name))
+            node.count += count
+            node.seconds += seconds
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, Any] | None:
+        """The aggregated span tree, JSON-ready; ``None`` if nothing ran."""
+        with self._lock:
+            if not self._root.children and not self._root.counters:
+                return None
+            payload: dict[str, Any] = {
+                "spans": [
+                    child.to_dict() for child in self._root.children.values()
+                ]
+            }
+            if self._root.counters:
+                payload["counters"] = dict(self._root.counters)
+            return payload
+
+    def reset(self) -> None:
+        """Drop every recorded span (active stacks in other threads too)."""
+        with self._lock:
+            self._root = SpanStats("")
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Stack plumbing
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[SpanStats]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _current(self) -> SpanStats:
+        stack = self._stack()
+        return stack[-1] if stack else self._root
+
+    def _push(self, name: str) -> SpanStats:
+        parent = self._current()
+        with self._lock:
+            node = parent.children.get(name)
+            if node is None:
+                node = parent.children.setdefault(name, SpanStats(name))
+        self._stack().append(node)
+        return node
+
+    def _pop(self, node: SpanStats, elapsed: float) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is node:
+            stack.pop()
+        with self._lock:
+            node.count += 1
+            node.seconds += elapsed
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        with self._lock:
+            top = len(self._root.children)
+        return f"Tracer({state}, {top} top-level spans)"
+
+
+def _flatten(
+    node: dict[str, Any], depth: int, rows: list[dict[str, Any]], parent_seconds: float
+) -> None:
+    seconds = float(node.get("seconds", 0.0))
+    count = int(node.get("count", 0))
+    share = seconds / parent_seconds if parent_seconds > 0 else 1.0
+    counters = node.get("counters", {})
+    rows.append(
+        {
+            "Span": "  " * depth + node["name"],
+            "Count": count,
+            "Total s": round(seconds, 4),
+            "Mean ms": round(1000.0 * seconds / count, 3) if count else 0.0,
+            "% parent": f"{share:.1%}",
+            "Counters": ", ".join(
+                f"{key}={value:g}" for key, value in sorted(counters.items())
+            ),
+        }
+    )
+    for child in node.get("children", ()):
+        _flatten(child, depth + 1, rows, seconds)
+
+
+def render_trace(summary: dict[str, Any], title: str | None = None) -> str:
+    """Render a :meth:`Tracer.summary` dict as the span-tree table.
+
+    Examples
+    --------
+    >>> tracer = Tracer(enabled=True)
+    >>> with tracer.span("work"):
+    ...     pass
+    >>> "work" in render_trace(tracer.summary())
+    True
+    """
+    # Imported lazily: repro.bench pulls in the experiment-driver stack.
+    from repro.bench.tables import render_table
+
+    rows: list[dict[str, Any]] = []
+    total = sum(float(span.get("seconds", 0.0)) for span in summary.get("spans", ()))
+    for span in summary.get("spans", ()):
+        _flatten(span, 0, rows, total)
+    if not rows:
+        return "(empty trace)"
+    return render_table(rows, title=title or "Span trace")

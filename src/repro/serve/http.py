@@ -3,6 +3,7 @@
 Routes::
 
     GET  /healthz     -> service.health()
+    GET  /metrics     -> service.metrics_text()   (Prometheus text format)
     GET  /v1/models   -> {"models": service.models()}
     POST /v1/rank     -> service.rank(**body)
     POST /v1/score    -> {"results": service.score(**body)}
@@ -11,12 +12,19 @@ Routes::
 converges in the :class:`~repro.serve.scheduler.BatchScheduler`, which is
 exactly what makes concurrent HTTP clients coalesce into micro-batches.
 Errors map to JSON bodies: unknown names -> 404, bad arguments -> 400.
+
+Every response carries a request id — echoed from the client's
+``X-Request-Id`` header when present, generated otherwise — both as the
+``X-Request-Id`` response header and as a ``request_id`` field of every
+JSON payload (errors included), so latency histograms and logged
+failures can be correlated to individual requests.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.serve.service import LinkPredictionService
@@ -32,10 +40,29 @@ class _Handler(BaseHTTPRequestHandler):
     server: "ServeHTTPServer"
 
     # ------------------------------------------------------------------
+    def _request_id(self) -> str:
+        incoming = self.headers.get("X-Request-Id", "").strip()
+        if incoming:
+            return incoming[:64]
+        return uuid.uuid4().hex[:16]
+
     def _send(self, status: int, payload: dict | list) -> None:
+        request_id = self._request_id()
+        if isinstance(payload, dict):
+            payload = {**payload, "request_id": request_id}
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("X-Request-Id", request_id)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("X-Request-Id", self._request_id())
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -65,6 +92,8 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if self.path == "/healthz":
                 self._send(200, service.health())
+            elif self.path == "/metrics":
+                self._send_text(200, service.metrics_text())
             elif self.path == "/v1/models":
                 self._send(200, {"models": service.models()})
             else:

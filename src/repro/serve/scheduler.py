@@ -24,6 +24,10 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.kg.graph import Side
+from repro.obs.metrics import MetricsRegistry
+
+#: Batch-size histogram buckets: powers of two up to the default ceiling.
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 BatchKey = tuple[str, int, str, str]
 """``(model name, relation id, side, candidate mode)`` — requests sharing
@@ -114,6 +118,10 @@ class BatchScheduler:
     max_wait:
         Seconds a queued request may wait for company before its batch
         is dispatched anyway — the latency ceiling batching may add.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` the
+        scheduler publishes its queue-depth gauge, batch-size histogram
+        and batch counter into (the service passes its own).
     """
 
     def __init__(
@@ -121,6 +129,7 @@ class BatchScheduler:
         score_batch: Callable[[BatchKey, list[RankQuery]], list],
         max_batch_size: int = 64,
         max_wait: float = 0.002,
+        metrics: MetricsRegistry | None = None,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -129,6 +138,19 @@ class BatchScheduler:
         self._score_batch = score_batch
         self.max_batch_size = max_batch_size
         self.max_wait = max_wait
+        self._queue_depth = self._batch_hist = self._batches_total = None
+        if metrics is not None:
+            self._queue_depth = metrics.gauge(
+                "repro_serve_queue_depth", "Requests queued awaiting a batch"
+            )
+            self._batch_hist = metrics.histogram(
+                "repro_serve_batch_size",
+                "Requests coalesced per scoring call",
+                buckets=BATCH_SIZE_BUCKETS,
+            )
+            self._batches_total = metrics.counter(
+                "repro_serve_batches_total", "Micro-batches dispatched"
+            )
         self._cond = threading.Condition()
         self._queues: dict[BatchKey, deque] = {}
         self._closed = False
@@ -152,6 +174,8 @@ class BatchScheduler:
                 (query, pending, time.monotonic())
             )
             self.num_requests += 1
+            if self._queue_depth is not None:
+                self._queue_depth.inc()
             self._cond.notify_all()
         return pending
 
@@ -204,6 +228,8 @@ class BatchScheduler:
 
     def _dispatch(self, key: BatchKey, batch: list) -> None:
         queries = [query for query, _, _ in batch]
+        if self._queue_depth is not None:
+            self._queue_depth.dec(len(batch))
         try:
             results = self._score_batch(key, queries)
             if len(results) != len(batch):
@@ -218,6 +244,9 @@ class BatchScheduler:
         self.num_batches += 1
         self.num_batched_requests += len(batch)
         self.max_batch_observed = max(self.max_batch_observed, len(batch))
+        if self._batch_hist is not None:
+            self._batch_hist.observe(len(batch))
+            self._batches_total.inc()
         for (_, pending, _), value in zip(batch, results):
             pending._resolve(value, len(batch))
 

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.engine.chunking import chunk_filtered_ranks, collect_known_answers
 from repro.kg.graph import SIDES, Side
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.registry import ModelRegistry
 from repro.serve.scheduler import BatchKey, BatchScheduler, RankQuery
 from repro.store.lru import LRUCache
@@ -60,6 +61,10 @@ class LinkPredictionService:
         (every request is scored).
     timeout:
         Seconds a request may wait for its batch before failing.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` to publish
+        into; the service builds its own by default so ``/metrics``
+        reflects exactly this service.
     """
 
     def __init__(
@@ -69,16 +74,37 @@ class LinkPredictionService:
         max_wait: float = DEFAULT_MAX_WAIT,
         cache_size: int = DEFAULT_CACHE_SIZE,
         timeout: float = DEFAULT_TIMEOUT,
+        metrics: MetricsRegistry | None = None,
     ):
         self.registry = registry
         self.graph = registry.graph
         self.timeout = timeout
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.scheduler = BatchScheduler(
-            self._score_batch, max_batch_size=max_batch_size, max_wait=max_wait
+            self._score_batch,
+            max_batch_size=max_batch_size,
+            max_wait=max_wait,
+            metrics=self.metrics,
         )
         self._cache = LRUCache(cache_size)
         self._cache_lock = threading.Lock()
         self._started_at = time.time()
+        self._requests_total = self.metrics.counter(
+            "repro_serve_requests_total",
+            "Requests served, by endpoint",
+            labels=("endpoint",),
+        )
+        self._request_seconds = self.metrics.histogram(
+            "repro_serve_request_seconds",
+            "End-to-end request latency, by endpoint",
+            labels=("endpoint",),
+        )
+        self._cache_hits = self.metrics.counter(
+            "repro_serve_cache_hits_total", "Top-k cache hits"
+        )
+        self._cache_misses = self.metrics.counter(
+            "repro_serve_cache_misses_total", "Top-k cache misses"
+        )
 
     # ------------------------------------------------------------------
     # Request surface
@@ -100,6 +126,27 @@ class LinkPredictionService:
         any split — the "recommend *new* links" setting.  Results are
         deterministic: ties break toward the smaller entity id.
         """
+        start = time.perf_counter()
+        try:
+            return self._rank(
+                model, anchor, relation, side, k, filter_known, candidates
+            )
+        finally:
+            self._requests_total.inc(endpoint="rank")
+            self._request_seconds.observe(
+                time.perf_counter() - start, endpoint="rank"
+            )
+
+    def _rank(
+        self,
+        model: str,
+        anchor: int | str,
+        relation: int | str,
+        side: Side,
+        k: int,
+        filter_known: bool,
+        candidates: str,
+    ) -> dict:
         anchor_id = self._entity_id(anchor)
         relation_id = self._relation_id(relation)
         self._check_side(side)
@@ -110,9 +157,11 @@ class LinkPredictionService:
             # Deep-copied both into and out of the cache: in-process
             # callers may freely mutate their response without poisoning
             # later hits.
+            self._cache_hits.inc()
             response = copy.deepcopy(cached)
             response["cached"] = True
             return response
+        self._cache_misses.inc()
         query = RankQuery(
             model=model,
             relation=relation_id,
@@ -170,6 +219,22 @@ class LinkPredictionService:
         All queries are submitted before any result is awaited, so one
         call batches into few scoring calls even single-threaded.
         """
+        start = time.perf_counter()
+        try:
+            return self._score(model, triples, sides, candidates)
+        finally:
+            self._requests_total.inc(endpoint="score")
+            self._request_seconds.observe(
+                time.perf_counter() - start, endpoint="score"
+            )
+
+    def _score(
+        self,
+        model: str,
+        triples,
+        sides: tuple[Side, ...],
+        candidates: str,
+    ) -> list[dict]:
         submitted: list[tuple[dict, object]] = []
         for triple in triples:
             raw_h, raw_r, raw_t = triple
@@ -225,6 +290,31 @@ class LinkPredictionService:
             "scheduler": self.scheduler.stats(),
             "cache": cache,
         }
+
+    def metrics_text(self) -> str:
+        """``/metrics``: Prometheus text exposition of this service.
+
+        Derived gauges (uptime, cache hit rate, mean batch size, cache
+        occupancy) are refreshed at render time; counters and histograms
+        accumulate live on the request path.
+        """
+        self.metrics.gauge(
+            "repro_serve_uptime_seconds", "Seconds since the service started"
+        ).set(round(time.time() - self._started_at, 3))
+        with self._cache_lock:
+            hits, misses = self._cache.hits, self._cache.misses
+            entries = len(self._cache)
+        lookups = hits + misses
+        self.metrics.gauge(
+            "repro_serve_cache_hit_rate", "Top-k cache hit rate over all lookups"
+        ).set(hits / lookups if lookups else 0.0)
+        self.metrics.gauge(
+            "repro_serve_cache_entries", "Top-k cache occupancy"
+        ).set(entries)
+        self.metrics.gauge(
+            "repro_serve_mean_batch_size", "Mean requests per scoring call"
+        ).set(round(self.scheduler.mean_batch_size, 4))
+        return self.metrics.render()
 
     def close(self) -> None:
         """Flush in-flight batches and stop the scheduler."""

@@ -26,9 +26,12 @@ class RunRecord:
 
     ``spec`` carries the originating declarative spec (its resolved dict
     form) for spec-driven runs — ``repro runs show`` prints it, and
-    ``repro run`` of that JSON reproduces the run.  Non-spec runs leave
-    it ``None`` and their journal lines are byte-identical to the
-    pre-spec format.
+    ``repro run`` of that JSON reproduces the run.  ``obs`` carries the
+    aggregated span trace (:meth:`repro.obs.Tracer.summary`) when the
+    run executed with tracing enabled — ``repro trace show`` renders it
+    back.  Both are optional: runs without them leave the fields
+    ``None`` and their journal lines are byte-identical to the
+    pre-spec / pre-obs formats.
     """
 
     run_id: str
@@ -40,6 +43,7 @@ class RunRecord:
     cache_hit: bool = False
     note: str = ""
     spec: dict[str, Any] | None = None
+    obs: dict[str, Any] | None = None
 
     def to_json(self) -> str:
         payload = {
@@ -54,12 +58,15 @@ class RunRecord:
         }
         if self.spec is not None:
             payload["spec"] = self.spec
+        if self.obs is not None:
+            payload["obs"] = self.obs
         return json.dumps(payload, sort_keys=True)
 
     @classmethod
     def from_json(cls, line: str) -> "RunRecord":
         payload = json.loads(line)
         spec = payload.get("spec")
+        obs = payload.get("obs")
         return cls(
             run_id=str(payload["run_id"]),
             timestamp=str(payload["timestamp"]),
@@ -70,6 +77,7 @@ class RunRecord:
             cache_hit=bool(payload.get("cache_hit", False)),
             note=str(payload.get("note", "")),
             spec=dict(spec) if isinstance(spec, dict) else None,
+            obs=dict(obs) if isinstance(obs, dict) else None,
         )
 
 
@@ -91,6 +99,7 @@ class RunJournal:
         cache_hit: bool = False,
         note: str = "",
         spec: dict[str, Any] | None = None,
+        obs: dict[str, Any] | None = None,
     ) -> RunRecord:
         """Record one run; returns the written record (with its run id)."""
         record = RunRecord(
@@ -103,6 +112,7 @@ class RunJournal:
             cache_hit=cache_hit,
             note=note,
             spec=spec,
+            obs=obs,
         )
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(record.to_json() + "\n")

@@ -109,7 +109,10 @@ def render_run_detail(record: RunRecord) -> str:
     """The ``repro runs show`` body: the full record, pretty-printed.
 
     Spec-driven runs include their originating ``spec`` JSON — pipe it
-    to a file and ``repro run`` it to reproduce the run.
+    to a file and ``repro run`` it to reproduce the run.  Traced runs
+    include their ``obs`` span summary (``repro trace show`` renders it
+    as a table).  Records predating either field print byte-identically
+    to their original output.
     """
     payload = {
         "run_id": record.run_id,
@@ -123,6 +126,8 @@ def render_run_detail(record: RunRecord) -> str:
     }
     if record.spec is not None:
         payload["spec"] = record.spec
+    if record.obs is not None:
+        payload["obs"] = record.obs
     return json.dumps(payload, indent=2, sort_keys=True)
 
 

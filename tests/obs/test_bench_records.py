@@ -1,0 +1,231 @@
+"""BENCH_*.json record layer: stamping, trend, and the regression gate."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import stamp_bench_record
+from repro.cli import main
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    compare_records,
+    comparable_metrics,
+    config_fingerprint,
+    gate_records,
+    load_bench_records,
+    metric_direction,
+    trend_rows,
+)
+
+COMMITTED_RESULTS = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+
+
+def _write(directory: Path, name: str, payload: dict) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+
+class TestStamp:
+    def test_stamp_adds_schema_timestamp_fingerprint(self):
+        stamped = stamp_bench_record({"speedup": 2.0}, config={"dim": 64})
+        assert stamped["schema_version"] == BENCH_SCHEMA_VERSION
+        assert "T" in stamped["timestamp"]
+        assert stamped["config_fingerprint"] == config_fingerprint({"dim": 64})
+        assert stamped["speedup"] == 2.0
+
+    def test_stamp_without_config_omits_fingerprint(self):
+        stamped = stamp_bench_record({"speedup": 2.0})
+        assert "config_fingerprint" not in stamped
+
+    def test_stamp_does_not_mutate_the_payload(self):
+        payload = {"speedup": 2.0}
+        stamp_bench_record(payload)
+        assert payload == {"speedup": 2.0}
+
+    def test_fingerprint_is_order_independent(self):
+        assert config_fingerprint({"a": 1, "b": 2}) == config_fingerprint(
+            {"b": 2, "a": 1}
+        )
+
+
+class TestDirections:
+    @pytest.mark.parametrize(
+        "key,expected",
+        [
+            ("latency_bound_speedup", "higher"),
+            ("speedup_fused_vs_autodiff", "higher"),
+            ("mrr_float32", "higher"),
+            ("hits10", "higher"),
+            ("throughput_rows", "higher"),
+            ("fused_seconds_per_epoch", "lower"),
+            ("cpu_bound_speedup", None),  # host-load noise: never gated
+            ("workers", None),
+            ("schema_version", None),
+            ("min_speedup_asserted", None),
+        ],
+    )
+    def test_metric_direction(self, key, expected):
+        assert metric_direction(key) == expected
+
+    def test_absolute_timings_gated_only_on_request(self):
+        record = {"speedup": 2.0, "fused_seconds_per_epoch": 0.5}
+        assert "fused_seconds_per_epoch" not in comparable_metrics(record)
+        assert (
+            comparable_metrics(record, absolute=True)["fused_seconds_per_epoch"]
+            == "lower"
+        )
+
+
+class TestGate:
+    def test_fails_on_injected_25_percent_regression(self, tmp_path):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        _write(base, "training", {"speedup_fused_vs_autodiff": 4.0})
+        _write(cand, "training", {"speedup_fused_vs_autodiff": 3.0})  # -25%
+        rows, regressions = gate_records(base, cand, max_regression=0.2)
+        assert regressions == ["training.speedup_fused_vs_autodiff"]
+        assert rows[0]["Status"] == "REGRESSED"
+
+    def test_passes_within_the_margin(self, tmp_path):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        _write(base, "training", {"speedup_fused_vs_autodiff": 4.0})
+        _write(cand, "training", {"speedup_fused_vs_autodiff": 3.4})  # -15%
+        _, regressions = gate_records(base, cand, max_regression=0.2)
+        assert regressions == []
+
+    def test_lower_better_regression_with_absolute(self, tmp_path):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        _write(base, "t", {"fused_seconds_per_epoch": 1.0})
+        _write(cand, "t", {"fused_seconds_per_epoch": 1.5})  # 50% slower
+        _, silent = gate_records(base, cand)
+        assert silent == []  # wall clock not gated by default
+        _, loud = gate_records(base, cand, absolute=True)
+        assert loud == ["t.fused_seconds_per_epoch"]
+
+    def test_noisy_cpu_bound_never_gates(self, tmp_path):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        _write(base, "serve", {"cpu_bound_speedup": 1.0})
+        _write(cand, "serve", {"cpu_bound_speedup": 0.1})
+        _, regressions = gate_records(base, cand)
+        assert regressions == []
+
+    def test_empty_directories_raise(self, tmp_path):
+        filled = tmp_path / "filled"
+        _write(filled, "x", {"speedup": 1.0})
+        with pytest.raises(FileNotFoundError):
+            gate_records(tmp_path / "missing", filled)
+        with pytest.raises(FileNotFoundError):
+            gate_records(filled, tmp_path / "missing")
+
+    def test_committed_baselines_pass_against_themselves(self):
+        """The real committed records are self-consistent under the gate."""
+        records = load_bench_records(COMMITTED_RESULTS)
+        assert records, f"no committed BENCH_*.json under {COMMITTED_RESULTS}"
+        _, regressions = compare_records(records, records)
+        assert regressions == []
+
+    def test_improvements_never_regress(self, tmp_path):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        _write(base, "t", {"speedup": 2.0})
+        _write(cand, "t", {"speedup": 10.0})
+        rows, regressions = gate_records(base, cand)
+        assert regressions == []
+        assert rows[0]["Status"] == "ok"
+
+
+class TestTrend:
+    def test_one_row_per_trackable_metric(self):
+        records = {
+            "training": {
+                "speedup_fused_vs_autodiff": 5.0,
+                "schema_version": 1,
+                "timestamp": "2026-08-07T00:00:00",
+                "config_fingerprint": "abc123",
+                "bench": "bench_training",
+            },
+            "serve": {"latency_bound_speedup": 3.0, "cpu_bound_speedup": 0.4},
+        }
+        rows = trend_rows(records)
+        by_metric = {(r["Bench"], r["Metric"]): r for r in rows}
+        assert by_metric[("training", "speedup_fused_vs_autodiff")]["Schema"] == 1
+        # cpu_bound shows in the trend, flagged info, despite never gating.
+        assert by_metric[("serve", "cpu_bound_speedup")]["Direction"] == "info"
+        assert ("training", "bench") not in by_metric
+
+
+class TestCli:
+    def test_bench_trend_on_committed_records(self, capsys):
+        assert main(["bench", "trend", "--results", str(COMMITTED_RESULTS)]) == 0
+        out = capsys.readouterr().out
+        assert "speedup_fused_vs_autodiff" in out
+        assert "latency_bound_speedup" in out
+
+    def test_bench_trend_json_format(self, capsys):
+        assert (
+            main(
+                [
+                    "bench",
+                    "trend",
+                    "--results",
+                    str(COMMITTED_RESULTS),
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        rows = json.loads(capsys.readouterr().out)
+        assert any(row["Metric"] == "speedup_fused_vs_autodiff" for row in rows)
+
+    def test_bench_gate_cli_passes_on_committed_baselines(self, capsys):
+        code = main(
+            [
+                "bench",
+                "gate",
+                "--baseline",
+                str(COMMITTED_RESULTS),
+                "--candidate",
+                str(COMMITTED_RESULTS),
+            ]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_bench_gate_cli_fails_on_injected_regression(self, tmp_path, capsys):
+        cand = tmp_path / "cand"
+        for name, record in load_bench_records(COMMITTED_RESULTS).items():
+            degraded = {
+                key: value * 0.75
+                if metric_direction(key) == "higher"
+                and isinstance(value, (int, float))
+                else value
+                for key, value in record.items()
+            }
+            _write(cand, name, degraded)
+        code = main(
+            [
+                "bench",
+                "gate",
+                "--baseline",
+                str(COMMITTED_RESULTS),
+                "--candidate",
+                str(cand),
+                "--max-regression",
+                "0.2",
+            ]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_bench_gate_cli_missing_baseline_is_an_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "gate",
+                "--baseline",
+                str(tmp_path / "nope"),
+                "--candidate",
+                str(COMMITTED_RESULTS),
+            ]
+        )
+        assert code == 2

@@ -1,0 +1,118 @@
+"""Instrumented hot paths: identical results, spans recorded, obs journaled."""
+
+import numpy as np
+import pytest
+
+from repro.core.ranking import evaluate_full
+from repro.datasets import SyntheticConfig, generate
+from repro.experiment import ExperimentSpec, run
+from repro.models import Trainer, TrainingConfig, build_model
+from repro.obs import get_registry, get_tracer, set_tracing
+from repro.store import ExperimentStore
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off_after():
+    yield
+    set_tracing(False)
+
+
+@pytest.fixture
+def graph():
+    return generate(
+        SyntheticConfig(num_entities=120, num_relations=4, num_triples=600, seed=3)
+    ).graph
+
+
+def _fit(graph):
+    model = build_model("complex", graph.num_entities, graph.num_relations, dim=8, seed=0)
+    history = Trainer(TrainingConfig(epochs=2, seed=0)).fit(model, graph)
+    return model, history
+
+
+class TestTrainerSpans:
+    def test_losses_bitwise_identical_with_tracing_on(self, graph):
+        set_tracing(False)
+        _, baseline = _fit(graph)
+        set_tracing(True)
+        _, traced = _fit(graph)
+        assert baseline.losses == traced.losses  # exact float equality
+
+    def test_epoch_spans_and_counters_recorded(self, graph):
+        tracer = set_tracing(True)
+        _fit(graph)
+        spans = {node["name"]: node for node in tracer.summary()["spans"]}
+        fit = spans["train.fit"]
+        epoch = {node["name"]: node for node in fit["children"]}["train.epoch"]
+        assert epoch["count"] == 2
+        assert epoch["counters"]["triples"] == 2 * len(graph.train)
+        assert epoch["counters"]["batches"] > 0
+
+
+class TestEngineSpans:
+    def test_ranks_bitwise_identical_with_tracing_on(self, graph):
+        model, _ = _fit(graph)
+        set_tracing(False)
+        baseline = evaluate_full(model, graph)
+        set_tracing(True)
+        traced = evaluate_full(model, graph)
+        assert baseline.ranks == traced.ranks
+        assert baseline.metrics == traced.metrics
+
+    def test_engine_run_span_counts_chunks_and_queries(self, graph):
+        model, _ = _fit(graph)
+        tracer = set_tracing(True)
+        result = evaluate_full(model, graph, chunk_size=32)
+        spans = {node["name"]: node for node in tracer.summary()["spans"]}
+        run_span = spans["engine.run"]
+        assert run_span["counters"]["queries"] == len(result.ranks)
+        children = {node["name"]: node for node in run_span.get("children", [])}
+        chunk = children["engine.chunk"]
+        assert chunk["count"] == run_span["counters"]["chunks"]
+        assert chunk["seconds"] > 0.0
+
+    def test_engine_gauges_published_to_global_registry(self, graph):
+        model, _ = _fit(graph)
+        evaluate_full(model, graph, workers=1, chunk_size=17)
+        registry = get_registry()
+        assert registry.gauge("repro_engine_workers").value() == 1
+        assert registry.gauge("repro_engine_chunk_size").value() == 17
+        assert registry.counter("repro_engine_queries_total").value() > 0
+
+
+class TestJournaledObs:
+    SPEC = {
+        "task": "evaluate",
+        "dataset": {"name": "codex-s-lite"},
+        "model": {"name": "distmult", "dim": 8},
+        "training": {"epochs": 1},
+        "evaluation": {"num_samples": 20},
+    }
+
+    def test_traced_run_journals_its_span_summary(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        set_tracing(True)
+        result = run(ExperimentSpec.from_dict(self.SPEC), store=store, kind="test")
+        record = store.journal.get(result.run_id)
+        assert record.obs is not None
+        names = {node["name"] for node in record.obs["spans"]}
+        assert "experiment.task" in names
+        task = next(n for n in record.obs["spans"] if n["name"] == "experiment.task")
+        child_names = {node["name"] for node in task["children"]}
+        assert {"dataset.load", "train.fit", "evaluate.full"} <= child_names
+
+    def test_untraced_run_journals_no_obs(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        set_tracing(False)
+        result = run(ExperimentSpec.from_dict(self.SPEC), store=store, kind="test")
+        record = store.journal.get(result.run_id)
+        assert record.obs is None
+
+    def test_traced_metrics_equal_untraced_metrics(self, tmp_path):
+        spec = ExperimentSpec.from_dict(self.SPEC)
+        set_tracing(False)
+        plain = run(spec, store=None)
+        set_tracing(True)
+        traced = run(spec, store=None)
+        assert plain.truth.metrics == traced.truth.metrics
+        assert np.array_equal(plain.losses, traced.losses)

@@ -1,0 +1,144 @@
+"""Span tracer: aggregation, nesting, thread safety, disabled-path cost."""
+
+import threading
+
+from repro.obs import get_tracer, set_tracing
+from repro.obs.trace import Tracer, _NULL_SPAN, render_trace
+
+
+class TestDisabled:
+    def test_disabled_span_is_the_shared_null_span(self):
+        tracer = Tracer()
+        assert tracer.span("anything") is _NULL_SPAN
+        assert tracer.span("other") is _NULL_SPAN  # no per-call allocation
+
+    def test_disabled_add_and_record_are_noops(self):
+        tracer = Tracer()
+        tracer.add("triples", 100)
+        tracer.record("chunk", 1.0)
+        assert tracer.summary() is None
+
+
+class TestAggregation:
+    def test_repeated_spans_aggregate_by_name(self):
+        tracer = Tracer(enabled=True)
+        for _ in range(5):
+            with tracer.span("epoch"):
+                pass
+        summary = tracer.summary()
+        assert len(summary["spans"]) == 1
+        node = summary["spans"][0]
+        assert node["name"] == "epoch"
+        assert node["count"] == 5
+        assert node["seconds"] >= 0.0
+
+    def test_nested_spans_build_a_tree(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("fit"):
+            for _ in range(3):
+                with tracer.span("epoch"):
+                    with tracer.span("batch"):
+                        pass
+        fit = tracer.summary()["spans"][0]
+        assert fit["name"] == "fit" and fit["count"] == 1
+        epoch = fit["children"][0]
+        assert epoch["name"] == "epoch" and epoch["count"] == 3
+        assert epoch["children"][0]["name"] == "batch"
+
+    def test_counters_attach_to_the_innermost_span(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("fit"):
+            with tracer.span("epoch"):
+                tracer.add("triples", 100)
+            with tracer.span("epoch"):
+                tracer.add("triples", 50)
+        epoch = tracer.summary()["spans"][0]["children"][0]
+        assert epoch["counters"] == {"triples": 150.0}
+
+    def test_record_folds_external_timings_in(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("run"):
+            tracer.record("chunk", 0.25)
+            tracer.record("chunk", 0.75)
+        chunk = tracer.summary()["spans"][0]["children"][0]
+        assert chunk["count"] == 2
+        assert chunk["seconds"] == 1.0
+
+    def test_reset_clears_the_tree(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("work"):
+            pass
+        tracer.reset()
+        assert tracer.summary() is None
+
+    def test_summary_is_json_ready(self):
+        import json
+
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            tracer.add("n", 1)
+            with tracer.span("b"):
+                pass
+        assert json.loads(json.dumps(tracer.summary()))["spans"][0]["name"] == "a"
+
+
+class TestThreads:
+    def test_each_thread_keeps_its_own_stack(self):
+        tracer = Tracer(enabled=True)
+        barrier = threading.Barrier(4)
+
+        def work(name: str) -> None:
+            barrier.wait()
+            for _ in range(100):
+                with tracer.span(name):
+                    tracer.add("n", 1)
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i % 2}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        spans = {node["name"]: node for node in tracer.summary()["spans"]}
+        assert spans["t0"]["count"] == 200
+        assert spans["t1"]["count"] == 200
+        assert spans["t0"]["counters"]["n"] == 200.0
+
+
+class TestGlobals:
+    def test_set_tracing_resets_on_enable(self):
+        tracer = set_tracing(True)
+        try:
+            with tracer.span("first"):
+                pass
+            set_tracing(True)  # re-enable resets the recorded tree
+            assert tracer.summary() is None
+            assert get_tracer() is tracer
+        finally:
+            set_tracing(False)
+
+    def test_disable_preserves_recorded_tree(self):
+        tracer = set_tracing(True)
+        try:
+            with tracer.span("work"):
+                pass
+        finally:
+            set_tracing(False)
+        assert tracer.summary() is not None
+        tracer.reset()
+
+
+class TestRender:
+    def test_render_trace_shows_hierarchy_and_counters(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("fit"):
+            with tracer.span("epoch"):
+                tracer.add("triples", 300)
+        text = render_trace(tracer.summary())
+        assert "fit" in text
+        assert "  epoch" in text  # indented child
+        assert "triples=300" in text
+
+    def test_render_empty_summary(self):
+        assert render_trace({"spans": []}) == "(empty trace)"

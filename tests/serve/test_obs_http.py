@@ -1,0 +1,167 @@
+"""/metrics exposition and request-id correlation over a live server."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.datasets import load
+from repro.models import build_model
+from repro.obs.metrics import parse_prometheus
+from repro.serve import (
+    LinkPredictionService,
+    ModelRegistry,
+    ServeClient,
+    ServeHTTPServer,
+)
+from repro.store import ExperimentStore
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load("codex-s-lite")
+
+
+@pytest.fixture(scope="module")
+def stack(tmp_path_factory, dataset):
+    graph = dataset.graph
+    registry = ModelRegistry(
+        ExperimentStore(tmp_path_factory.mktemp("store")), graph, types=dataset.types
+    )
+    registry.register(
+        "dm", build_model("distmult", graph.num_entities, graph.num_relations, dim=8)
+    )
+    service = LinkPredictionService(registry, max_wait=0.001)
+    server = ServeHTTPServer(service, port=0)
+    server.start_background()
+    yield service, server
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+def _get(server, path, headers=None):
+    request = urllib.request.Request(server.url + path, headers=headers or {})
+    with urllib.request.urlopen(request) as response:
+        return response.status, dict(response.headers), response.read().decode()
+
+
+def _post(server, path, payload, headers=None):
+    request = urllib.request.Request(
+        server.url + path,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, dict(response.headers), json.loads(response.read())
+
+
+class TestMetricsEndpoint:
+    def test_exposes_request_counters_latency_and_cache_metrics(self, stack, dataset):
+        service, server = stack
+        client = ServeClient(base_url=server.url)
+        # Two distinct rank queries, then a repeat of the first (cache hit),
+        # and one score call — deterministic traffic for the assertions.
+        client.rank("dm", "e1", "r0", k=3, candidates="all")
+        client.rank("dm", "e2", "r0", k=3, candidates="all")
+        client.rank("dm", "e1", "r0", k=3, candidates="all")
+        client.score("dm", dataset.graph.test.as_tuples()[:2])
+
+        status, headers, text = _get(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        samples = parse_prometheus(text)
+
+        # qps numerator: requests by endpoint.
+        rank_requests = samples[
+            ("repro_serve_requests_total", (("endpoint", "rank"),))
+        ]
+        assert rank_requests >= 3
+        assert samples[
+            ("repro_serve_requests_total", (("endpoint", "score"),))
+        ] >= 1
+
+        # Latency histogram: count/sum plus cumulative buckets ending +Inf.
+        lat_count = samples[
+            ("repro_serve_request_seconds_count", (("endpoint", "rank"),))
+        ]
+        assert lat_count == rank_requests
+        assert samples[
+            ("repro_serve_request_seconds_sum", (("endpoint", "rank"),))
+        ] > 0
+        inf_bucket = samples[
+            (
+                "repro_serve_request_seconds_bucket",
+                (("endpoint", "rank"), ("le", "+Inf")),
+            )
+        ]
+        assert inf_bucket == lat_count
+
+        # p50/p99 derivable from the live histogram.
+        hist = service.metrics.histogram(
+            "repro_serve_request_seconds", labels=("endpoint",)
+        )
+        p50 = hist.quantile(0.5, endpoint="rank")
+        p99 = hist.quantile(0.99, endpoint="rank")
+        assert 0 < p50 <= p99
+
+        # Cache hit rate: 1 hit out of 3 lookups (at least).
+        hits = samples[("repro_serve_cache_hits_total", ())]
+        misses = samples[("repro_serve_cache_misses_total", ())]
+        assert hits >= 1 and misses >= 2
+        hit_rate = samples[("repro_serve_cache_hit_rate", ())]
+        assert hit_rate == pytest.approx(hits / (hits + misses))
+
+        # Batch occupancy: every dispatched batch observed.
+        assert samples[("repro_serve_batch_size_count", ())] == samples[
+            ("repro_serve_batches_total", ())
+        ]
+        assert samples[("repro_serve_mean_batch_size", ())] > 0
+        # Queue drained: depth gauge returns to zero between requests.
+        assert samples[("repro_serve_queue_depth", ())] == 0
+        assert samples[("repro_serve_uptime_seconds", ())] > 0
+
+
+class TestRequestId:
+    def test_generated_on_header_and_json_body(self, stack):
+        _, server = stack
+        status, headers, payload = _post(
+            server, "/v1/rank", {"model": "dm", "anchor": "e1", "relation": "r0"}
+        )
+        assert status == 200
+        assert headers["X-Request-Id"] == payload["request_id"]
+        assert len(payload["request_id"]) == 16
+
+    def test_client_supplied_id_is_echoed(self, stack):
+        _, server = stack
+        status, headers, payload = _get(
+            server, "/healthz", headers={"X-Request-Id": "trace-me-123"}
+        )
+        body = json.loads(payload)
+        assert headers["X-Request-Id"] == "trace-me-123"
+        assert body["request_id"] == "trace-me-123"
+
+    def test_error_payloads_carry_the_request_id(self, stack):
+        _, server = stack
+        request = urllib.request.Request(
+            server.url + "/v1/rank",
+            data=json.dumps(
+                {"model": "nope", "anchor": "e1", "relation": "r0"}
+            ).encode(),
+            headers={"Content-Type": "application/json", "X-Request-Id": "err-42"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 404
+        body = json.loads(excinfo.value.read())
+        assert body["request_id"] == "err-42"
+        assert excinfo.value.headers["X-Request-Id"] == "err-42"
+        assert "error" in body
+
+    def test_metrics_response_carries_the_header(self, stack):
+        _, server = stack
+        _, headers, _ = _get(
+            server, "/metrics", headers={"X-Request-Id": "metrics-7"}
+        )
+        assert headers["X-Request-Id"] == "metrics-7"

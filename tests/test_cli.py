@@ -38,6 +38,8 @@ class TestParser:
             "serve",
             "runs",
             "cache",
+            "trace",
+            "bench",
         }
 
 
@@ -61,7 +63,15 @@ class TestHelpSmoke:
 
     @pytest.mark.parametrize(
         "path",
-        [("runs", "list"), ("runs", "show"), ("cache", "ls"), ("cache", "gc")],
+        [
+            ("runs", "list"),
+            ("runs", "show"),
+            ("cache", "ls"),
+            ("cache", "gc"),
+            ("trace", "show"),
+            ("bench", "trend"),
+            ("bench", "gate"),
+        ],
     )
     def test_nested_command_help(self, path, capsys):
         with pytest.raises(SystemExit) as excinfo:

@@ -1,7 +1,7 @@
 """Run the documented usage examples and enforce their presence.
 
 Two guarantees for the audited packages (``repro.metrics``, ``repro.kp``,
-``repro.recommenders``):
+``repro.recommenders``, ``repro.obs``):
 
 1. every doctest embedded in their docstrings passes, so the examples in
    the docs site and the API reference cannot silently rot;
@@ -19,7 +19,7 @@ import pkgutil
 
 import pytest
 
-AUDITED_PACKAGES = ("repro.metrics", "repro.kp", "repro.recommenders")
+AUDITED_PACKAGES = ("repro.metrics", "repro.kp", "repro.recommenders", "repro.obs")
 
 OPTIONFLAGS = doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS
 
