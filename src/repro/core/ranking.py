@@ -79,6 +79,8 @@ def evaluate_full(
     sides: tuple[Side, ...] = SIDES,
     workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    start_method: str | None = None,
+    transport: str | None = None,
 ) -> FullEvaluationResult:
     """Run the full filtered ranking protocol on one split.
 
@@ -89,9 +91,16 @@ def evaluate_full(
     ``workers`` fans the chunk schedule across that many scoring
     processes (1 = in-process serial; negative = all cores); the ranks
     are bitwise-identical either way.  ``chunk_size`` bounds the
-    ``chunk_size x |E|`` score intermediate per chunk.
+    ``chunk_size x |E|`` score intermediate per chunk.  ``start_method``
+    and ``transport`` select how parallel runs move data (shared-memory
+    persistent pool by default); see :class:`repro.engine.EvaluationEngine`.
     """
-    engine = EvaluationEngine(workers=workers, chunk_size=chunk_size)
+    engine = EvaluationEngine(
+        workers=workers,
+        chunk_size=chunk_size,
+        start_method=start_method,
+        transport=transport,
+    )
     run = engine.run(model, graph, split=split, hits_at=hits_at, sides=sides)
     assert run.ranks is not None
     return FullEvaluationResult(

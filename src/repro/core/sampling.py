@@ -67,11 +67,67 @@ class NegativePools:
             pool.size for side in SIDES for pool in self.pools[side].values()
         )
 
+    def export_arrays(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Flatten the pools into shared-memory-ready flat arrays.
+
+        Returns ``(meta, arrays)``: ``meta`` is a small picklable dict
+        (strategy, sizes, which relations each side holds) and ``arrays``
+        holds, per side, the sorted relation ids, CSR-style offsets and
+        the concatenated pool values — three contiguous int64 buffers
+        that :func:`pools_from_arrays` turns back into an equivalent
+        :class:`NegativePools` without copying a single pool entry.
+        """
+        meta = {
+            "strategy": self.strategy,
+            "num_entities": self.num_entities,
+            "sample_size": self.sample_size,
+        }
+        arrays: dict[str, np.ndarray] = {}
+        for side in SIDES:
+            relations = sorted(self.pools[side])
+            lengths = [self.pools[side][r].size for r in relations]
+            arrays[f"pools_{side}_relations"] = np.asarray(relations, dtype=np.int64)
+            arrays[f"pools_{side}_offsets"] = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(np.asarray(lengths, dtype=np.int64))]
+            )
+            arrays[f"pools_{side}_values"] = (
+                np.concatenate([self.pools[side][r] for r in relations])
+                if relations
+                else np.empty(0, dtype=np.int64)
+            )
+        return meta, arrays
+
     def __repr__(self) -> str:
         return (
             f"NegativePools({self.strategy!r}, n_s={self.sample_size}, "
             f"total={self.total_sampled()})"
         )
+
+
+def pools_from_arrays(
+    meta: dict, arrays: dict[str, np.ndarray]
+) -> NegativePools:
+    """Rebuild a :class:`NegativePools` view over exported flat arrays.
+
+    Each per-relation pool is a slice of the shared ``values`` buffer —
+    zero-copy, so a worker process attaching the arrays through
+    ``multiprocessing.shared_memory`` sees exactly the parent's pools.
+    """
+    pools: dict[Side, dict[int, np.ndarray]] = {}
+    for side in SIDES:
+        relations = arrays[f"pools_{side}_relations"]
+        offsets = arrays[f"pools_{side}_offsets"]
+        values = arrays[f"pools_{side}_values"]
+        pools[side] = {
+            int(relation): values[offsets[i] : offsets[i + 1]]
+            for i, relation in enumerate(relations)
+        }
+    return NegativePools(
+        strategy=meta["strategy"],
+        pools=pools,
+        num_entities=meta["num_entities"],
+        sample_size=meta["sample_size"],
+    )
 
 
 def _draw_random(

@@ -1,18 +1,25 @@
 """The parallel chunked evaluation engine (`repro.engine`).
 
 One execution core for both evaluation protocols: queries are grouped by
-``(relation, side)``, cut into bounded chunks, scored — serially or
-across ``multiprocessing`` workers that receive the model / graph / pools
-once at pool start — and folded into :class:`RankingMetrics`, optionally
+``(relation, side)``, cut into bounded chunks, scored — serially, or in
+parallel over one of two transports: the default ``"shm"`` transport
+publishes the model / graph / pools into ``multiprocessing.shared_memory``
+once and reuses a persistent worker pool across runs
+(:mod:`repro.engine.pool` / :mod:`repro.engine.shm`); the legacy
+``"pickle"`` transport ships the state to a per-run ``multiprocessing``
+pool at pool start — and folded into :class:`RankingMetrics`, optionally
 through the flat-memory online :class:`RankAccumulator`.
 
 Entry points
 ------------
 * :class:`EvaluationEngine` — ``run()`` a model over a split with
-  ``workers=`` / ``chunk_size=`` control;
+  ``workers=`` / ``chunk_size=`` / ``start_method=`` / ``transport=``
+  control (env: ``$REPRO_ENGINE_START_METHOD``, ``$REPRO_ENGINE_TRANSPORT``);
 * the same knobs surface on :class:`repro.core.protocol.EvaluationProtocol`,
   :func:`repro.bench.runner.run_training_study` and the CLI
-  (``repro evaluate --workers N``).
+  (``repro evaluate --workers N``);
+* :func:`get_engine_pool` / :func:`shutdown_engine_pools` — the
+  persistent pool registry behind the shm transport.
 """
 
 from repro.engine.aggregator import RankAccumulator
@@ -22,6 +29,7 @@ from repro.engine.chunking import (
     Query,
     chunk_filtered_ranks,
     collect_known_answers,
+    group_offsets,
     grouped_queries,
     ordered_groups,
     plan_chunks,
@@ -29,30 +37,61 @@ from repro.engine.chunking import (
     split_triples,
 )
 from repro.engine.engine import EngineRun, EvaluationEngine, resolve_workers
+from repro.engine.pool import (
+    EngineWorkerError,
+    PersistentWorkerPool,
+    active_pools,
+    get_engine_pool,
+    resolve_start_method,
+    resolve_transport,
+    shutdown_engine_pools,
+)
+from repro.engine.shm import (
+    ShmArena,
+    StateManifest,
+    attach_state,
+    publish_state,
+    state_fingerprint,
+)
 from repro.engine.worker import (
     EvaluationState,
     GroupState,
     build_state,
     score_chunk,
+    worker_main,
 )
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "ChunkTask",
     "EngineRun",
+    "EngineWorkerError",
     "EvaluationEngine",
     "EvaluationState",
     "GroupState",
+    "PersistentWorkerPool",
     "Query",
     "RankAccumulator",
+    "ShmArena",
+    "StateManifest",
+    "active_pools",
+    "attach_state",
     "build_state",
     "chunk_filtered_ranks",
     "collect_known_answers",
+    "get_engine_pool",
+    "group_offsets",
     "grouped_queries",
     "ordered_groups",
     "plan_chunks",
+    "publish_state",
     "query_chunks",
+    "resolve_start_method",
+    "resolve_transport",
     "resolve_workers",
     "score_chunk",
+    "shutdown_engine_pools",
     "split_triples",
+    "state_fingerprint",
+    "worker_main",
 ]

@@ -127,6 +127,20 @@ def plan_chunks(
     return tasks
 
 
+def group_offsets(lengths: list[int] | np.ndarray) -> np.ndarray:
+    """Start offset of each group inside the concatenated query table.
+
+    ``group_offsets(lengths)[g] + task.start`` is the global row of a
+    chunk's first query — the index workers use to write ranks straight
+    into the shared result buffer, and the parent uses to read them back.
+    The returned array has ``len(lengths) + 1`` entries (the last is the
+    total query count).
+    """
+    return np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(np.asarray(lengths, dtype=np.int64))]
+    )
+
+
 def collect_known_answers(
     graph: KnowledgeGraph,
     queries: list[tuple[int, int, int, int]],

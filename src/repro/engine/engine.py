@@ -35,6 +35,11 @@ import numpy as np
 
 from repro.engine.aggregator import RankAccumulator
 from repro.engine.chunking import DEFAULT_CHUNK_SIZE, ChunkTask, Query, plan_chunks
+from repro.engine.pool import (
+    PersistentWorkerPool,
+    get_engine_pool,
+    resolve_transport,
+)
 from repro.engine.worker import (
     EvaluationState,
     build_state,
@@ -91,9 +96,28 @@ class EvaluationEngine:
         intermediate at ``chunk_size x num_candidates`` floats.
     start_method:
         Optional ``multiprocessing`` start method (``"fork"``,
-        ``"spawn"``, ``"forkserver"``).  ``None`` uses the platform
-        default; on Linux that is ``fork``, under which workers inherit
-        the model / graph / pools copy-on-write instead of pickling them.
+        ``"spawn"``, ``"forkserver"``).  ``None`` defers to
+        ``$REPRO_ENGINE_START_METHOD``, then the platform default; on
+        Linux that is ``fork``, under which the legacy transport inherits
+        state copy-on-write instead of pickling it.
+    transport:
+        How parallel runs move data: ``"shm"`` (default) publishes the
+        state into ``multiprocessing.shared_memory`` once and reuses a
+        persistent worker pool across runs (:mod:`repro.engine.pool`);
+        ``"pickle"`` is the legacy per-run ``multiprocessing.Pool`` path
+        that serialises the state at every pool start.  ``None`` defers
+        to ``$REPRO_ENGINE_TRANSPORT``, then ``"shm"``.  Serial runs
+        (``workers=1``) never touch either transport.
+    timeout:
+        Optional per-run deadline in seconds for the shm transport; a run
+        exceeding it raises :class:`~repro.engine.pool.EngineWorkerError`
+        instead of hanging (the fault tests lean on this).
+    pool:
+        Optional caller-owned :class:`~repro.engine.pool.
+        PersistentWorkerPool` the shm transport should run on instead of
+        the shared module-level registry — the serve layer injects its
+        private pool here so its lifecycle (and ``close()``) stays fully
+        its own.
     """
 
     def __init__(
@@ -101,12 +125,18 @@ class EvaluationEngine:
         workers: int = 1,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         start_method: str | None = None,
+        transport: str | None = None,
+        timeout: float | None = None,
+        pool: "PersistentWorkerPool | None" = None,
     ):
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self.workers = resolve_workers(workers)
         self.chunk_size = chunk_size
         self.start_method = start_method
+        self.transport = resolve_transport(transport)
+        self.timeout = timeout
+        self.pool = pool
 
     # ------------------------------------------------------------------
     def run(
@@ -208,6 +238,17 @@ class EvaluationEngine:
             else:
                 for task in tasks:
                     yield task, score_chunk(state, task)
+            return
+        if self.transport == "shm":
+            pool = self.pool if self.pool is not None else get_engine_pool(
+                workers, self.start_method
+            )
+            wait_start = time.perf_counter()
+            results = pool.run_tasks(state, tasks, timeout=self.timeout)
+            # The pool returns every chunk at once; one record covers the
+            # whole merge-side wait (serial runs keep per-chunk records).
+            tracer.record("engine.chunk", time.perf_counter() - wait_start)
+            yield from zip(tasks, results)
             return
         context = multiprocessing.get_context(self.start_method)
         with context.Pool(

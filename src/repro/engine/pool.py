@@ -1,0 +1,372 @@
+"""Persistent shared-memory worker pools for the evaluation engine.
+
+A :class:`PersistentWorkerPool` is the long-lived half of the engine's
+``transport="shm"`` path: ``N`` daemon worker processes that stay alive
+across ``evaluate_full`` / ``evaluate_sampled`` calls (and across serve
+requests), each looping on its own task queue.  A pool executes *runs*:
+
+1. :meth:`ensure_state` publishes the evaluation state into shared
+   memory (:func:`repro.engine.shm.publish_state`) — skipped entirely
+   when the previous run used content-identical state, which is what
+   makes repeated evaluation of the same model (training loops, the
+   serve path, benchmarks) pay the publish exactly once;
+2. chunk tasks are dispatched round-robin; each worker scores its chunks
+   with the same :func:`~repro.engine.worker.score_chunk` kernel as the
+   serial path and writes the ranks **directly into the shared result
+   buffer** — only a ``("done", index, scored)`` tuple rides the result
+   queue;
+3. the parent slices the buffer back into schedule order.
+
+Fault model: a worker that dies mid-run (OOM-kill, segfault, ``os._exit``)
+is detected by liveness polling on the result-queue wait and surfaces as
+:class:`EngineWorkerError` — never a hang; an optional per-run ``timeout``
+bounds the wait outright.  Any failed or interrupted run marks the pool
+*broken*: its processes are terminated, its shared segments unlinked, and
+the module-level registry (:func:`get_engine_pool`) transparently builds
+a fresh pool on next use.  An ``atexit`` hook shuts every registered pool
+down, so no shm segment or worker process outlives the interpreter.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import queue as queue_module
+import threading
+import time
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.engine.chunking import group_offsets
+from repro.engine.shm import PublishedState, publish_state, state_fingerprint
+from repro.obs import get_registry
+
+if TYPE_CHECKING:
+    from repro.engine.chunking import ChunkTask
+    from repro.engine.worker import EvaluationState
+
+#: Transports the engine can execute a parallel run through.
+TRANSPORTS: tuple[str, ...] = ("shm", "pickle")
+
+#: Seconds between liveness checks while waiting on worker results.
+POLL_INTERVAL = 0.1
+
+#: Seconds allowed for a worker to attach a freshly published state.
+STATE_ATTACH_TIMEOUT = 120.0
+
+
+class EngineWorkerError(RuntimeError):
+    """A worker process died, failed, or a run exceeded its timeout."""
+
+
+def resolve_transport(transport: str | None) -> str:
+    """``transport`` argument > ``$REPRO_ENGINE_TRANSPORT`` > ``"shm"``."""
+    resolved = transport or os.environ.get("REPRO_ENGINE_TRANSPORT") or "shm"
+    if resolved not in TRANSPORTS:
+        raise ValueError(
+            f"unknown engine transport {resolved!r}; expected one of {TRANSPORTS}"
+        )
+    return resolved
+
+
+def resolve_start_method(start_method: str | None) -> str:
+    """``start_method`` argument > ``$REPRO_ENGINE_START_METHOD`` > platform default."""
+    resolved = (
+        start_method
+        or os.environ.get("REPRO_ENGINE_START_METHOD")
+        or multiprocessing.get_start_method()
+    )
+    if resolved not in multiprocessing.get_all_start_methods():
+        raise ValueError(
+            f"start method {resolved!r} unavailable on this platform; "
+            f"have {multiprocessing.get_all_start_methods()}"
+        )
+    return resolved
+
+
+class PersistentWorkerPool:
+    """``workers`` long-lived scoring processes plus their queues.
+
+    Thread-safe: concurrent callers (e.g. serve request threads) serialise
+    on an internal lock, so one run's result buffer is never overwritten
+    while another caller is still slicing it.
+    """
+
+    def __init__(self, workers: int, start_method: str | None = None):
+        if workers < 1:
+            raise ValueError(f"pool needs at least 1 worker, got {workers}")
+        # Imported here: worker_main lives beside score_chunk and importing
+        # it at module top would cycle through repro.engine.__init__.
+        from repro.engine.worker import worker_main
+
+        self.workers = workers
+        self.start_method = resolve_start_method(start_method)
+        self.started_at = time.time()
+        self.runs_completed = 0
+        self.states_published = 0
+        self.broken = False
+        self.closed = False
+        self._lock = threading.Lock()
+        self._published: PublishedState | None = None
+        context = multiprocessing.get_context(self.start_method)
+        self._task_queues = [context.Queue() for _ in range(workers)]
+        self._result_queue = context.Queue()
+        self._processes = [
+            context.Process(
+                target=worker_main,
+                args=(worker_id, self._task_queues[worker_id], self._result_queue),
+                daemon=True,
+                name=f"repro-engine-{worker_id}",
+            )
+            for worker_id in range(workers)
+        ]
+        for process in self._processes:
+            process.start()
+        self._workers_gauge().set(workers, pool=self.label)
+        get_registry().counter(
+            "repro_engine_pool_starts_total", "Engine worker pools started", labels=("pool",)
+        ).inc(pool=self.label)
+
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        return f"{self.workers}-{self.start_method}"
+
+    @staticmethod
+    def _workers_gauge():
+        return get_registry().gauge(
+            "repro_engine_pool_workers",
+            "Live worker processes per persistent engine pool",
+            labels=("pool",),
+        )
+
+    def alive(self) -> bool:
+        return (
+            not self.closed
+            and not self.broken
+            and all(process.is_alive() for process in self._processes)
+        )
+
+    def worker_pids(self) -> list[int]:
+        return [process.pid for process in self._processes if process.pid is not None]
+
+    # ------------------------------------------------------------------
+    # State publication
+    # ------------------------------------------------------------------
+    def ensure_state(self, state: "EvaluationState") -> PublishedState:
+        """Publish ``state`` unless the live published state already matches.
+
+        Matching is content-aware (model parameter digest, graph / pools
+        identity, split, sides); wrapper models that travel by pickle are
+        never considered reusable because their bytes cannot be cheaply
+        fingerprinted.
+        """
+        fingerprint = state_fingerprint(state)
+        current = self._published
+        reusable = (
+            current is not None
+            and current.fingerprint == fingerprint
+            and current.manifest.model_pickle is None
+        )
+        if reusable:
+            return current  # type: ignore[return-value]
+        published = publish_state(state)
+        try:
+            for task_queue in self._task_queues:
+                task_queue.put(("state", published.manifest))
+            deadline = time.monotonic() + STATE_ATTACH_TIMEOUT
+            acknowledged = 0
+            while acknowledged < self.workers:
+                message = self._next_message(deadline, waiting_for="state attach")
+                if message[0] == "ready":
+                    acknowledged += 1
+                elif message[0] == "error":
+                    raise EngineWorkerError(
+                        f"worker failed to attach shared state:\n{message[2]}"
+                    )
+        except BaseException:
+            published.close()
+            raise
+        if current is not None:
+            current.close()
+        self._published = published
+        self.states_published += 1
+        get_registry().counter(
+            "repro_engine_state_publish_total",
+            "Evaluation states published into shared memory",
+            labels=("pool",),
+        ).inc(pool=self.label)
+        return published
+
+    # ------------------------------------------------------------------
+    # Run execution
+    # ------------------------------------------------------------------
+    def run_tasks(
+        self,
+        state: "EvaluationState",
+        tasks: Sequence["ChunkTask"],
+        timeout: float | None = None,
+    ) -> list[tuple[np.ndarray, int]]:
+        """Score ``tasks`` against ``state``; results in schedule order.
+
+        Returns one ``(ranks, entities_scored)`` pair per task.  Any
+        failure — worker crash, worker-side exception, timeout, or an
+        interrupt of the caller — marks the pool broken and shuts it
+        down before re-raising, so shared segments never leak.
+        """
+        with self._lock:
+            if self.closed or self.broken:
+                raise EngineWorkerError("worker pool is no longer usable")
+            try:
+                published = self.ensure_state(state)
+                manifest = published.manifest
+                group_starts = group_offsets(
+                    [length for _, _, length in manifest.groups]
+                )
+                for index, task in enumerate(tasks):
+                    offset = int(group_starts[task.group] + task.start)
+                    self._task_queues[index % self.workers].put(
+                        ("task", manifest.state_id, index, task, offset)
+                    )
+                deadline = time.monotonic() + timeout if timeout is not None else None
+                scored: dict[int, int] = {}
+                while len(scored) < len(tasks):
+                    message = self._next_message(deadline, waiting_for="chunk results")
+                    if message[0] == "done":
+                        scored[message[1]] = message[2]
+                    elif message[0] == "error":
+                        raise EngineWorkerError(
+                            f"engine worker failed on chunk {message[1]}:\n{message[2]}"
+                        )
+                buffer = published.result_view
+                results: list[tuple[np.ndarray, int]] = []
+                for index, task in enumerate(tasks):
+                    offset = int(group_starts[task.group] + task.start)
+                    ranks = buffer[offset : offset + task.num_queries].copy()
+                    results.append((ranks, scored[index]))
+            except BaseException:
+                self._mark_broken()
+                raise
+            self.runs_completed += 1
+            registry = get_registry()
+            registry.counter(
+                "repro_engine_pool_runs_total",
+                "Evaluation runs executed by persistent engine pools",
+                labels=("pool",),
+            ).inc(pool=self.label)
+            registry.gauge(
+                "repro_engine_pool_uptime_seconds",
+                "Age of each persistent engine pool at its last run",
+                labels=("pool",),
+            ).set(round(time.time() - self.started_at, 3), pool=self.label)
+            return results
+
+    def _next_message(self, deadline: float | None, waiting_for: str):
+        """One result-queue message, guarded by liveness and the deadline."""
+        while True:
+            try:
+                return self._result_queue.get(timeout=POLL_INTERVAL)
+            except queue_module.Empty:
+                dead = [
+                    (process.name, process.exitcode)
+                    for process in self._processes
+                    if not process.is_alive()
+                ]
+                if dead:
+                    raise EngineWorkerError(
+                        f"engine worker process(es) died while {waiting_for}: "
+                        + ", ".join(f"{name} (exit {code})" for name, code in dead)
+                    ) from None
+                if deadline is not None and time.monotonic() > deadline:
+                    raise EngineWorkerError(
+                        f"timed out while {waiting_for} "
+                        f"(pool {self.label}, timeout exceeded)"
+                    ) from None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _mark_broken(self) -> None:
+        self.broken = True
+        self.shutdown(force=True)
+
+    def shutdown(self, force: bool = False, join_timeout: float = 2.0) -> None:
+        """Stop workers, release queues, unlink shared segments (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        if not force:
+            for task_queue in self._task_queues:
+                try:
+                    task_queue.put(("stop",))
+                except (ValueError, OSError):  # pragma: no cover — queue gone
+                    pass
+            for process in self._processes:
+                process.join(timeout=join_timeout)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=join_timeout)
+        for q in (*self._task_queues, self._result_queue):
+            q.cancel_join_thread()
+            q.close()
+        if self._published is not None:
+            self._published.close()
+            self._published = None
+        self._workers_gauge().set(0, pool=self.label)
+
+    def __repr__(self) -> str:
+        status = "closed" if self.closed else ("broken" if self.broken else "live")
+        return (
+            f"PersistentWorkerPool(workers={self.workers}, "
+            f"start_method={self.start_method!r}, {status}, "
+            f"runs={self.runs_completed})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Module-level pool registry: one pool per (workers, start method)
+# ----------------------------------------------------------------------
+_POOLS: dict[tuple[int, str], PersistentWorkerPool] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def get_engine_pool(
+    workers: int, start_method: str | None = None
+) -> PersistentWorkerPool:
+    """The shared persistent pool for ``(workers, start_method)``.
+
+    Pools persist across engine runs (that is the point); a pool found
+    broken or dead is disposed of and rebuilt transparently.
+    """
+    method = resolve_start_method(start_method)
+    key = (workers, method)
+    with _POOLS_LOCK:
+        pool = _POOLS.get(key)
+        if pool is not None and not pool.alive():
+            pool.shutdown(force=True)
+            pool = None
+        if pool is None:
+            pool = PersistentWorkerPool(workers, start_method=method)
+            _POOLS[key] = pool
+        return pool
+
+
+def active_pools() -> list[PersistentWorkerPool]:
+    """Every registry pool that is currently usable."""
+    with _POOLS_LOCK:
+        return [pool for pool in _POOLS.values() if pool.alive()]
+
+
+def shutdown_engine_pools() -> None:
+    """Stop every registry pool and unlink its shared memory."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown()
+
+
+atexit.register(shutdown_engine_pools)

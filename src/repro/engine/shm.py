@@ -1,0 +1,399 @@
+"""The shared-memory plane of the parallel evaluation engine.
+
+The legacy (``transport="pickle"``) parallel path ships the whole
+evaluation state to every worker through the pool initializer and every
+chunk's ranks back through a result queue.  That transport *loses* the
+CPU-bound regime: state pickling is paid at every pool start and rank
+arrays are serialised per chunk.  This module is the replacement plane:
+
+* :class:`ShmArena` — a named set of ``multiprocessing.shared_memory``
+  segments, one per numpy array, created once in the parent.  The arena
+  owns the segments (close + unlink exactly once, crash- and
+  interrupt-safe via ``atexit``) and keeps the process-wide
+  ``repro_engine_shm_bytes`` / ``repro_engine_shm_segments`` gauges
+  truthful.
+* :func:`publish_state` — flattens an
+  :class:`~repro.engine.worker.EvaluationState` into shared memory:
+  embedding tables (zero-copy through
+  :meth:`~repro.models.base.KGEModel.parameter_arrays`), the CSR filter
+  index (:class:`~repro.kg.graph.FilterIndexCSR`), the grouped query
+  table, the negative pools
+  (:meth:`~repro.core.sampling.NegativePools.export_arrays`) and a
+  per-query **result buffer** workers write ranks into directly —
+  nothing heavier than a :class:`StateManifest` ever crosses a queue.
+* :func:`attach_state` — the worker-side inverse: attach every segment
+  by name and rebuild a view-backed ``EvaluationState`` whose arrays
+  alias the parent's bytes.
+
+Models that do not expose ``parameter_arrays`` (wrapper scorers such as
+:class:`repro.bench.LatencyBoundScorer`) fall back to travelling as one
+pickle inside the manifest; everything else still goes through shared
+memory, and exactness is unaffected either way.
+"""
+
+from __future__ import annotations
+
+import pickle
+import secrets
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.kg.graph import SIDES, FilterIndexCSR, Side
+from repro.obs import get_registry
+
+if TYPE_CHECKING:
+    from repro.engine.worker import EvaluationState
+
+#: Gauge names (documented in docs/observability.md).
+SHM_BYTES_GAUGE = "repro_engine_shm_bytes"
+SHM_SEGMENTS_GAUGE = "repro_engine_shm_segments"
+
+
+def _shm_gauges():
+    registry = get_registry()
+    return (
+        registry.gauge(SHM_BYTES_GAUGE, "Live shared-memory bytes owned by engine arenas"),
+        registry.gauge(SHM_SEGMENTS_GAUGE, "Live shared-memory segments owned by engine arenas"),
+    )
+
+
+class ShmArena:
+    """A named family of shared-memory segments, one per exported array.
+
+    The *parent* creates an arena (``owner=True``): every :meth:`put`
+    copies an array into a fresh segment exactly once.  The arena is the
+    single owner of those segments — :meth:`close` unlinks them, is
+    idempotent, and is also registered on interpreter exit through the
+    engine pool registry, so no segment survives the process even when a
+    run dies on an exception or a ``KeyboardInterrupt``.
+    """
+
+    def __init__(self, tag: str = "repro"):
+        self.tag = tag
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._specs: dict[str, tuple[str, tuple[int, ...], str]] = {}
+        self._views: dict[str, np.ndarray] = {}
+        self._bytes = 0
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    def put(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Copy ``array`` into a new segment; returns the shared view."""
+        if self.closed:
+            raise RuntimeError("arena is closed")
+        if name in self._segments:
+            raise ValueError(f"duplicate arena array {name!r}")
+        array = np.ascontiguousarray(array)
+        nbytes = max(int(array.nbytes), 1)  # zero-size arrays still need a segment
+        segment = shared_memory.SharedMemory(
+            create=True, size=nbytes, name=f"{self.tag}_{secrets.token_hex(4)}_{len(self._segments)}"
+        )
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        self._segments[name] = segment
+        self._specs[name] = (segment.name, tuple(array.shape), array.dtype.str)
+        self._views[name] = view
+        self._bytes += nbytes
+        bytes_gauge, segments_gauge = _shm_gauges()
+        bytes_gauge.inc(nbytes)
+        segments_gauge.inc()
+        return view
+
+    def view(self, name: str) -> np.ndarray:
+        """The parent-side shared view of one exported array."""
+        return self._views[name]
+
+    @property
+    def specs(self) -> dict[str, tuple[str, tuple[int, ...], str]]:
+        """``name -> (segment name, shape, dtype)`` — the attach manifest."""
+        return dict(self._specs)
+
+    @property
+    def nbytes(self) -> int:
+        return self._bytes
+
+    def close(self) -> None:
+        """Release and unlink every segment (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        self._views.clear()
+        for segment in self._segments.values():
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # already gone (e.g. double cleanup paths)
+                pass
+        self._segments.clear()
+        bytes_gauge, segments_gauge = _shm_gauges()
+        bytes_gauge.dec(self._bytes)
+        segments_gauge.dec(len(self._specs))
+        self._bytes = 0
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"{len(self._specs)} segments, {self._bytes} bytes"
+        return f"ShmArena({self.tag!r}, {state})"
+
+
+def attach_array(spec: tuple[str, tuple[int, ...], str]) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Attach one exported array by its ``(segment, shape, dtype)`` spec.
+
+    The attaching process is *not* the owner, so registration with the
+    ``resource_tracker`` is suppressed for the duration of the attach —
+    Python < 3.13 has no ``track=False`` (bpo-39959), and letting workers
+    register segments they merely view would make the shared tracker try
+    to unlink the parent's segments (and log spurious KeyErrors when
+    several workers attach the same one).
+    """
+    segment_name, shape, dtype = spec
+    original_register = resource_tracker.register
+
+    def _register_skip_shm(name, rtype):  # the tracker API is private but stable
+        if rtype != "shared_memory":
+            original_register(name, rtype)
+
+    resource_tracker.register = _register_skip_shm
+    try:
+        segment = shared_memory.SharedMemory(name=segment_name)
+    finally:
+        resource_tracker.register = original_register
+    return np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf), segment
+
+
+# ----------------------------------------------------------------------
+# State manifest: everything a worker needs, none of it heavy
+# ----------------------------------------------------------------------
+@dataclass
+class StateManifest:
+    """The picklable description of one published evaluation state."""
+
+    state_id: str
+    arrays: dict[str, tuple[str, tuple[int, ...], str]]
+    groups: list[tuple[int, Side, int]]  # (relation, side, num queries)
+    num_entities: int
+    num_relations: int
+    split: str
+    sides: tuple[Side, ...]
+    model_spec: dict | None = None  # registry model: rebuild + attach arrays
+    model_pickle: bytes | None = field(default=None, repr=False)  # wrapper fallback
+    pools_meta: dict | None = None
+    num_queries: int = 0
+
+
+@dataclass
+class PublishedState:
+    """Parent-side handle: the arena plus its manifest and result view."""
+
+    manifest: StateManifest
+    arena: ShmArena
+    fingerprint: tuple
+
+    @property
+    def result_view(self) -> np.ndarray:
+        return self.arena.view("result")
+
+    def close(self) -> None:
+        self.arena.close()
+
+
+def state_fingerprint(state: "EvaluationState") -> tuple:
+    """A cheap content-aware identity for one evaluation state.
+
+    Object ids alone would go stale when a training loop mutates model
+    parameters in place between evaluations, so the model contributes a
+    digest of its parameter bytes; the graph and pools are immutable
+    after construction, so identity suffices for them.
+    """
+    import hashlib
+
+    model = state.model
+    if hasattr(model, "parameter_arrays"):
+        digest = hashlib.blake2b(digest_size=16)
+        for name in sorted(model.parameter_arrays()):
+            digest.update(name.encode())
+            digest.update(np.ascontiguousarray(model.parameter_arrays()[name]).view(np.uint8))
+        model_key: object = (id(model), digest.hexdigest())
+    else:
+        model_key = (id(model), None)
+    return (
+        model_key,
+        id(state.graph),
+        id(state.pools),
+        state.split,
+        state.sides,
+    )
+
+
+def publish_state(state: "EvaluationState") -> PublishedState:
+    """Flatten one parent-built state into shared memory.
+
+    Exports, each as its own segment: every model parameter table, the
+    six CSR filter-index arrays, the concatenated ``(N, 4)`` query table
+    with its group offsets, the flattened negative pools (sampled path
+    only) and the ``(N,)`` float64 result buffer workers write ranks
+    into.  Raises nothing halfway: on failure the partial arena is
+    unlinked before the error propagates.
+    """
+    state_id = secrets.token_hex(8)
+    arena = ShmArena(tag=f"repro_{state_id[:8]}")
+    try:
+        model = state.model
+        model_spec = None
+        model_pickle = None
+        if hasattr(model, "parameter_arrays") and hasattr(model, "init_spec"):
+            model_spec = model.init_spec()
+            for name, array in model.parameter_arrays().items():
+                arena.put(f"param_{name}", array)
+        else:
+            model_pickle = pickle.dumps(model)
+
+        csr = FilterIndexCSR.from_graph(state.graph)
+        for name, array in csr.arrays().items():
+            arena.put(name, array)
+
+        groups_meta: list[tuple[int, Side, int]] = []
+        query_blocks: list[np.ndarray] = []
+        for group in state.groups:
+            block = np.asarray(group.queries, dtype=np.int64).reshape(-1, 4)
+            query_blocks.append(block)
+            groups_meta.append((group.relation, group.side, block.shape[0]))
+        queries = (
+            np.concatenate(query_blocks, axis=0)
+            if query_blocks
+            else np.empty((0, 4), dtype=np.int64)
+        )
+        arena.put("queries", queries)
+        num_queries = int(queries.shape[0])
+        arena.put("result", np.zeros(num_queries, dtype=np.float64))
+
+        pools_meta = None
+        if state.pools is not None:
+            pools_meta, pool_arrays = state.pools.export_arrays()
+            for name, array in pool_arrays.items():
+                arena.put(name, array)
+
+        manifest = StateManifest(
+            state_id=state_id,
+            arrays=arena.specs,
+            groups=groups_meta,
+            num_entities=csr.num_entities,
+            num_relations=csr.num_relations,
+            split=state.split,
+            sides=state.sides,
+            model_spec=model_spec,
+            model_pickle=model_pickle,
+            pools_meta=pools_meta,
+            num_queries=num_queries,
+        )
+    except BaseException:
+        arena.close()
+        raise
+    return PublishedState(
+        manifest=manifest, arena=arena, fingerprint=state_fingerprint(state)
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class SharedGraphView:
+    """The slice of :class:`~repro.kg.graph.KnowledgeGraph` chunk scoring
+    needs — filtered-answer lookups — backed by attached CSR arrays."""
+
+    def __init__(self, csr: FilterIndexCSR, name: str = "shared"):
+        self._csr = csr
+        self.name = name
+        self.num_entities = csr.num_entities
+        self.num_relations = csr.num_relations
+
+    def true_answers(self, anchor: int, relation: int, side: Side) -> np.ndarray:
+        return self._csr.true_answers(anchor, relation, side)
+
+
+@dataclass
+class AttachedState:
+    """A worker's live view of one published state."""
+
+    state_id: str
+    state: "EvaluationState"
+    result: np.ndarray
+    segments: list[shared_memory.SharedMemory] = field(repr=False, default_factory=list)
+
+    def close(self) -> None:
+        for segment in self.segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover — views still alive
+                pass
+        self.segments.clear()
+
+
+def attach_state(manifest: StateManifest) -> AttachedState:
+    """Rebuild a view-backed evaluation state inside a worker process."""
+    from repro.core.sampling import pools_from_arrays
+    from repro.engine.worker import EvaluationState, GroupState
+
+    arrays: dict[str, np.ndarray] = {}
+    segments: list[shared_memory.SharedMemory] = []
+    for name, spec in manifest.arrays.items():
+        view, segment = attach_array(spec)
+        arrays[name] = view
+        segments.append(segment)
+
+    if manifest.model_pickle is not None:
+        model = pickle.loads(manifest.model_pickle)
+    else:
+        from repro.models.io import build_from_spec
+
+        assert manifest.model_spec is not None
+        model = build_from_spec(manifest.model_spec)
+        model.attach_parameter_arrays(
+            {
+                name[len("param_") :]: view
+                for name, view in arrays.items()
+                if name.startswith("param_")
+            }
+        )
+
+    csr = FilterIndexCSR.from_arrays(
+        manifest.num_entities, manifest.num_relations, arrays
+    )
+    graph = SharedGraphView(csr)
+
+    queries = arrays["queries"]
+    groups: list[GroupState] = []
+    offset = 0
+    for relation, side, length in manifest.groups:
+        block = queries[offset : offset + length]
+        groups.append(
+            GroupState(
+                relation=relation,
+                side=side,
+                queries=block,
+                anchors=block[:, 0],
+                truths=block[:, 1],
+            )
+        )
+        offset += length
+
+    pools = None
+    if manifest.pools_meta is not None:
+        pools = pools_from_arrays(manifest.pools_meta, arrays)
+
+    state = EvaluationState(
+        model=model,
+        graph=graph,  # type: ignore[arg-type] — duck-typed true_answers view
+        groups=groups,
+        split=manifest.split,
+        sides=manifest.sides,
+        pools=pools,
+    )
+    return AttachedState(
+        state_id=manifest.state_id,
+        state=state,
+        result=arrays["result"],
+        segments=segments,
+    )

@@ -132,7 +132,73 @@ def score_chunk(state: EvaluationState, task: ChunkTask) -> tuple[np.ndarray, in
 
 
 # ----------------------------------------------------------------------
-# Worker-process plumbing
+# Persistent-pool worker loop (transport="shm")
+# ----------------------------------------------------------------------
+def worker_main(worker_id: int, task_queue, result_queue) -> None:
+    """The long-lived loop of one persistent shared-memory pool worker.
+
+    Messages on ``task_queue``:
+
+    * ``("state", manifest)`` — attach a freshly published state
+      (:func:`repro.engine.shm.attach_state`), replacing any previous
+      one, and acknowledge with ``("ready", worker_id, state_id)``;
+    * ``("task", state_id, index, task, offset)`` — score one chunk with
+      :func:`score_chunk` against the attached state, write the ranks
+      directly into the shared result buffer at ``offset``, and reply
+      ``("done", index, entities_scored)`` — the ranks themselves never
+      cross the queue;
+    * ``("stop",)`` — detach and exit.
+
+    Any failure is reported as ``("error", index, traceback)`` instead of
+    raised, so the parent always gets a message rather than a dead queue.
+    SIGINT is ignored: a Ctrl-C in the parent must interrupt the *parent*
+    (which then tears the pool down deliberately), not race ``N`` workers
+    into dying mid-write.
+    """
+    import signal
+    import traceback
+
+    from repro.engine.shm import attach_state
+
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover — exotic platforms
+        pass
+    attached = None
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "stop":
+            break
+        index = -1
+        try:
+            if kind == "state":
+                if attached is not None:
+                    attached.close()
+                    attached = None
+                attached = attach_state(message[1])
+                result_queue.put(("ready", worker_id, attached.state_id))
+            elif kind == "task":
+                _, state_id, index, task, offset = message
+                if attached is None or attached.state_id != state_id:
+                    raise RuntimeError(
+                        f"worker {worker_id} received a task for state "
+                        f"{state_id} but has "
+                        f"{attached.state_id if attached else 'no state'} attached"
+                    )
+                ranks, scored = score_chunk(attached.state, task)
+                attached.result[offset : offset + task.num_queries] = ranks
+                result_queue.put(("done", index, scored))
+            else:  # pragma: no cover — protocol error
+                raise RuntimeError(f"unknown worker message {kind!r}")
+        except BaseException:
+            result_queue.put(("error", index, traceback.format_exc()))
+    if attached is not None:
+        attached.close()
+
+
+# ----------------------------------------------------------------------
+# Legacy pool plumbing (transport="pickle")
 # ----------------------------------------------------------------------
 _WORKER_STATE: EvaluationState | None = None
 

@@ -269,6 +269,100 @@ class KnowledgeGraph:
         )
 
 
+@dataclass
+class FilterIndexCSR:
+    """The filter index flattened into three arrays per side (CSR form).
+
+    The dict-of-arrays :attr:`KnowledgeGraph.filter_index` is the right
+    shape for in-process lookups but cannot cross a process boundary
+    without pickling every entry.  This form packs one side into
+
+    * ``keys`` — sorted ``anchor * num_relations + relation`` composite
+      keys, one per non-empty ``(anchor, relation)`` pair;
+    * ``offsets`` — ``len(keys) + 1`` prefix offsets into ``values``;
+    * ``values`` — all known true answers, concatenated in key order.
+
+    All six arrays (two sides) are plain contiguous int64 buffers, so
+    they can live in ``multiprocessing.shared_memory`` and be attached
+    zero-copy by worker processes (:mod:`repro.engine.shm`).  Lookups
+    are one ``searchsorted`` per query — the same answers, byte for
+    byte, as :meth:`KnowledgeGraph.true_answers`.
+    """
+
+    num_entities: int
+    num_relations: int
+    keys: dict[Side, np.ndarray]
+    offsets: dict[Side, np.ndarray]
+    values: dict[Side, np.ndarray]
+
+    @classmethod
+    def from_graph(cls, graph: "KnowledgeGraph") -> "FilterIndexCSR":
+        """Flatten ``graph.filter_index`` (building it if necessary)."""
+        keys: dict[Side, np.ndarray] = {}
+        offsets: dict[Side, np.ndarray] = {}
+        values: dict[Side, np.ndarray] = {}
+        num_relations = graph.num_relations
+        for side in SIDES:
+            mapping = graph.filter_index[side]
+            composite = np.asarray(
+                [anchor * num_relations + relation for anchor, relation in mapping],
+                dtype=np.int64,
+            )
+            order = np.argsort(composite, kind="stable")
+            answer_lists = list(mapping.values())
+            keys[side] = composite[order]
+            lengths = np.asarray(
+                [answer_lists[i].size for i in order], dtype=np.int64
+            )
+            offsets[side] = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(lengths)]
+            )
+            values[side] = (
+                np.concatenate([answer_lists[i] for i in order])
+                if len(order)
+                else np.empty(0, dtype=np.int64)
+            )
+        return cls(
+            num_entities=graph.num_entities,
+            num_relations=graph.num_relations,
+            keys=keys,
+            offsets=offsets,
+            values=values,
+        )
+
+    def true_answers(self, anchor: int, relation: int, side: Side) -> np.ndarray:
+        """Known true answers for one query — equal to the dict index's."""
+        keys = self.keys[side]
+        key = anchor * self.num_relations + relation
+        position = int(np.searchsorted(keys, key))
+        if position >= keys.size or keys[position] != key:
+            return np.empty(0, dtype=np.int64)
+        offsets = self.offsets[side]
+        return self.values[side][offsets[position] : offsets[position + 1]]
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """The six flat arrays, named for shared-memory export."""
+        out: dict[str, np.ndarray] = {}
+        for side in SIDES:
+            out[f"filter_{side}_keys"] = self.keys[side]
+            out[f"filter_{side}_offsets"] = self.offsets[side]
+            out[f"filter_{side}_values"] = self.values[side]
+        return out
+
+    @classmethod
+    def from_arrays(
+        cls, num_entities: int, num_relations: int, arrays: Mapping[str, np.ndarray]
+    ) -> "FilterIndexCSR":
+        """Rebuild a view-backed index from :meth:`arrays` output."""
+        return cls(
+            num_entities=num_entities,
+            num_relations=num_relations,
+            keys={side: arrays[f"filter_{side}_keys"] for side in SIDES},
+            offsets={side: arrays[f"filter_{side}_offsets"] for side in SIDES},
+            values={side: arrays[f"filter_{side}_values"] for side in SIDES},
+        )
+
+
 def build_graph(
     triples_by_split: Mapping[str, Iterable[tuple[str, str, str]]],
     name: str = "kg",

@@ -133,6 +133,57 @@ class KGEModel(abc.ABC):
         """Total scalar parameter count."""
         return sum(p.data.size for p in self._params.values())
 
+    def parameter_arrays(self) -> dict[str, Array]:
+        """The raw numpy array behind every parameter tensor (no copy).
+
+        The returned arrays *are* the model's live parameters — mutating
+        one mutates the model.  Checkpointing and the shared-memory
+        evaluation transport both read parameters through this surface.
+        """
+        return {name: tensor.data for name, tensor in self._params.items()}
+
+    def attach_parameter_arrays(self, arrays: Mapping[str, Array]) -> None:
+        """Replace every parameter's storage with the given arrays, zero-copy.
+
+        Each array must match the existing parameter's shape and dtype
+        exactly — this is a storage swap, not a cast — which is what lets
+        worker processes back a freshly built model with shared-memory
+        views instead of private copies.  Gradients are reset because
+        they no longer correspond to the new storage.
+        """
+        missing = set(self._params) - set(arrays)
+        if missing:
+            raise KeyError(f"missing parameter arrays: {sorted(missing)}")
+        for name, tensor in self._params.items():
+            array = arrays[name]
+            if array.shape != tensor.data.shape or array.dtype != tensor.data.dtype:
+                raise ValueError(
+                    f"parameter {name!r} expects {tensor.data.shape} "
+                    f"{tensor.data.dtype}, got {array.shape} {array.dtype}"
+                )
+            tensor.data = array
+            tensor.grad = None
+
+    def init_spec(self) -> dict:
+        """The constructor metadata needed to rebuild this model.
+
+        Includes the common five arguments plus every declared
+        :attr:`extra_init_fields` entry; :func:`repro.models.io.
+        build_from_spec` consumes it.  This is also exactly what
+        ``save_model`` stamps into checkpoints.
+        """
+        spec = {
+            "name": self.name,
+            "num_entities": self.num_entities,
+            "num_relations": self.num_relations,
+            "dim": self.dim,
+            "seed": self.seed,
+            "dtype": self.dtype,
+        }
+        for field in self.extra_init_fields:
+            spec[field] = getattr(self, field)
+        return spec
+
     def zero_grad(self) -> None:
         for param in self._params.values():
             param.zero_grad()

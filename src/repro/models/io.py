@@ -28,17 +28,8 @@ def save_model(model: KGEModel, path: str | os.PathLike[str]) -> None:
     so a model cannot silently drop them here: new constructor
     parameters fail the signature-coverage test until declared.
     """
-    meta = {
-        "name": model.name,
-        "num_entities": model.num_entities,
-        "num_relations": model.num_relations,
-        "dim": model.dim,
-        "seed": model.seed,
-        "dtype": model.dtype,
-    }
-    for field in model.extra_init_fields:
-        meta[field] = getattr(model, field)
-    arrays = {key: tensor.data for key, tensor in model.parameters.items()}
+    meta = model.init_spec()
+    arrays = model.parameter_arrays()
     if _META_KEY in arrays:
         raise ValueError(f"parameter name {_META_KEY!r} is reserved")
     arrays[_META_KEY] = np.frombuffer(
@@ -47,27 +38,38 @@ def save_model(model: KGEModel, path: str | os.PathLike[str]) -> None:
     np.savez_compressed(path, **arrays)
 
 
-def load_model(path: str | os.PathLike[str]) -> KGEModel:
-    """Rebuild a model from a :func:`save_model` checkpoint."""
+def build_from_spec(spec: dict) -> KGEModel:
+    """Rebuild an untrained model from an :meth:`~repro.models.base.
+    KGEModel.init_spec` dict (freshly initialised parameters).
+
+    The shared-memory evaluation transport rebuilds worker-side models
+    this way and then swaps in the parent's parameter storage with
+    :meth:`~repro.models.base.KGEModel.attach_parameter_arrays`.
+    """
     # Imported here to keep repro.models importable before this module.
     from repro.models import build_model
 
+    meta = dict(spec)
+    return build_model(
+        meta.pop("name"),
+        meta.pop("num_entities"),
+        meta.pop("num_relations"),
+        dim=meta.pop("dim"),
+        seed=meta.pop("seed"),
+        # Checkpoints written before the dtype knob default to float64,
+        # which is exactly what they were trained in.
+        dtype=meta.pop("dtype", "float64"),
+        **meta,
+    )
+
+
+def load_model(path: str | os.PathLike[str]) -> KGEModel:
+    """Rebuild a model from a :func:`save_model` checkpoint."""
     with np.load(path) as archive:
         if _META_KEY not in archive:
             raise ValueError(f"{path} is not a repro model checkpoint")
         meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
-        name = meta.pop("name")
-        model = build_model(
-            name,
-            meta.pop("num_entities"),
-            meta.pop("num_relations"),
-            dim=meta.pop("dim"),
-            seed=meta.pop("seed"),
-            # Checkpoints written before the dtype knob default to float64,
-            # which is exactly what they were trained in.
-            dtype=meta.pop("dtype", "float64"),
-            **meta,
-        )
+        model = build_from_spec(meta)
         for key, tensor in model.parameters.items():
             stored = archive[key]
             if stored.shape != tensor.data.shape:

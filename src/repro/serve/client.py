@@ -120,6 +120,13 @@ class ServeClient:
         )
         return payload["results"]
 
+    def evaluate(self, model: str, split: str = "test") -> dict:
+        """Full offline evaluation of a served model
+        (see :meth:`LinkPredictionService.evaluate_model`)."""
+        if self.service is not None:
+            return self.service.evaluate_model(model, split=split)
+        return self._http("POST", "/v1/evaluate", {"model": model, "split": split})
+
     def models(self) -> list[dict]:
         if self.service is not None:
             return self.service.models()

@@ -7,6 +7,7 @@ Routes::
     GET  /v1/models   -> {"models": service.models()}
     POST /v1/rank     -> service.rank(**body)
     POST /v1/score    -> {"results": service.score(**body)}
+    POST /v1/evaluate -> service.evaluate_model(**body)
 
 ``ThreadingHTTPServer`` gives one thread per connection; concurrency
 converges in the :class:`~repro.serve.scheduler.BatchScheduler`, which is
@@ -34,6 +35,7 @@ MAX_BODY_BYTES = 1 << 20
 
 _RANK_FIELDS = {"model", "anchor", "relation", "side", "k", "filter_known", "candidates"}
 _SCORE_FIELDS = {"model", "triples", "sides", "candidates"}
+_EVALUATE_FIELDS = {"model", "split"}
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -113,6 +115,9 @@ class _Handler(BaseHTTPRequestHandler):
                 if "sides" in body:
                     body["sides"] = tuple(body["sides"])
                 self._send(200, {"results": service.score(**body)})
+            elif self.path == "/v1/evaluate":
+                self._check_fields(body, _EVALUATE_FIELDS, {"model"})
+                self._send(200, service.evaluate_model(**body))
             else:
                 self._send(404, {"error": f"unknown path {self.path}"})
         except KeyError as error:

@@ -12,6 +12,11 @@ and an LRU result cache:
   `collect_known_answers` + `chunk_filtered_ranks`), so a served rank is
   bitwise-identical to the same query's rank in
   :func:`repro.core.ranking.evaluate_full`;
+* :meth:`evaluate_model` — a full offline evaluation of one registered
+  model, executed on a **service-owned persistent worker pool**
+  (``engine_workers > 1``) that stays warm across requests — the shared
+  state is published into shared memory once per model and reused until
+  :meth:`close`;
 * :meth:`models` / :meth:`health` — introspection for ``/v1/models`` and
   ``/healthz``.
 
@@ -28,6 +33,8 @@ import time
 import numpy as np
 
 from repro.engine.chunking import chunk_filtered_ranks, collect_known_answers
+from repro.engine.engine import EvaluationEngine
+from repro.engine.pool import PersistentWorkerPool
 from repro.kg.graph import SIDES, Side
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.registry import ModelRegistry
@@ -45,6 +52,28 @@ DEFAULT_CACHE_SIZE = 1024
 
 #: Default per-request resolution timeout (seconds).
 DEFAULT_TIMEOUT = 30.0
+
+
+def _engine_metrics_text(exclude: MetricsRegistry) -> str:
+    """Engine-pool families from the process-global registry.
+
+    The engine publishes its shm/pool gauges process-globally (workers
+    must never touch a registry), while the service renders its own
+    isolated registry — so a ``/metrics`` scrape would miss the pool
+    unless the engine families are appended here.  ``exclude`` guards
+    the double-render when a caller wired the global registry in.
+    """
+    from repro.obs import get_registry
+
+    registry = get_registry()
+    if registry is exclude:
+        return ""
+    lines = []
+    for line in registry.render().splitlines():
+        name = line.split(" ", 3)[2] if line.startswith("#") else line
+        if name.startswith("repro_engine_"):
+            lines.append(line)
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 class LinkPredictionService:
@@ -65,6 +94,12 @@ class LinkPredictionService:
         Optional :class:`~repro.obs.metrics.MetricsRegistry` to publish
         into; the service builds its own by default so ``/metrics``
         reflects exactly this service.
+    engine_workers / engine_start_method:
+        Evaluation fan-out for :meth:`evaluate_model`.  ``engine_workers
+        <= 1`` (default) evaluates serially in-process; ``> 1`` lazily
+        starts one :class:`~repro.engine.pool.PersistentWorkerPool` owned
+        by this service and reuses it for every evaluation request until
+        :meth:`close`.
     """
 
     def __init__(
@@ -75,10 +110,17 @@ class LinkPredictionService:
         cache_size: int = DEFAULT_CACHE_SIZE,
         timeout: float = DEFAULT_TIMEOUT,
         metrics: MetricsRegistry | None = None,
+        engine_workers: int = 1,
+        engine_start_method: str | None = None,
     ):
         self.registry = registry
         self.graph = registry.graph
         self.timeout = timeout
+        self.engine_workers = max(1, engine_workers)
+        self.engine_start_method = engine_start_method
+        self._engine_pool = None
+        self._engine_lock = threading.Lock()
+        self._evaluations_total = 0
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.scheduler = BatchScheduler(
             self._score_batch,
@@ -269,6 +311,76 @@ class LinkPredictionService:
             rows.append({**meta, "score": payload["score"], "rank": payload["rank"]})
         return rows
 
+    def evaluate_model(self, model: str, split: str = "test") -> dict:
+        """``/v1/evaluate``: full filtered ranking of one registered model.
+
+        Runs the offline engine on the serving graph's ``split``.  With
+        ``engine_workers > 1`` the run executes on the service's private
+        persistent worker pool — the first request pays pool start and
+        state publication, repeat requests for the same model reuse both,
+        so the shared-memory footprint stays flat across requests.
+        """
+        start = time.perf_counter()
+        try:
+            kge = self.registry.model(model)  # KeyError -> 404 upstream
+            engine = EvaluationEngine(
+                workers=self.engine_workers,
+                start_method=self.engine_start_method,
+                pool=self._ensure_engine_pool(),
+            )
+            run = engine.run(kge, self.graph, split=split, keep_ranks=False)
+            self._evaluations_total += 1
+            return {
+                "model": model,
+                "split": split,
+                "metrics": run.metrics.as_dict(),
+                "num_queries": run.num_queries,
+                "num_scored": run.num_scored,
+                "seconds": round(run.seconds, 6),
+                "workers": run.workers,
+            }
+        finally:
+            self._requests_total.inc(endpoint="evaluate")
+            self._request_seconds.observe(
+                time.perf_counter() - start, endpoint="evaluate"
+            )
+
+    def _ensure_engine_pool(self):
+        """The service-owned persistent pool (lazily started, auto-healed)."""
+        if self.engine_workers <= 1:
+            return None
+        with self._engine_lock:
+            pool = self._engine_pool
+            if pool is not None and not pool.alive():
+                pool.shutdown(force=True)
+                pool = None
+            if pool is None:
+                pool = PersistentWorkerPool(
+                    self.engine_workers, start_method=self.engine_start_method
+                )
+                self._engine_pool = pool
+            return pool
+
+    def engine_pool_stats(self) -> dict:
+        """Lifecycle counters of the service-owned evaluation pool."""
+        with self._engine_lock:
+            pool = self._engine_pool
+            if pool is None:
+                return {
+                    "workers": self.engine_workers,
+                    "started": False,
+                    "evaluations": self._evaluations_total,
+                }
+            return {
+                "workers": pool.workers,
+                "started": True,
+                "alive": pool.alive(),
+                "start_method": pool.start_method,
+                "runs_completed": pool.runs_completed,
+                "states_published": pool.states_published,
+                "evaluations": self._evaluations_total,
+            }
+
     def models(self) -> list[dict]:
         """``/v1/models``: every registered model with its metadata."""
         return self.registry.rows()
@@ -289,6 +401,7 @@ class LinkPredictionService:
             "models": self.registry.names(),
             "scheduler": self.scheduler.stats(),
             "cache": cache,
+            "engine_pool": self.engine_pool_stats(),
         }
 
     def metrics_text(self) -> str:
@@ -314,11 +427,17 @@ class LinkPredictionService:
         self.metrics.gauge(
             "repro_serve_mean_batch_size", "Mean requests per scoring call"
         ).set(round(self.scheduler.mean_batch_size, 4))
-        return self.metrics.render()
+        text = self.metrics.render()
+        engine = _engine_metrics_text(exclude=self.metrics)
+        return text + engine if engine else text
 
     def close(self) -> None:
-        """Flush in-flight batches and stop the scheduler."""
+        """Flush in-flight batches, stop the scheduler and the engine pool."""
         self.scheduler.close()
+        with self._engine_lock:
+            pool, self._engine_pool = self._engine_pool, None
+        if pool is not None:
+            pool.shutdown()
 
     def __enter__(self) -> "LinkPredictionService":
         return self
