@@ -36,6 +36,7 @@ Three claims, all asserted:
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -47,6 +48,8 @@ from repro.core.protocol import EvaluationProtocol
 from repro.datasets import SyntheticConfig, generate
 from repro.engine import shutdown_engine_pools
 from repro.models import build_model
+from repro.obs import get_registry
+from repro.obs.top import scrape, sum_family
 
 #: Acceptance floors, both at 4 workers: latency-bound fan-out vs 1
 #: worker, and shm transport vs legacy pickle transport on CPU-bound work.
@@ -195,6 +198,135 @@ def test_parallel_engine_speedup(emit, emit_json):
     assert latency_speedup >= MIN_SPEEDUP
     assert cpu_transport_speedup >= MIN_SPEEDUP
     shutdown_engine_pools()  # leave no pool (or segment) behind for later benches
+
+
+#: Telemetry acceptance: a traced steady-state run may cost at most 5%
+#: over the untraced run (plus a small absolute slack for timer noise),
+#: and the workers' merged busy seconds must account for >= 80% of the
+#: run's wall time — proof the spans measure where the time really goes.
+TELEMETRY_OVERHEAD_FACTOR = 1.05
+TELEMETRY_OVERHEAD_SLACK = 0.02
+MIN_BUSY_ACCOUNTING = 0.8
+
+
+def _median(values):
+    return sorted(values)[len(values) // 2]
+
+
+def test_worker_telemetry_accounting_and_overhead(emit, emit_json):
+    """Worker telemetry: complete accounting, negligible cost, exact ranks.
+
+    Two gated claims on the shm transport's per-chunk telemetry:
+
+    1. **Accounting** — over one steady-state CPU-bound run, the
+       ``repro_engine_worker_busy_seconds_total`` deltas merged from the
+       workers cover >= 80% of the run's wall time (workers overlap, so
+       the ratio can legitimately exceed 1 on multi-core hosts).
+    2. **Overhead** — the median of 3 telemetry-on runs costs <= 5% over
+       the median of 3 interleaved telemetry-off runs (the
+       ``REPRO_ENGINE_TELEMETRY=0`` kill-switch path), and every run's
+       ranks are bitwise-identical either way.
+    """
+    dataset = _large_synthetic()
+    graph = dataset.graph
+    model = build_model(
+        "distmult", graph.num_entities, graph.num_relations, dim=32, seed=0
+    )
+    graph.filter_index  # noqa: B018 — warm once, outside every timed region
+    registry = get_registry()
+
+    def _busy_total() -> float:
+        return sum_family(
+            scrape(registry), "repro_engine_worker_busy_seconds_total"
+        )
+
+    def _timed(telemetry: str):
+        os.environ["REPRO_ENGINE_TELEMETRY"] = telemetry
+        try:
+            return _timed_full(model, graph, workers=WORKERS, transport="shm")
+        finally:
+            del os.environ["REPRO_ENGINE_TELEMETRY"]
+
+    serial, _ = _timed_full(model, graph, workers=1)
+    warmup, _ = _timed("1")  # pool start + state publish paid here
+    assert warmup.ranks == serial.ranks
+
+    # -- Accounting: merged busy seconds vs one steady-state run's wall. -
+    busy_before = _busy_total()
+    accounted_run, accounting_wall = _timed("1")
+    busy_delta = _busy_total() - busy_before
+    accounting = busy_delta / max(accounting_wall, 1e-9)
+    assert accounted_run.ranks == serial.ranks
+
+    # -- Overhead: interleaved on/off runs, median of 3 each. ------------
+    baseline_seconds: list[float] = []
+    traced_seconds: list[float] = []
+    for _ in range(3):
+        off_run, off_wall = _timed("0")
+        on_run, on_wall = _timed("1")
+        assert off_run.ranks == serial.ranks
+        assert on_run.ranks == serial.ranks
+        baseline_seconds.append(off_wall)
+        traced_seconds.append(on_wall)
+    baseline = _median(baseline_seconds)
+    traced = _median(traced_seconds)
+    overhead = traced / max(baseline, 1e-9)
+
+    rows = [
+        {
+            "Claim": "busy-seconds accounting of one run's wall time",
+            "Measured": f"{accounting:.2f}x",
+            "Floor/ceiling": f">= {MIN_BUSY_ACCOUNTING}x",
+            "Ranks equal": "yes",
+        },
+        {
+            "Claim": "telemetry-on vs telemetry-off wall time (median of 3)",
+            "Measured": f"{overhead:.3f}x",
+            "Floor/ceiling": f"<= {TELEMETRY_OVERHEAD_FACTOR}x + "
+            f"{TELEMETRY_OVERHEAD_SLACK}s",
+            "Ranks equal": "yes",
+        },
+    ]
+    emit(
+        "worker_telemetry",
+        render_table(
+            rows,
+            title=(
+                f"Worker telemetry, full ranking of {graph.name} at "
+                f"{WORKERS} shm workers"
+            ),
+        ),
+    )
+    emit_json(
+        "worker_telemetry",
+        {
+            "bench": "bench_parallel_engine::worker_telemetry",
+            "workers": WORKERS,
+            "busy_accounting_ratio": accounting,
+            "busy_seconds": busy_delta,
+            "accounting_wall_seconds": accounting_wall,
+            "telemetry_on_seconds": traced,
+            "telemetry_off_seconds": baseline,
+            "telemetry_overhead_ratio": overhead,
+            "min_busy_accounting": MIN_BUSY_ACCOUNTING,
+            "max_overhead_factor": TELEMETRY_OVERHEAD_FACTOR,
+            "ranks_equal": True,
+        },
+        config={
+            "workers": WORKERS,
+            "chunk_size": CHUNK_SIZE,
+            "model": "distmult",
+            "dim": 32,
+            "runs_per_mode": 3,
+            "overhead_definition": (
+                "median telemetry-on seconds / median telemetry-off "
+                "seconds, interleaved steady-state shm runs"
+            ),
+        },
+    )
+    assert accounting >= MIN_BUSY_ACCOUNTING
+    assert traced <= baseline * TELEMETRY_OVERHEAD_FACTOR + TELEMETRY_OVERHEAD_SLACK
+    shutdown_engine_pools()
 
 
 def test_parallel_sampled_matches_serial():

@@ -21,7 +21,12 @@ first:
 * ``runs``            — list/show the experiment store's run journal
   (spec-driven runs print their originating spec JSON);
 * ``cache``           — list or garbage-collect the artifact cache;
-* ``trace``           — render the span trace a ``--trace`` run journaled;
+* ``trace``           — render the span trace a ``--trace`` run journaled
+  (``show``), or export its timeline as Chrome ``trace_event`` JSON
+  (``export --format chrome``, loadable in ``chrome://tracing``);
+* ``top``             — live terminal dashboard over a serve instance's
+  ``/metrics`` (qps, latency quantiles, batch occupancy, cache hit rate,
+  pool worker utilisation, shm bytes), ``--once`` for scripting;
 * ``bench``           — trend view over committed ``BENCH_*.json`` records
   and the perf-regression gate CI runs against them.
 
@@ -419,6 +424,7 @@ def _serve_from_spec(
         max_batch_size=serve.max_batch,
         max_wait=serve.max_wait_ms / 1000.0,
         cache_size=serve.cache_size,
+        engine_workers=serve.engine_workers,
     )
     print(
         f"Serving on http://{serve.host}:{serve.port} "
@@ -443,6 +449,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
             cache_size=args.cache_size,
+            engine_workers=args.engine_workers,
             recommender=args.recommender,
             model_paths=tuple(args.model_path or ()),
         ),
@@ -564,12 +571,43 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             f"to record one"
         )
         return 1
+    if args.trace_command == "export":
+        import json as json_module
+
+        from repro.obs.trace import chrome_trace
+
+        events = record.obs.get("events", [])
+        if not events:
+            print(
+                f"run {record.run_id} has no timeline events — traces recorded "
+                f"before timeline support carry only the aggregate span tree"
+            )
+            return 1
+        payload = chrome_trace(
+            events, metadata={"run_id": record.run_id, "kind": record.kind}
+        )
+        text = json_module.dumps(payload, indent=2)
+        if args.out:
+            Path(args.out).write_text(text + "\n", encoding="utf-8")
+            print(
+                f"wrote {len(events)} events to {args.out} "
+                f"(open in chrome://tracing or Perfetto)"
+            )
+        else:
+            print(text)
+        return 0
     print(
         render_trace(
             record.obs, title=f"Span trace of run {record.run_id} ({record.kind})"
         )
     )
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import run_top
+
+    return run_top(source=args.url, interval=args.interval, once=args.once)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -785,6 +823,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU top-k result cache entries (0 disables)",
     )
     serve.add_argument(
+        "--engine-workers",
+        type=int,
+        default=1,
+        help="persistent pool workers for /v1/evaluate (1 = in-process)",
+    )
+    serve.add_argument(
         "--dry-run",
         action="store_true",
         help="load models and print the serving table without binding the port",
@@ -822,6 +866,45 @@ def build_parser() -> argparse.ArgumentParser:
         "show", parents=[store_parent], help="render one run's span trace"
     )
     trace_show.add_argument("run_id", help="run id (prefixes accepted)")
+    trace_export = trace_commands.add_parser(
+        "export",
+        parents=[store_parent],
+        help="export one run's timeline as Chrome trace_event JSON",
+    )
+    trace_export.add_argument("run_id", help="run id (prefixes accepted)")
+    trace_export.add_argument(
+        "--format",
+        choices=("chrome",),
+        default="chrome",
+        help="export format (chrome trace_event JSON)",
+    )
+    trace_export.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the JSON here instead of stdout",
+    )
+
+    top = commands.add_parser(
+        "top", help="live dashboard over a serve instance's /metrics"
+    )
+    top.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080/metrics",
+        help="metrics endpoint to poll",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between scrapes",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (scripting / CI)",
+    )
 
     bench = commands.add_parser(
         "bench", help="benchmark records: trend view + regression gate"
@@ -883,6 +966,7 @@ _HANDLERS = {
     "runs": _cmd_runs,
     "cache": _cmd_cache,
     "trace": _cmd_trace,
+    "top": _cmd_top,
     "bench": _cmd_bench,
 }
 

@@ -51,6 +51,7 @@ from repro.kg.graph import SIDES, KnowledgeGraph, Side
 from repro.metrics.ranking import HITS_AT, RankingMetrics, aggregate_ranks
 from repro.models.base import KGEModel
 from repro.obs import get_registry, get_tracer
+from repro.obs.log import log_event
 
 if TYPE_CHECKING:
     from repro.core.sampling import NegativePools
@@ -209,6 +210,16 @@ class EvaluationEngine:
             num_queries = len(ranks)  # duplicate queries collapse, as before
         else:
             metrics = accumulator.finalize()
+        log_event(
+            "engine.run",
+            split=split,
+            workers=self.workers,
+            transport=self.transport if self.workers > 1 else "serial",
+            chunks=len(tasks),
+            queries=num_queries,
+            entities=num_scored,
+            seconds=round(time.perf_counter() - start, 6),
+        )
         return EngineRun(
             metrics=metrics,
             ranks=ranks,

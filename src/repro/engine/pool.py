@@ -13,9 +13,13 @@ requests), each looping on its own task queue.  A pool executes *runs*:
 2. chunk tasks are dispatched round-robin; each worker scores its chunks
    with the same :func:`~repro.engine.worker.score_chunk` kernel as the
    serial path and writes the ranks **directly into the shared result
-   buffer** — only a ``("done", index, scored)`` tuple rides the result
-   queue;
-3. the parent slices the buffer back into schedule order.
+   buffer** — only a ``("done", index, scored, telemetry)`` tuple rides
+   the result queue;
+3. the parent slices the buffer back into schedule order and merges the
+   workers' shipped telemetry deltas into per-worker-labelled
+   ``repro_engine_worker_*`` metric families and ``engine.worker.*``
+   trace spans (:func:`resolve_telemetry` / ``$REPRO_ENGINE_TELEMETRY``
+   turn the shipping off).
 
 Fault model: a worker that dies mid-run (OOM-kill, segfault, ``os._exit``)
 is detected by liveness polling on the result-queue wait and surfaces as
@@ -41,7 +45,9 @@ import numpy as np
 
 from repro.engine.chunking import group_offsets
 from repro.engine.shm import PublishedState, publish_state, state_fingerprint
-from repro.obs import get_registry
+from repro.obs import get_registry, get_tracer
+from repro.obs.context import current_trace_id
+from repro.obs.log import log_event
 
 if TYPE_CHECKING:
     from repro.engine.chunking import ChunkTask
@@ -55,6 +61,53 @@ POLL_INTERVAL = 0.1
 
 #: Seconds allowed for a worker to attach a freshly published state.
 STATE_ATTACH_TIMEOUT = 120.0
+
+#: Help text for the merged per-worker counter families (one labelled
+#: series per worker, merged parent-side from shipped deltas).
+WORKER_COUNTER_HELP: dict[str, str] = {
+    "repro_engine_worker_chunks_total": "Chunks scored, per pool worker",
+    "repro_engine_worker_queries_total": "Queries ranked, per pool worker",
+    "repro_engine_worker_entities_total": (
+        "Candidate entities scored, per pool worker"
+    ),
+    "repro_engine_worker_queue_wait_seconds_total": (
+        "Seconds chunks waited on the task queue, per pool worker"
+    ),
+    "repro_engine_worker_attach_seconds_total": (
+        "Seconds spent attaching shared states, per pool worker"
+    ),
+    "repro_engine_worker_score_seconds_total": (
+        "Seconds spent scoring chunks, per pool worker"
+    ),
+    "repro_engine_worker_write_seconds_total": (
+        "Seconds spent writing ranks to the shared buffer, per pool worker"
+    ),
+    "repro_engine_worker_busy_seconds_total": (
+        "Seconds spent attached + scoring + writing, per pool worker"
+    ),
+}
+
+#: Worker stage counters folded back into the parent trace as spans.
+_STAGE_SPANS: dict[str, str] = {
+    "repro_engine_worker_queue_wait_seconds_total": "engine.worker.queue_wait",
+    "repro_engine_worker_score_seconds_total": "engine.worker.score",
+    "repro_engine_worker_write_seconds_total": "engine.worker.write",
+    "repro_engine_worker_attach_seconds_total": "engine.worker.attach",
+}
+
+
+def resolve_telemetry(telemetry: bool | None = None) -> bool:
+    """``telemetry`` argument > ``$REPRO_ENGINE_TELEMETRY`` > on.
+
+    Worker-side telemetry is on by default (its cost is a handful of
+    clock reads per chunk, asserted ≤5% end-to-end by
+    ``bench_parallel_engine``); set ``REPRO_ENGINE_TELEMETRY=0`` to get
+    the bare score-and-write worker loop.
+    """
+    if telemetry is not None:
+        return telemetry
+    raw = (os.environ.get("REPRO_ENGINE_TELEMETRY") or "").strip().lower()
+    return raw not in ("0", "false", "off", "no")
 
 
 class EngineWorkerError(RuntimeError):
@@ -128,6 +181,13 @@ class PersistentWorkerPool:
         get_registry().counter(
             "repro_engine_pool_starts_total", "Engine worker pools started", labels=("pool",)
         ).inc(pool=self.label)
+        log_event(
+            "engine.pool.start",
+            pool=self.label,
+            workers=workers,
+            start_method=self.start_method,
+            pids=self.worker_pids(),
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -173,15 +233,15 @@ class PersistentWorkerPool:
         if reusable:
             return current  # type: ignore[return-value]
         published = publish_state(state)
+        attach_seconds: dict[int, float] = {}
         try:
             for task_queue in self._task_queues:
                 task_queue.put(("state", published.manifest))
             deadline = time.monotonic() + STATE_ATTACH_TIMEOUT
-            acknowledged = 0
-            while acknowledged < self.workers:
+            while len(attach_seconds) < self.workers:
                 message = self._next_message(deadline, waiting_for="state attach")
                 if message[0] == "ready":
-                    acknowledged += 1
+                    attach_seconds[message[1]] = float(message[3])
                 elif message[0] == "error":
                     raise EngineWorkerError(
                         f"worker failed to attach shared state:\n{message[2]}"
@@ -193,11 +253,30 @@ class PersistentWorkerPool:
             current.close()
         self._published = published
         self.states_published += 1
-        get_registry().counter(
+        registry = get_registry()
+        registry.counter(
             "repro_engine_state_publish_total",
             "Evaluation states published into shared memory",
             labels=("pool",),
         ).inc(pool=self.label)
+        # Attach time is measured worker-side and shipped on the "ready"
+        # ack — the only stage that happens outside a chunk reply.
+        for worker_id, seconds in attach_seconds.items():
+            registry.merge_counters(
+                {
+                    "repro_engine_worker_attach_seconds_total": seconds,
+                    "repro_engine_worker_busy_seconds_total": seconds,
+                },
+                labels={"pool": self.label, "worker": str(worker_id)},
+                help_texts=WORKER_COUNTER_HELP,
+            )
+        log_event(
+            "engine.state.publish",
+            pool=self.label,
+            state_id=published.manifest.state_id,
+            shm_bytes=published.arena.nbytes,
+            attach_seconds=round(sum(attach_seconds.values()), 6),
+        )
         return published
 
     # ------------------------------------------------------------------
@@ -208,6 +287,7 @@ class PersistentWorkerPool:
         state: "EvaluationState",
         tasks: Sequence["ChunkTask"],
         timeout: float | None = None,
+        telemetry: bool | None = None,
     ) -> list[tuple[np.ndarray, int]]:
         """Score ``tasks`` against ``state``; results in schedule order.
 
@@ -215,10 +295,23 @@ class PersistentWorkerPool:
         failure — worker crash, worker-side exception, timeout, or an
         interrupt of the caller — marks the pool broken and shuts it
         down before re-raising, so shared segments never leak.
+
+        With telemetry on (:func:`resolve_telemetry` — the default) each
+        task carries its enqueue timestamp plus the caller's trace id,
+        and each reply carries the worker's counter delta; the deltas
+        are merged into the process registry as per-worker-labelled
+        ``repro_engine_worker_*`` families and folded into the active
+        trace as ``engine.worker.*`` spans (plus the workers' own
+        timestamped events when the tracer records timelines).
         """
         with self._lock:
             if self.closed or self.broken:
                 raise EngineWorkerError("worker pool is no longer usable")
+            telemetry_on = resolve_telemetry(telemetry)
+            tracer = get_tracer()
+            timeline = telemetry_on and tracer.enabled and tracer.timeline
+            trace_id = current_trace_id() if timeline else None
+            deltas: list[tuple[int, dict]] = []
             try:
                 published = self.ensure_state(state)
                 manifest = published.manifest
@@ -227,8 +320,17 @@ class PersistentWorkerPool:
                 )
                 for index, task in enumerate(tasks):
                     offset = int(group_starts[task.group] + task.start)
+                    meta = (
+                        {
+                            "enqueue_ts": time.time(),
+                            "timeline": timeline,
+                            "trace_id": trace_id,
+                        }
+                        if telemetry_on
+                        else None
+                    )
                     self._task_queues[index % self.workers].put(
-                        ("task", manifest.state_id, index, task, offset)
+                        ("task", manifest.state_id, index, task, offset, meta)
                     )
                 deadline = time.monotonic() + timeout if timeout is not None else None
                 scored: dict[int, int] = {}
@@ -236,6 +338,8 @@ class PersistentWorkerPool:
                     message = self._next_message(deadline, waiting_for="chunk results")
                     if message[0] == "done":
                         scored[message[1]] = message[2]
+                        if message[3] is not None:
+                            deltas.append((message[1] % self.workers, message[3]))
                     elif message[0] == "error":
                         raise EngineWorkerError(
                             f"engine worker failed on chunk {message[1]}:\n{message[2]}"
@@ -261,7 +365,46 @@ class PersistentWorkerPool:
                 "Age of each persistent engine pool at its last run",
                 labels=("pool",),
             ).set(round(time.time() - self.started_at, 3), pool=self.label)
+            if deltas:
+                self._merge_worker_telemetry(deltas, registry, tracer)
             return results
+
+    def _merge_worker_telemetry(self, deltas, registry, tracer) -> None:
+        """Fold shipped worker deltas into the parent registry and trace.
+
+        Counters land as ``repro_engine_worker_*{pool=,worker=}`` series
+        (so ``/metrics`` exposes them via the serve layer's
+        ``repro_engine_`` passthrough); stage seconds also fold into the
+        active span tree as ``engine.worker.*`` children, and any
+        timestamped worker events append verbatim — their worker-side
+        ``pid``/``tid``/``trace_id`` preserved — so a Chrome export
+        shows every process on one timeline.
+        """
+        for worker_id, delta in deltas:
+            counters = delta.get("counters", {})
+            if counters:
+                registry.merge_counters(
+                    counters,
+                    labels={"pool": self.label, "worker": str(worker_id)},
+                    help_texts=WORKER_COUNTER_HELP,
+                )
+            if not tracer.enabled:
+                continue
+            chunks = int(counters.get("repro_engine_worker_chunks_total", 1)) or 1
+            for counter_name, span_name in _STAGE_SPANS.items():
+                seconds = counters.get(counter_name)
+                if seconds:
+                    tracer.record(span_name, seconds, count=chunks, event=False)
+            for event in delta.get("events", ()):
+                tracer.add_event(
+                    event["name"],
+                    event["ts"],
+                    event["dur"],
+                    pid=event.get("pid"),
+                    tid=event.get("tid"),
+                    trace_id=event.get("trace_id"),
+                    args=event.get("args"),
+                )
 
     def _next_message(self, deadline: float | None, waiting_for: str):
         """One result-queue message, guarded by liveness and the deadline."""
@@ -290,6 +433,7 @@ class PersistentWorkerPool:
     # ------------------------------------------------------------------
     def _mark_broken(self) -> None:
         self.broken = True
+        log_event("engine.pool.broken", pool=self.label, runs=self.runs_completed)
         self.shutdown(force=True)
 
     def shutdown(self, force: bool = False, join_timeout: float = 2.0) -> None:
@@ -297,6 +441,12 @@ class PersistentWorkerPool:
         if self.closed:
             return
         self.closed = True
+        log_event(
+            "engine.pool.shutdown",
+            pool=self.label,
+            forced=force,
+            runs=self.runs_completed,
+        )
         if not force:
             for task_queue in self._task_queues:
                 try:

@@ -141,13 +141,25 @@ def worker_main(worker_id: int, task_queue, result_queue) -> None:
 
     * ``("state", manifest)`` — attach a freshly published state
       (:func:`repro.engine.shm.attach_state`), replacing any previous
-      one, and acknowledge with ``("ready", worker_id, state_id)``;
-    * ``("task", state_id, index, task, offset)`` — score one chunk with
-      :func:`score_chunk` against the attached state, write the ranks
-      directly into the shared result buffer at ``offset``, and reply
-      ``("done", index, entities_scored)`` — the ranks themselves never
-      cross the queue;
+      one, and acknowledge with ``("ready", worker_id, state_id,
+      attach_seconds)``;
+    * ``("task", state_id, index, task, offset, meta)`` — score one
+      chunk with :func:`score_chunk` against the attached state, write
+      the ranks directly into the shared result buffer at ``offset``,
+      and reply ``("done", index, entities_scored, telemetry)`` — the
+      ranks themselves never cross the queue;
     * ``("stop",)`` — detach and exit.
+
+    Telemetry: the worker runs its **own** ``MetricsRegistry`` +
+    ``Tracer`` (never the parent's process-globals — under ``fork``
+    those can snapshot held locks).  When a task carries ``meta`` the
+    worker times its stages (queue wait from ``meta["enqueue_ts"]``,
+    scoring, the rank write), folds them into its private
+    ``repro_engine_worker_*`` counters, and ships the counter delta
+    since the previous reply — plus timestamped span events stamped
+    with ``meta["trace_id"]`` when ``meta["timeline"]`` asks for them —
+    back as the reply's ``telemetry`` dict.  ``meta=None`` is the
+    zero-overhead path: score, write, reply, nothing timed.
 
     Any failure is reported as ``("error", index, traceback)`` instead of
     raised, so the parent always gets a message rather than a dead queue.
@@ -156,14 +168,21 @@ def worker_main(worker_id: int, task_queue, result_queue) -> None:
     into dying mid-write.
     """
     import signal
+    import time
     import traceback
 
     from repro.engine.shm import attach_state
+    from repro.obs.context import TraceContext, use_context
+    from repro.obs.metrics import MetricsRegistry, counter_deltas
+    from repro.obs.trace import Tracer
 
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover — exotic platforms
         pass
+    registry = MetricsRegistry()
+    tracer = Tracer(enabled=True, timeline=False)
+    shipped: dict[str, float] = {}
     attached = None
     while True:
         message = task_queue.get()
@@ -176,19 +195,62 @@ def worker_main(worker_id: int, task_queue, result_queue) -> None:
                 if attached is not None:
                     attached.close()
                     attached = None
+                attach_start = time.perf_counter()
                 attached = attach_state(message[1])
-                result_queue.put(("ready", worker_id, attached.state_id))
+                attach_seconds = time.perf_counter() - attach_start
+                result_queue.put(
+                    ("ready", worker_id, attached.state_id, attach_seconds)
+                )
             elif kind == "task":
-                _, state_id, index, task, offset = message
+                _, state_id, index, task, offset, meta = message
                 if attached is None or attached.state_id != state_id:
                     raise RuntimeError(
                         f"worker {worker_id} received a task for state "
                         f"{state_id} but has "
                         f"{attached.state_id if attached else 'no state'} attached"
                     )
-                ranks, scored = score_chunk(attached.state, task)
-                attached.result[offset : offset + task.num_queries] = ranks
-                result_queue.put(("done", index, scored))
+                if meta is None:
+                    ranks, scored = score_chunk(attached.state, task)
+                    attached.result[offset : offset + task.num_queries] = ranks
+                    result_queue.put(("done", index, scored, None))
+                    continue
+                received = time.time()
+                tracer.timeline = bool(meta.get("timeline"))
+                trace_id = meta.get("trace_id")
+                context = (
+                    TraceContext(trace_id=trace_id) if trace_id else None
+                )
+                with use_context(context):
+                    wait = max(0.0, received - float(meta["enqueue_ts"]))
+                    tracer.record("engine.worker.queue_wait", wait)
+                    score_start = time.perf_counter()
+                    ranks, scored = score_chunk(attached.state, task)
+                    score_seconds = time.perf_counter() - score_start
+                    tracer.record("engine.worker.score", score_seconds)
+                    write_start = time.perf_counter()
+                    attached.result[offset : offset + task.num_queries] = ranks
+                    write_seconds = time.perf_counter() - write_start
+                    tracer.record("engine.worker.write", write_seconds)
+                counters = {
+                    "repro_engine_worker_chunks_total": 1.0,
+                    "repro_engine_worker_queries_total": float(task.num_queries),
+                    "repro_engine_worker_entities_total": float(scored),
+                    "repro_engine_worker_queue_wait_seconds_total": wait,
+                    "repro_engine_worker_score_seconds_total": score_seconds,
+                    "repro_engine_worker_write_seconds_total": write_seconds,
+                    "repro_engine_worker_busy_seconds_total": (
+                        score_seconds + write_seconds
+                    ),
+                }
+                for name, amount in counters.items():
+                    registry.counter(name).inc(amount)
+                snapshot = registry.counter_values()
+                telemetry = {"counters": counter_deltas(snapshot, shipped)}
+                shipped = snapshot
+                if tracer.timeline:
+                    telemetry["events"] = tracer.events()
+                    tracer.reset()
+                result_queue.put(("done", index, scored, telemetry))
             else:  # pragma: no cover — protocol error
                 raise RuntimeError(f"unknown worker message {kind!r}")
         except BaseException:

@@ -309,6 +309,7 @@ class ServeSpec:
     max_batch: int = 64
     max_wait_ms: float = 2.0
     cache_size: int = 1024
+    engine_workers: int = 1
     recommender: str = "l-wd"
     model_paths: tuple[str, ...] = ()
 
@@ -328,6 +329,13 @@ class ServeSpec:
         _check_type("serve.cache_size", self.cache_size, (int,), "a non-negative int")
         if self.cache_size < 0:
             raise SpecError(f"serve.cache_size: must be >= 0, got {self.cache_size}")
+        _check_type(
+            "serve.engine_workers", self.engine_workers, (int,), "a positive int"
+        )
+        if self.engine_workers < 1:
+            raise SpecError(
+                f"serve.engine_workers: must be >= 1, got {self.engine_workers}"
+            )
         object.__setattr__(self, "model_paths", tuple(self.model_paths))
         for path in self.model_paths:
             _check_type("serve.model_paths[]", path, (str,), "a string")

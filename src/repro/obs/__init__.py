@@ -11,7 +11,11 @@ threads through its hot paths:
   nearly nothing while disabled, which it is by default;
 * :mod:`repro.obs.bench` — the committed ``BENCH_*.json`` record layer:
   schema stamping, the ``repro bench trend`` view, and the
-  ``repro bench gate`` regression gate CI runs on every PR.
+  ``repro bench gate`` regression gate CI runs on every PR;
+* :mod:`repro.obs.context` — the :class:`TraceContext` correlating one
+  serve request across threads and worker processes;
+* :mod:`repro.obs.log` — structured JSON-lines logging stamped with the
+  active context's ``trace_id``/``request_id`` (``$REPRO_LOG`` enables).
 
 Two process-global instances tie it together: :func:`get_tracer` is the
 tracer the trainer / engine / experiment runner write spans to (enable
@@ -22,6 +26,21 @@ builds its own registry per service so ``/metrics`` reflects exactly
 that service.
 """
 
+from repro.obs.context import (
+    TraceContext,
+    current_context,
+    current_trace_id,
+    new_context,
+    new_trace_id,
+    use_context,
+)
+from repro.obs.log import (
+    StructuredLogger,
+    configure_logging,
+    get_logger,
+    log_event,
+    sanitize_request_id,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -29,7 +48,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     parse_prometheus,
 )
-from repro.obs.trace import Tracer, render_trace
+from repro.obs.trace import Tracer, chrome_trace, render_trace
 
 #: The process-global tracer instrumented code writes spans to.
 _TRACER = Tracer()
@@ -48,8 +67,13 @@ def get_registry() -> MetricsRegistry:
     return _REGISTRY
 
 
-def set_tracing(enabled: bool) -> Tracer:
+def set_tracing(enabled: bool, timeline: bool | None = None) -> Tracer:
     """Enable/disable the global tracer; returns it (reset when enabling).
+
+    ``timeline`` controls timestamped event recording alongside the
+    aggregate tree; it defaults to following ``enabled``, so a plain
+    ``--trace`` run records events exportable with ``repro trace
+    export`` — pass ``timeline=False`` to keep only the aggregate tree.
 
     Examples
     --------
@@ -63,6 +87,7 @@ def set_tracing(enabled: bool) -> Tracer:
     if enabled:
         _TRACER.reset()
     _TRACER.enabled = enabled
+    _TRACER.timeline = enabled if timeline is None else timeline
     return _TRACER
 
 
@@ -76,11 +101,23 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "StructuredLogger",
+    "TraceContext",
     "Tracer",
+    "chrome_trace",
+    "configure_logging",
+    "current_context",
+    "current_trace_id",
+    "get_logger",
     "get_registry",
     "get_tracer",
+    "log_event",
+    "new_context",
+    "new_trace_id",
     "parse_prometheus",
     "render_trace",
+    "sanitize_request_id",
     "set_tracing",
     "span",
+    "use_context",
 ]

@@ -1,0 +1,126 @@
+"""Trace context: one id that follows a request across threads and processes.
+
+A :class:`TraceContext` names one logical operation — usually a serve
+request — with a ``trace_id`` (and, when the operation came in over
+HTTP, the ``request_id`` the client saw).  The context rides a
+``contextvars.ContextVar``, so it flows automatically through ordinary
+calls and ``concurrent`` threads that copy the context; the two places
+it must be carried *explicitly* are the serving scheduler (a request's
+query is scored on the dispatcher thread) and the engine worker pool (a
+chunk is scored in another process) — both stash the submitter's
+context alongside the work and restore it with :func:`use_context`.
+
+Everything that observes the system reads the same context:
+
+* timeline span events (:meth:`repro.obs.trace.Tracer` with timelines
+  enabled) stamp the current ``trace_id``, so a Chrome export shows one
+  request as one flamegraph across processes;
+* structured log lines (:mod:`repro.obs.log`) stamp ``trace_id`` and
+  ``request_id``, so a log line, a journal entry and a trace join on
+  one id.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import uuid
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The identity of one logical operation.
+
+    Examples
+    --------
+    >>> context = TraceContext(trace_id="abc123", request_id="req-1")
+    >>> context.trace_id
+    'abc123'
+    """
+
+    trace_id: str
+    request_id: str | None = None
+
+
+_CONTEXT: contextvars.ContextVar[TraceContext | None] = contextvars.ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex trace id.
+
+    Examples
+    --------
+    >>> len(new_trace_id())
+    16
+    """
+    return uuid.uuid4().hex[:16]
+
+
+def new_context(request_id: str | None = None) -> TraceContext:
+    """A fresh context (new trace id), optionally tied to a request id.
+
+    Examples
+    --------
+    >>> new_context(request_id="req-9").request_id
+    'req-9'
+    """
+    return TraceContext(trace_id=new_trace_id(), request_id=request_id)
+
+
+def current_context() -> TraceContext | None:
+    """The active :class:`TraceContext`, or ``None`` outside any.
+
+    Examples
+    --------
+    >>> with use_context(TraceContext(trace_id="t1")) as context:
+    ...     current_context() is context
+    True
+    """
+    return _CONTEXT.get()
+
+
+def current_trace_id() -> str | None:
+    """Shorthand for the active context's trace id (``None`` outside).
+
+    Examples
+    --------
+    >>> with use_context(TraceContext(trace_id="t1")):
+    ...     current_trace_id()
+    't1'
+    """
+    context = _CONTEXT.get()
+    return context.trace_id if context is not None else None
+
+
+class use_context:
+    """Context manager installing ``context`` for the duration of a block.
+
+    Accepts ``None`` (a no-op) so call sites can write
+    ``with use_context(maybe_context):`` without branching.
+
+    Examples
+    --------
+    >>> with use_context(TraceContext(trace_id="t1")):
+    ...     current_trace_id()
+    't1'
+    >>> current_trace_id() is None
+    True
+    """
+
+    __slots__ = ("_context", "_token")
+
+    def __init__(self, context: TraceContext | None):
+        self._context = context
+        self._token = None
+
+    def __enter__(self) -> TraceContext | None:
+        if self._context is not None:
+            self._token = _CONTEXT.set(self._context)
+        return self._context
+
+    def __exit__(self, *exc: object) -> None:
+        if self._token is not None:
+            _CONTEXT.reset(self._token)
+            self._token = None

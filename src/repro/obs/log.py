@@ -1,0 +1,201 @@
+"""Structured JSON logging correlated with traces and request ids.
+
+One :class:`StructuredLogger` per process (:func:`get_logger`), writing
+**one JSON object per line** — machine-parseable, append-only, and
+joinable against the rest of the observability surface: every line is
+stamped with the current :class:`~repro.obs.context.TraceContext`'s
+``trace_id`` / ``request_id`` (when one is active), so
+
+* a serve access-log line,
+* the run journal's record,
+* and a Chrome trace export
+
+can all be matched on the same id.  The logger is **disabled by
+default** and costs one attribute check per call that way; enable it
+with :func:`configure_logging` (a path or a stream) or the
+``$REPRO_LOG`` environment variable (``stderr``, ``stdout`` or a file
+path), which the CLI and serve honour at import time.
+
+Line shape::
+
+    {"ts": 1754500000.123, "event": "serve.request", "trace_id": "…",
+     "request_id": "…", "path": "/v1/rank", "status": 200, ...}
+
+Event names follow the span convention: dotted ``area.stage`` lowercase
+(``serve.request``, ``engine.run``, ``engine.pool.start``, …).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sys
+import threading
+import time
+from typing import IO, Any
+
+from repro.obs.context import current_context
+
+#: Longest accepted client-supplied request id (see sanitize_request_id).
+MAX_REQUEST_ID_LENGTH = 128
+
+_CONTROL_CHARS = re.compile(r"[\x00-\x1f\x7f]")
+
+
+def sanitize_request_id(raw: str) -> str:
+    """Clamp and clean a client-supplied request id.
+
+    Control characters (including CR/LF — the header-injection and
+    log-corruption vector) are stripped and the result is clamped to
+    ``MAX_REQUEST_ID_LENGTH`` characters, so a hostile ``X-Request-Id``
+    can neither break a JSON log line nor smuggle extra headers into
+    the response.
+
+    Examples
+    --------
+    >>> sanitize_request_id("req-42")
+    'req-42'
+    >>> sanitize_request_id("bad\\r\\nX-Evil: 1")
+    'badX-Evil: 1'
+    >>> len(sanitize_request_id("x" * 500))
+    128
+    """
+    return _CONTROL_CHARS.sub("", raw)[:MAX_REQUEST_ID_LENGTH].strip()
+
+
+class StructuredLogger:
+    """A thread-safe one-JSON-object-per-line event logger.
+
+    Examples
+    --------
+    >>> import io
+    >>> stream = io.StringIO()
+    >>> logger = StructuredLogger(stream=stream)
+    >>> logger.event("engine.run", workers=2, seconds=0.5)
+    >>> line = json.loads(stream.getvalue())
+    >>> line["event"], line["workers"]
+    ('engine.run', 2)
+    """
+
+    def __init__(self, stream: IO[str] | None = None, path: str | None = None):
+        if stream is not None and path is not None:
+            raise ValueError("pass a stream or a path, not both")
+        self._lock = threading.Lock()
+        self._stream = stream
+        self._path = path
+        self._file: IO[str] | None = None
+        self.lines_written = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._stream is not None or self._path is not None
+
+    # ------------------------------------------------------------------
+    def event(self, event: str, **fields: Any) -> None:
+        """Write one event line (no-op while the logger has no sink).
+
+        ``ts`` (epoch seconds), ``event``, and the active trace
+        context's ``trace_id`` / ``request_id`` are stamped
+        automatically; explicit keyword fields win over the stamps.
+        """
+        if self._stream is None and self._path is None:
+            return
+        payload: dict[str, Any] = {"ts": round(time.time(), 6), "event": event}
+        context = current_context()
+        if context is not None:
+            payload["trace_id"] = context.trace_id
+            if context.request_id is not None:
+                payload["request_id"] = context.request_id
+        payload.update(fields)
+        line = json.dumps(payload, default=str, separators=(",", ":"))
+        with self._lock:
+            sink = self._sink()
+            sink.write(line + "\n")
+            sink.flush()
+            self.lines_written += 1
+
+    def _sink(self) -> IO[str]:
+        if self._stream is not None:
+            return self._stream
+        if self._file is None:
+            self._file = open(self._path, "a", encoding="utf-8")  # type: ignore[arg-type]
+        return self._file
+
+    # ------------------------------------------------------------------
+    def configure(
+        self, target: str | IO[str] | None
+    ) -> "StructuredLogger":
+        """Point the logger at ``target``: a stream, a path, ``"stderr"`` /
+        ``"stdout"``, or ``None`` to disable."""
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+            self._stream = None
+            self._path = None
+            if target is None or target == "":
+                return self
+            if target == "stderr":
+                self._stream = sys.stderr
+            elif target == "stdout":
+                self._stream = sys.stdout
+            elif isinstance(target, str):
+                self._path = target
+            else:
+                self._stream = target
+        return self
+
+    def __repr__(self) -> str:
+        sink = self._path or ("stream" if self._stream is not None else "disabled")
+        return f"StructuredLogger({sink}, {self.lines_written} lines)"
+
+
+#: The process-global logger every subsystem writes through.
+_LOGGER = StructuredLogger()
+
+#: Env knob: "stderr" / "stdout" / a file path enables logging at import.
+_ENV_TARGET = os.environ.get("REPRO_LOG")
+if _ENV_TARGET:
+    _LOGGER.configure(_ENV_TARGET)
+
+
+def get_logger() -> StructuredLogger:
+    """The process-global :class:`StructuredLogger` (disabled by default).
+
+    Examples
+    --------
+    >>> get_logger() is get_logger()
+    True
+    """
+    return _LOGGER
+
+
+def configure_logging(target: str | IO[str] | None) -> StructuredLogger:
+    """Point the global logger at a path / stream / ``"stderr"``; returns it.
+
+    Examples
+    --------
+    >>> import io
+    >>> logger = configure_logging(io.StringIO())
+    >>> logger.enabled
+    True
+    >>> _ = configure_logging(None)   # back to disabled
+    """
+    return _LOGGER.configure(target)
+
+
+def log_event(event: str, **fields: Any) -> None:
+    """``get_logger().event(...)`` — the convenience most call sites want.
+
+    Examples
+    --------
+    >>> import io
+    >>> stream = io.StringIO()
+    >>> _ = configure_logging(stream)
+    >>> log_event("engine.run", workers=2)
+    >>> json.loads(stream.getvalue())["workers"]
+    2
+    >>> _ = configure_logging(None)
+    """
+    _LOGGER.event(event, **fields)

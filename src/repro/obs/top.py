@@ -1,0 +1,330 @@
+"""``repro top``: a stdlib-only terminal dashboard over ``/metrics``.
+
+The dashboard scrapes a Prometheus text exposition — a running serve
+instance's ``/metrics`` URL, or an in-process
+:class:`~repro.obs.metrics.MetricsRegistry` — and renders the handful of
+numbers that describe the system under load: request rate, latency
+quantiles, batch occupancy, cache hit rate, engine-pool worker
+utilisation, and shared-memory footprint.  Everything is computed from
+the same samples a real Prometheus would collect, so the dashboard and
+the monitoring stack can never disagree.
+
+Two modes:
+
+* live (default): redraws every ``interval`` seconds, computing rates
+  from consecutive-scrape deltas — quit with Ctrl-C;
+* ``--once``: a single scrape rendered once (rates fall back to
+  per-uptime averages), for scripting and CI smoke tests.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+import urllib.request
+from typing import IO, Any
+
+from repro.obs.metrics import MetricsRegistry, parse_prometheus
+
+#: ``{(family name, sorted (label, value) pairs): sample value}`` — the
+#: shape :func:`repro.obs.metrics.parse_prometheus` produces.
+Samples = dict[tuple[str, tuple[tuple[str, str], ...]], float]
+
+#: Default scrape target (the serve CLI's default bind).
+DEFAULT_METRICS_URL = "http://127.0.0.1:8080/metrics"
+
+
+def scrape(source: "str | MetricsRegistry", timeout: float = 5.0) -> Samples:
+    """One snapshot of ``source`` — a ``/metrics`` URL or a registry.
+
+    Examples
+    --------
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("repro_serve_requests_total").inc(3)
+    >>> scrape(registry)[("repro_serve_requests_total", ())]
+    3.0
+    """
+    if isinstance(source, MetricsRegistry):
+        text = source.render()
+    else:
+        with urllib.request.urlopen(source, timeout=timeout) as response:
+            text = response.read().decode("utf-8")
+    return parse_prometheus(text)
+
+
+def sum_family(samples: Samples, name: str, **match: str) -> float:
+    """Sum every sample of family ``name`` whose labels include ``match``.
+
+    Examples
+    --------
+    >>> samples = {("hits_total", (("worker", "0"),)): 2.0,
+    ...            ("hits_total", (("worker", "1"),)): 3.0}
+    >>> sum_family(samples, "hits_total")
+    5.0
+    >>> sum_family(samples, "hits_total", worker="1")
+    3.0
+    """
+    total = 0.0
+    for (family, labels), value in samples.items():
+        if family != name:
+            continue
+        if match and not all((key, want) in labels for key, want in match.items()):
+            continue
+        total += value
+    return total
+
+
+def label_values(samples: Samples, name: str, label: str) -> list[str]:
+    """Sorted distinct values of ``label`` across family ``name``.
+
+    Examples
+    --------
+    >>> samples = {("busy_total", (("worker", "1"),)): 1.0,
+    ...            ("busy_total", (("worker", "0"),)): 1.0}
+    >>> label_values(samples, "busy_total", "worker")
+    ['0', '1']
+    """
+    values = {
+        value
+        for (family, labels), _ in samples.items()
+        for key, value in labels
+        if family == name and key == label
+    }
+    return sorted(values)
+
+
+def histogram_quantile(samples: Samples, name: str, q: float) -> float:
+    """The interpolated ``q``-quantile of histogram ``name``.
+
+    Bucket series are merged across label sets (e.g. the per-endpoint
+    request-latency series combine into one distribution) by summing the
+    cumulative ``_bucket`` samples at each ``le`` bound — valid because
+    one histogram family shares one bucket layout.  Returns NaN when the
+    histogram is absent or empty.
+
+    Examples
+    --------
+    >>> registry = MetricsRegistry()
+    >>> histogram = registry.histogram("lat_seconds", buckets=(1.0, 2.0))
+    >>> for _ in range(4):
+    ...     histogram.observe(1.5)
+    >>> 1.0 < histogram_quantile(scrape(registry), "lat_seconds", 0.5) <= 2.0
+    True
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    cumulative: dict[float, float] = {}
+    for (family, labels), value in samples.items():
+        if family != f"{name}_bucket":
+            continue
+        bound = dict(labels).get("le")
+        if bound is None:
+            continue
+        le = math.inf if bound == "+Inf" else float(bound)
+        cumulative[le] = cumulative.get(le, 0.0) + value
+    if not cumulative:
+        return math.nan
+    bounds = sorted(cumulative)
+    total = cumulative[bounds[-1]]
+    if total <= 0:
+        return math.nan
+    target = q * total
+    previous_bound, previous_count = 0.0, 0.0
+    for bound in bounds:
+        count = cumulative[bound]
+        if count >= target:
+            if math.isinf(bound):
+                # Overflow bucket: clamp to the largest finite bound.
+                return previous_bound
+            in_bucket = count - previous_count
+            if in_bucket <= 0:
+                return bound
+            fraction = (target - previous_count) / in_bucket
+            return previous_bound + fraction * (bound - previous_bound)
+        previous_bound, previous_count = bound, count
+    return previous_bound
+
+
+def _rate(
+    samples: Samples,
+    previous: Samples | None,
+    interval: float | None,
+    name: str,
+    uptime: float,
+) -> float:
+    """Delta rate between scrapes, falling back to the uptime average."""
+    current = sum_family(samples, name)
+    if previous is not None and interval and interval > 0:
+        return max(0.0, current - sum_family(previous, name)) / interval
+    if uptime > 0:
+        return current / uptime
+    return 0.0
+
+
+def _format_bytes(value: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{value:.0f} B"
+        value /= 1024.0
+    return f"{value:.1f} GiB"  # pragma: no cover — loop always returns
+
+
+def _format_ms(seconds: float) -> str:
+    return "—" if math.isnan(seconds) else f"{1000.0 * seconds:.1f} ms"
+
+
+def top_rows(
+    samples: Samples,
+    previous: Samples | None = None,
+    interval: float | None = None,
+) -> list[tuple[str, str]]:
+    """The dashboard's ``(label, value)`` rows from one (or two) scrapes.
+
+    With a ``previous`` scrape and the ``interval`` between them, rates
+    are scrape-to-scrape deltas; otherwise they are averages over the
+    service / pool uptime gauges (the ``--once`` behaviour).
+
+    Examples
+    --------
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("repro_serve_requests_total").inc(5)
+    >>> dict(top_rows(scrape(registry)))["requests"]
+    '5 (0.00/s)'
+    """
+    uptime = sum_family(samples, "repro_serve_uptime_seconds")
+    requests = sum_family(samples, "repro_serve_requests_total")
+    qps = _rate(samples, previous, interval, "repro_serve_requests_total", uptime)
+    rows: list[tuple[str, str]] = [
+        ("uptime", f"{uptime:.1f} s"),
+        ("requests", f"{requests:.0f} ({qps:.2f}/s)"),
+        (
+            "latency p50 / p99",
+            f"{_format_ms(histogram_quantile(samples, 'repro_serve_request_seconds', 0.5))}"
+            f" / {_format_ms(histogram_quantile(samples, 'repro_serve_request_seconds', 0.99))}",
+        ),
+        (
+            "batch size / queue depth",
+            f"{sum_family(samples, 'repro_serve_mean_batch_size'):.2f} mean / "
+            f"{sum_family(samples, 'repro_serve_queue_depth'):.0f} queued",
+        ),
+        (
+            "cache hit rate",
+            f"{sum_family(samples, 'repro_serve_cache_hit_rate'):.1%} "
+            f"({sum_family(samples, 'repro_serve_cache_entries'):.0f} entries)",
+        ),
+    ]
+    pool_workers = sum_family(samples, "repro_engine_pool_workers")
+    pool_uptime = sum_family(samples, "repro_engine_pool_uptime_seconds")
+    rows.append(("pool workers", f"{pool_workers:.0f}"))
+    workers = label_values(samples, "repro_engine_worker_busy_seconds_total", "worker")
+    for worker in workers:
+        busy = sum_family(
+            samples, "repro_engine_worker_busy_seconds_total", worker=worker
+        )
+        if previous is not None and interval and interval > 0:
+            window = interval
+            moved = busy - sum_family(
+                previous, "repro_engine_worker_busy_seconds_total", worker=worker
+            )
+        else:
+            window = pool_uptime
+            moved = busy
+        utilisation = max(0.0, moved) / window if window > 0 else 0.0
+        chunks = sum_family(
+            samples, "repro_engine_worker_chunks_total", worker=worker
+        )
+        rows.append(
+            (
+                f"  worker {worker}",
+                f"{min(utilisation, 1.0):.1%} busy, "
+                f"{chunks:.0f} chunks, {busy:.2f} s total",
+            )
+        )
+    rows.append(
+        (
+            "shm",
+            f"{_format_bytes(sum_family(samples, 'repro_engine_shm_bytes'))} in "
+            f"{sum_family(samples, 'repro_engine_shm_segments'):.0f} segments",
+        )
+    )
+    return rows
+
+
+def render_top(
+    samples: Samples,
+    previous: Samples | None = None,
+    interval: float | None = None,
+    source: str = "",
+) -> str:
+    """The full dashboard frame as a string (one trailing newline).
+
+    Examples
+    --------
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("repro_serve_requests_total").inc(5)
+    >>> frame = render_top(scrape(registry))
+    >>> "requests" in frame and "repro top" in frame
+    True
+    """
+    rows = top_rows(samples, previous=previous, interval=interval)
+    width = max(len(label) for label, _ in rows)
+    clock = time.strftime("%H:%M:%S")
+    header = f"repro top — {source or 'metrics'} — {clock}"
+    lines = [header, "─" * max(len(header), width + 24)]
+    lines.extend(f"{label.ljust(width)}  {value}" for label, value in rows)
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    source: "str | MetricsRegistry" = DEFAULT_METRICS_URL,
+    interval: float = 2.0,
+    once: bool = False,
+    iterations: int | None = None,
+    stream: IO[str] | None = None,
+) -> int:
+    """The ``repro top`` loop; returns a process exit code.
+
+    ``iterations`` bounds the number of frames (tests use it); ``once``
+    is shorthand for a single frame with no screen clearing.
+
+    Examples
+    --------
+    >>> import io
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("repro_serve_requests_total").inc(1)
+    >>> stream = io.StringIO()
+    >>> run_top(registry, once=True, stream=stream)
+    0
+    >>> "repro top" in stream.getvalue()
+    True
+    """
+    out = stream if stream is not None else sys.stdout
+    label = source if isinstance(source, str) else "in-process registry"
+    previous: Samples | None = None
+    frames = 0
+    try:
+        while True:
+            try:
+                samples = scrape(source)
+            except OSError as error:
+                print(f"cannot scrape {label}: {error}", file=sys.stderr)
+                return 1
+            if not once and frames > 0:
+                out.write("\x1b[2J\x1b[H")  # clear screen, home cursor
+            out.write(
+                render_top(
+                    samples,
+                    previous=previous,
+                    interval=interval if previous is not None else None,
+                    source=label,
+                )
+            )
+            out.flush()
+            frames += 1
+            if once or (iterations is not None and frames >= iterations):
+                return 0
+            previous = samples
+            time.sleep(interval)
+    except KeyboardInterrupt:  # pragma: no cover — interactive exit
+        return 0

@@ -24,13 +24,31 @@ check, so instrumentation can stay in the hot paths permanently
 Span naming convention: dotted ``area.stage`` lowercase names —
 ``train.fit``, ``train.epoch``, ``engine.run``, ``engine.chunk``,
 ``evaluate.full`` (see ``docs/observability.md`` for the catalog).
+
+Beyond the aggregate tree, the tracer can optionally record a
+**timeline**: one timestamped event per span close (wall-clock start,
+duration, pid, thread id, and the active
+:class:`~repro.obs.context.TraceContext`'s trace id).  Timelines are
+what make cross-process traces renderable: worker processes ship their
+events back to the parent (:meth:`Tracer.add_event`), and
+:func:`chrome_trace` exports the merged list as Chrome ``trace_event``
+JSON — open it in ``chrome://tracing`` / Perfetto and one serve request
+reads as a single flamegraph spanning the HTTP thread, the scheduler,
+the engine, and every pool worker.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
-from typing import Any
+from typing import Any, Iterable
+
+from repro.obs.context import current_trace_id
+
+#: Timeline events retained per tracer; beyond this, events are counted
+#: as dropped rather than stored (bounds a long traced run's memory).
+MAX_TIMELINE_EVENTS = 20_000
 
 
 class SpanStats:
@@ -91,9 +109,15 @@ _NULL_SPAN = _NullSpan()
 
 
 class _ActiveSpan:
-    """A live span: pushes its node on enter, accumulates on exit."""
+    """A live span: pushes its node on enter, accumulates on exit.
 
-    __slots__ = ("_tracer", "_name", "_node", "_start")
+    Exit runs unconditionally — a span body that raises still pops the
+    thread-local stack and records its elapsed time (the ``with``
+    statement guarantees ``__exit__``), so an exception mid-span never
+    corrupts the tracer for later spans.
+    """
+
+    __slots__ = ("_tracer", "_name", "_node", "_start", "_wall")
 
     def __init__(self, tracer: "Tracer", name: str):
         self._tracer = tracer
@@ -101,12 +125,15 @@ class _ActiveSpan:
 
     def __enter__(self) -> "_ActiveSpan":
         self._node = self._tracer._push(self._name)
+        self._wall = time.time() if self._tracer.timeline else 0.0
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc: object) -> None:
         elapsed = time.perf_counter() - self._start
         self._tracer._pop(self._node, elapsed)
+        if self._tracer.timeline:
+            self._tracer.add_event(self._name, self._wall, elapsed)
 
 
 class Tracer:
@@ -128,11 +155,15 @@ class Tracer:
     [('train.epoch', 3, {'triples': 300.0})]
     """
 
-    def __init__(self, enabled: bool = False):
+    def __init__(self, enabled: bool = False, timeline: bool = False):
         self.enabled = enabled
+        #: Record timestamped span events alongside the aggregate tree.
+        self.timeline = timeline
         self._lock = threading.Lock()
         self._root = SpanStats("")
         self._local = threading.local()
+        self._events: list[dict[str, Any]] = []
+        self.events_dropped = 0
 
     # ------------------------------------------------------------------
     # Recording surface
@@ -151,12 +182,17 @@ class Tracer:
         with self._lock:
             node.counters[key] = node.counters.get(key, 0.0) + value
 
-    def record(self, name: str, seconds: float, count: int = 1) -> None:
+    def record(
+        self, name: str, seconds: float, count: int = 1, event: bool = True
+    ) -> None:
         """Fold an externally measured duration in as a child span.
 
         The engine uses this for per-chunk timings: a ``perf_counter``
         pair around the scoring call is cheaper than a context manager
-        in a loop that may run thousands of times.
+        in a loop that may run thousands of times.  ``event=False``
+        folds only the aggregate — the pool uses it when merging worker
+        stage totals whose real timestamped events arrive separately
+        via :meth:`add_event` (a synthesized event would double-count).
         """
         if not self.enabled:
             return
@@ -167,14 +203,66 @@ class Tracer:
                 node = parent.children.setdefault(name, SpanStats(name))
             node.count += count
             node.seconds += seconds
+        if event and self.timeline:
+            # The interval just ended: synthesize its timestamped event.
+            self.add_event(name, time.time() - seconds, seconds)
+
+    def add_event(
+        self,
+        name: str,
+        start: float,
+        seconds: float,
+        pid: int | None = None,
+        tid: int | None = None,
+        trace_id: str | None = None,
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        """Append one timeline event (``start`` is wall-clock epoch seconds).
+
+        Local spans call this on exit; the engine pool calls it with
+        explicit ``pid``/``tid``/``trace_id`` to fold in events a worker
+        process shipped back.  Beyond :data:`MAX_TIMELINE_EVENTS` the
+        event is counted in :attr:`events_dropped` instead of stored.
+        """
+        event: dict[str, Any] = {
+            "name": name,
+            "ts": start,
+            "dur": seconds,
+            "pid": pid if pid is not None else os.getpid(),
+            "tid": tid if tid is not None else threading.get_ident(),
+        }
+        resolved = trace_id if trace_id is not None else current_trace_id()
+        if resolved is not None:
+            event["trace_id"] = resolved
+        if args:
+            event["args"] = dict(args)
+        with self._lock:
+            if len(self._events) >= MAX_TIMELINE_EVENTS:
+                self.events_dropped += 1
+            else:
+                self._events.append(event)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def summary(self) -> dict[str, Any] | None:
-        """The aggregated span tree, JSON-ready; ``None`` if nothing ran."""
+    def events(self) -> list[dict[str, Any]]:
+        """A copy of the recorded timeline (empty unless timelines are on)."""
         with self._lock:
-            if not self._root.children and not self._root.counters:
+            return [dict(event) for event in self._events]
+
+    def summary(self) -> dict[str, Any] | None:
+        """The aggregated span tree, JSON-ready; ``None`` if nothing ran.
+
+        With timelines enabled the payload also carries the ``events``
+        list (and ``events_dropped`` when the cap was hit), so a
+        journaled trace can be exported with ``repro trace export``.
+        """
+        with self._lock:
+            if (
+                not self._root.children
+                and not self._root.counters
+                and not self._events
+            ):
                 return None
             payload: dict[str, Any] = {
                 "spans": [
@@ -183,12 +271,18 @@ class Tracer:
             }
             if self._root.counters:
                 payload["counters"] = dict(self._root.counters)
+            if self._events:
+                payload["events"] = [dict(event) for event in self._events]
+            if self.events_dropped:
+                payload["events_dropped"] = self.events_dropped
             return payload
 
     def reset(self) -> None:
         """Drop every recorded span (active stacks in other threads too)."""
         with self._lock:
             self._root = SpanStats("")
+            self._events = []
+            self.events_dropped = 0
         self._local = threading.local()
 
     # ------------------------------------------------------------------
@@ -272,3 +366,47 @@ def render_trace(summary: dict[str, Any], title: str | None = None) -> str:
     if not rows:
         return "(empty trace)"
     return render_table(rows, title=title or "Span trace")
+
+
+def chrome_trace(
+    events: Iterable[dict[str, Any]], metadata: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """Timeline events as a Chrome ``trace_event`` JSON object.
+
+    Each event becomes one complete (``"ph": "X"``) slice: microsecond
+    ``ts``/``dur``, the recording process as ``pid`` and thread as
+    ``tid``, with ``trace_id`` and any extra args preserved under
+    ``args`` — load the dump in ``chrome://tracing`` or Perfetto and
+    spans from different processes line up on the shared wall clock.
+
+    Examples
+    --------
+    >>> trace = chrome_trace([{"name": "work", "ts": 10.0, "dur": 0.5}])
+    >>> event = trace["traceEvents"][0]
+    >>> event["ph"], event["dur"]
+    ('X', 500000)
+    """
+    trace_events: list[dict[str, Any]] = []
+    for event in events:
+        args = dict(event.get("args", ()))
+        if "trace_id" in event:
+            args["trace_id"] = event["trace_id"]
+        slice_: dict[str, Any] = {
+            "name": event["name"],
+            "ph": "X",
+            "ts": int(float(event["ts"]) * 1e6),
+            "dur": int(float(event["dur"]) * 1e6),
+            "pid": int(event.get("pid", 0)),
+            "tid": int(event.get("tid", 0)),
+            "cat": str(event["name"]).split(".", 1)[0],
+        }
+        if args:
+            slice_["args"] = args
+        trace_events.append(slice_)
+    payload: dict[str, Any] = {
+        "traceEvents": sorted(trace_events, key=lambda e: e["ts"]),
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        payload["otherData"] = dict(metadata)
+    return payload

@@ -15,19 +15,30 @@ exactly what makes concurrent HTTP clients coalesce into micro-batches.
 Errors map to JSON bodies: unknown names -> 404, bad arguments -> 400.
 
 Every response carries a request id — echoed from the client's
-``X-Request-Id`` header when present, generated otherwise — both as the
+``X-Request-Id`` header when present (sanitized: control characters
+stripped, length clamped), generated otherwise — both as the
 ``X-Request-Id`` response header and as a ``request_id`` field of every
 JSON payload (errors included), so latency histograms and logged
 failures can be correlated to individual requests.
+
+Each request also runs under a fresh
+:class:`~repro.obs.context.TraceContext` carrying that request id: the
+``serve.request`` span, the scheduler's batch, any engine run (and its
+pool workers), and the one structured ``serve.request`` log line emitted
+per request all share the same ``trace_id``.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.obs import get_tracer
+from repro.obs.context import new_context, use_context
+from repro.obs.log import log_event, sanitize_request_id
 from repro.serve.service import LinkPredictionService
 
 #: Largest accepted request body (bytes) — serving requests are tiny.
@@ -43,16 +54,21 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def _request_id(self) -> str:
-        incoming = self.headers.get("X-Request-Id", "").strip()
-        if incoming:
-            return incoming[:64]
-        return uuid.uuid4().hex[:16]
+        # Computed once per request (in _handle_request); handler
+        # instances are reused across keep-alive requests, so the cached
+        # id is reset there, not here.
+        request_id = getattr(self, "_rid", "")
+        if not request_id:
+            incoming = sanitize_request_id(self.headers.get("X-Request-Id", ""))
+            request_id = self._rid = incoming or uuid.uuid4().hex[:16]
+        return request_id
 
     def _send(self, status: int, payload: dict | list) -> None:
         request_id = self._request_id()
         if isinstance(payload, dict):
             payload = {**payload, "request_id": request_id}
         body = json.dumps(payload).encode("utf-8")
+        self._status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("X-Request-Id", request_id)
@@ -62,8 +78,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_text(self, status: int, text: str) -> None:
         body = text.encode("utf-8")
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        # Prometheus exposition-format convention for /metrics scrapes.
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
         self.send_header("X-Request-Id", self._request_id())
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
@@ -90,6 +110,35 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        self._handle_request(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        self._handle_request(self._route_post)
+
+    def _handle_request(self, route) -> None:
+        """Run one route under a fresh trace context; log one line.
+
+        The context (trace id + request id) is what correlates this
+        request's span timeline, scheduler batch, engine run, worker
+        chunks, and the structured ``serve.request`` log line emitted
+        here.
+        """
+        self._rid = ""
+        self._status = 0
+        request_id = self._request_id()
+        start = time.perf_counter()
+        with use_context(new_context(request_id=request_id)):
+            with get_tracer().span("serve.request"):
+                route()
+            log_event(
+                "serve.request",
+                method=self.command,
+                path=self.path,
+                status=self._status,
+                seconds=round(time.perf_counter() - start, 6),
+            )
+
+    def _route_get(self) -> None:
         service = self.server.service
         try:
             if self.path == "/healthz":
@@ -103,7 +152,7 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as error:  # noqa: BLE001 — must answer the socket
             self._send(500, {"error": str(error)})
 
-    def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+    def _route_post(self) -> None:
         service = self.server.service
         try:
             body = self._read_body()

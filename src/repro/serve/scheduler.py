@@ -24,6 +24,8 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.kg.graph import Side
+from repro.obs import get_tracer
+from repro.obs.context import current_context, use_context
 from repro.obs.metrics import MetricsRegistry
 
 #: Batch-size histogram buckets: powers of two up to the default ceiling.
@@ -170,8 +172,11 @@ class BatchScheduler:
         with self._cond:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
+            # The submitter's trace context rides along so the dispatcher
+            # thread can score the batch under the originating request's
+            # trace id (the oldest query's context wins for the batch).
             self._queues.setdefault(query.batch_key, deque()).append(
-                (query, pending, time.monotonic())
+                (query, pending, time.monotonic(), current_context())
             )
             self.num_requests += 1
             if self._queue_depth is not None:
@@ -227,18 +232,19 @@ class BatchScheduler:
             self._dispatch(key, batch)
 
     def _dispatch(self, key: BatchKey, batch: list) -> None:
-        queries = [query for query, _, _ in batch]
+        queries = [query for query, _, _, _ in batch]
         if self._queue_depth is not None:
             self._queue_depth.dec(len(batch))
         try:
-            results = self._score_batch(key, queries)
+            with use_context(batch[0][3]), get_tracer().span("serve.batch"):
+                results = self._score_batch(key, queries)
             if len(results) != len(batch):
                 raise RuntimeError(
                     f"score_batch returned {len(results)} results for "
                     f"{len(batch)} queries"
                 )
         except BaseException as error:  # noqa: BLE001 — forwarded to callers
-            for _, pending, _ in batch:
+            for _, pending, _, _ in batch:
                 pending._fail(error)
             return
         self.num_batches += 1
@@ -247,7 +253,7 @@ class BatchScheduler:
         if self._batch_hist is not None:
             self._batch_hist.observe(len(batch))
             self._batches_total.inc()
-        for (_, pending, _), value in zip(batch, results):
+        for (_, pending, _, _), value in zip(batch, results):
             pending._resolve(value, len(batch))
 
     # ------------------------------------------------------------------

@@ -1,0 +1,87 @@
+"""Trace context: propagation, nesting, thread isolation."""
+
+import threading
+
+from repro.obs.context import (
+    TraceContext,
+    current_context,
+    current_trace_id,
+    new_context,
+    new_trace_id,
+    use_context,
+)
+
+
+class TestIds:
+    def test_new_trace_id_is_16_hex(self):
+        trace_id = new_trace_id()
+        assert len(trace_id) == 16
+        int(trace_id, 16)  # hex or raise
+
+    def test_new_trace_ids_are_distinct(self):
+        assert new_trace_id() != new_trace_id()
+
+    def test_new_context_carries_request_id(self):
+        context = new_context(request_id="req-9")
+        assert context.request_id == "req-9"
+        assert context.trace_id
+
+
+class TestCurrent:
+    def test_no_context_by_default(self):
+        assert current_context() is None
+        assert current_trace_id() is None
+
+    def test_use_context_installs_and_restores(self):
+        context = TraceContext(trace_id="t1", request_id="r1")
+        with use_context(context):
+            assert current_context() is context
+            assert current_trace_id() == "t1"
+        assert current_context() is None
+
+    def test_use_context_nests(self):
+        outer = TraceContext(trace_id="outer")
+        inner = TraceContext(trace_id="inner")
+        with use_context(outer):
+            with use_context(inner):
+                assert current_trace_id() == "inner"
+            assert current_trace_id() == "outer"
+
+    def test_none_is_a_noop(self):
+        outer = TraceContext(trace_id="outer")
+        with use_context(outer):
+            with use_context(None):
+                assert current_trace_id() == "outer"
+
+    def test_restored_even_when_body_raises(self):
+        try:
+            with use_context(TraceContext(trace_id="boom")):
+                raise RuntimeError("mid-span failure")
+        except RuntimeError:
+            pass
+        assert current_context() is None
+
+
+class TestThreads:
+    def test_context_does_not_leak_into_fresh_threads(self):
+        seen = []
+        with use_context(TraceContext(trace_id="main-only")):
+            thread = threading.Thread(target=lambda: seen.append(current_context()))
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+    def test_explicit_carry_across_threads(self):
+        # The scheduler pattern: capture at submit, adopt at dispatch.
+        captured = []
+        with use_context(TraceContext(trace_id="carried")):
+            context = current_context()
+
+        def dispatch():
+            with use_context(context):
+                captured.append(current_trace_id())
+
+        thread = threading.Thread(target=dispatch)
+        thread.start()
+        thread.join()
+        assert captured == ["carried"]

@@ -1,0 +1,107 @@
+"""Structured logging: line shape, context stamping, request-id hygiene."""
+
+import io
+import json
+
+from repro.obs.context import TraceContext, use_context
+from repro.obs.log import (
+    MAX_REQUEST_ID_LENGTH,
+    StructuredLogger,
+    configure_logging,
+    get_logger,
+    log_event,
+    sanitize_request_id,
+)
+
+
+class TestSanitizeRequestId:
+    def test_plain_ids_pass_through(self):
+        assert sanitize_request_id("req-42") == "req-42"
+
+    def test_crlf_stripped(self):
+        assert sanitize_request_id("bad\r\nX-Evil: 1") == "badX-Evil: 1"
+
+    def test_all_control_characters_stripped(self):
+        hostile = "a\x00b\x01c\x1fd\x7fe"
+        assert sanitize_request_id(hostile) == "abcde"
+
+    def test_length_clamped(self):
+        assert len(sanitize_request_id("x" * 500)) == MAX_REQUEST_ID_LENGTH
+
+    def test_whitespace_trimmed(self):
+        assert sanitize_request_id("  padded  ") == "padded"
+
+    def test_pure_garbage_collapses_to_empty(self):
+        assert sanitize_request_id("\r\n\x00") == ""
+
+
+class TestStructuredLogger:
+    def test_disabled_by_default_and_noop(self):
+        logger = StructuredLogger()
+        assert not logger.enabled
+        logger.event("engine.run", workers=2)  # must not raise
+        assert logger.lines_written == 0
+
+    def test_one_json_object_per_line(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(stream=stream)
+        logger.event("a.first", n=1)
+        logger.event("a.second", n=2)
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert [line["event"] for line in lines] == ["a.first", "a.second"]
+        assert all("ts" in line for line in lines)
+        assert logger.lines_written == 2
+
+    def test_context_ids_stamped(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(stream=stream)
+        with use_context(TraceContext(trace_id="t1", request_id="r1")):
+            logger.event("serve.request", status=200)
+        line = json.loads(stream.getvalue())
+        assert line["trace_id"] == "t1"
+        assert line["request_id"] == "r1"
+
+    def test_no_context_means_no_id_fields(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(stream=stream)
+        logger.event("engine.run")
+        line = json.loads(stream.getvalue())
+        assert "trace_id" not in line and "request_id" not in line
+
+    def test_unserialisable_fields_fall_back_to_str(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(stream=stream)
+        logger.event("weird", payload=object())
+        assert "object object" in json.loads(stream.getvalue())["payload"]
+
+    def test_file_sink(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        logger = StructuredLogger(path=str(path))
+        logger.event("engine.pool.start", workers=2)
+        logger.configure(None)  # closes the file
+        line = json.loads(path.read_text().strip())
+        assert line["event"] == "engine.pool.start"
+
+    def test_stream_and_path_are_exclusive(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="not both"):
+            StructuredLogger(stream=io.StringIO(), path="x")
+
+
+class TestGlobalLogger:
+    def test_configure_and_disable_round_trip(self):
+        stream = io.StringIO()
+        try:
+            logger = configure_logging(stream)
+            assert logger is get_logger()
+            assert logger.enabled
+            log_event("test.event", value=7)
+            assert json.loads(stream.getvalue())["value"] == 7
+        finally:
+            configure_logging(None)
+        assert not get_logger().enabled
+
+    def test_disabled_global_is_noop(self):
+        configure_logging(None)
+        log_event("never.written")  # must not raise

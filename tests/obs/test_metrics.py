@@ -11,6 +11,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    counter_deltas,
     parse_prometheus,
 )
 
@@ -174,6 +175,70 @@ class TestConcurrency:
         for thread in threads:
             thread.join()
         assert len(set(map(id, instances))) == 1
+
+
+class TestWorkerMerge:
+    """The shm-pool shipping path: snapshot, diff, merge with labels."""
+
+    def test_counter_values_sums_across_label_series(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("chunks_total", labels=("side",))
+        counter.inc(2, side="a")
+        counter.inc(3, side="b")
+        registry.counter("plain_total").inc(4)
+        registry.gauge("depth").set(9)  # gauges are not counters
+        assert registry.counter_values() == {
+            "chunks_total": 5.0,
+            "plain_total": 4.0,
+        }
+
+    def test_counter_deltas_diffs_positive_only(self):
+        previous = {"a_total": 2.0, "b_total": 5.0}
+        current = {"a_total": 3.5, "b_total": 5.0, "c_total": 1.0}
+        assert counter_deltas(current, previous) == {
+            "a_total": 1.5,
+            "c_total": 1.0,
+        }
+
+    def test_merge_counters_applies_labels(self):
+        registry = MetricsRegistry()
+        registry.merge_counters(
+            {"worker_chunks_total": 2.0},
+            labels={"pool": "engine", "worker": "0"},
+            help_texts={"worker_chunks_total": "Chunks scored"},
+        )
+        registry.merge_counters(
+            {"worker_chunks_total": 3.0},
+            labels={"pool": "engine", "worker": "1"},
+        )
+        counter = registry.counter(
+            "worker_chunks_total", labels=("pool", "worker")
+        )
+        assert counter.value(pool="engine", worker="0") == 2.0
+        assert counter.value(pool="engine", worker="1") == 3.0
+        assert "# HELP worker_chunks_total Chunks scored" in registry.render()
+
+    def test_merge_counters_accumulates_across_calls(self):
+        registry = MetricsRegistry()
+        for _ in range(3):
+            registry.merge_counters(
+                {"busy_seconds_total": 0.5}, labels={"worker": "0"}
+            )
+        counter = registry.counter("busy_seconds_total", labels=("worker",))
+        assert counter.value(worker="0") == 1.5
+
+    def test_merge_counters_skips_non_positive_deltas(self):
+        registry = MetricsRegistry()
+        registry.merge_counters(
+            {"good_total": 1.0, "zero_total": 0.0, "bad_total": -2.0},
+            labels={"worker": "0"},
+        )
+        assert registry.names() == ["good_total"]
+
+    def test_merge_without_labels_hits_plain_counters(self):
+        registry = MetricsRegistry()
+        registry.merge_counters({"events_total": 2.0})
+        assert registry.counter("events_total").value() == 2.0
 
 
 class TestExposition:

@@ -1,0 +1,178 @@
+"""``repro top`` helpers: scraping, quantiles, rates, frame rendering."""
+
+import io
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.top import (
+    histogram_quantile,
+    label_values,
+    render_top,
+    run_top,
+    scrape,
+    sum_family,
+    top_rows,
+)
+
+
+def serve_registry(requests: int = 10, uptime: float = 5.0) -> MetricsRegistry:
+    """A registry shaped like a live serve instance with a 2-worker pool."""
+    registry = MetricsRegistry()
+    registry.counter("repro_serve_requests_total", labels=("endpoint",)).inc(
+        requests, endpoint="rank"
+    )
+    registry.gauge("repro_serve_uptime_seconds").set(uptime)
+    histogram = registry.histogram(
+        "repro_serve_request_seconds", buckets=(0.005, 0.05, 0.5)
+    )
+    for _ in range(9):
+        histogram.observe(0.001)
+    histogram.observe(0.4)
+    registry.gauge("repro_serve_mean_batch_size").set(3.5)
+    registry.gauge("repro_serve_queue_depth").set(2)
+    registry.gauge("repro_serve_cache_hit_rate").set(0.25)
+    registry.gauge("repro_serve_cache_entries").set(8)
+    registry.gauge("repro_engine_pool_workers").set(2)
+    registry.gauge("repro_engine_pool_uptime_seconds").set(uptime)
+    busy = registry.counter(
+        "repro_engine_worker_busy_seconds_total", labels=("pool", "worker")
+    )
+    busy.inc(1.0, pool="engine", worker="0")
+    busy.inc(2.0, pool="engine", worker="1")
+    chunks = registry.counter(
+        "repro_engine_worker_chunks_total", labels=("pool", "worker")
+    )
+    chunks.inc(4, pool="engine", worker="0")
+    chunks.inc(6, pool="engine", worker="1")
+    registry.gauge("repro_engine_shm_bytes").set(2048)
+    registry.gauge("repro_engine_shm_segments").set(1)
+    return registry
+
+
+class TestScrapeHelpers:
+    def test_scrape_registry_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_serve_requests_total").inc(3)
+        samples = scrape(registry)
+        assert samples[("repro_serve_requests_total", ())] == 3.0
+
+    def test_sum_family_merges_label_series(self):
+        samples = scrape(serve_registry())
+        total = sum_family(samples, "repro_engine_worker_chunks_total")
+        assert total == 10.0
+
+    def test_sum_family_filters_on_labels(self):
+        samples = scrape(serve_registry())
+        assert (
+            sum_family(samples, "repro_engine_worker_chunks_total", worker="1")
+            == 6.0
+        )
+
+    def test_sum_family_absent_family_is_zero(self):
+        assert sum_family({}, "nope_total") == 0.0
+
+    def test_label_values_sorted_distinct(self):
+        samples = scrape(serve_registry())
+        assert label_values(
+            samples, "repro_engine_worker_busy_seconds_total", "worker"
+        ) == ["0", "1"]
+
+
+class TestHistogramQuantile:
+    def test_absent_histogram_is_nan(self):
+        assert math.isnan(histogram_quantile({}, "lat_seconds", 0.5))
+
+    def test_out_of_range_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_quantile({}, "lat_seconds", 1.5)
+
+    def test_interpolates_within_a_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_seconds", buckets=(1.0, 2.0))
+        for _ in range(4):
+            histogram.observe(1.5)
+        # All mass in (1, 2]; the median interpolates inside that bucket.
+        value = histogram_quantile(scrape(registry), "lat_seconds", 0.5)
+        assert 1.0 < value <= 2.0
+
+    def test_merges_bucket_series_across_label_sets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "lat_seconds", buckets=(1.0, 2.0), labels=("endpoint",)
+        )
+        for _ in range(9):
+            histogram.observe(0.5, endpoint="rank")
+        histogram.observe(1.5, endpoint="score")
+        # 90% of the merged distribution sits at or below the first bound.
+        assert histogram_quantile(scrape(registry), "lat_seconds", 0.5) <= 1.0
+
+    def test_overflow_clamps_to_largest_finite_bound(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat_seconds", buckets=(1.0, 2.0)).observe(50.0)
+        assert histogram_quantile(scrape(registry), "lat_seconds", 0.99) == 2.0
+
+
+class TestTopRows:
+    def test_once_mode_rows_cover_every_section(self):
+        rows = dict(top_rows(scrape(serve_registry())))
+        assert rows["uptime"] == "5.0 s"
+        assert rows["requests"].startswith("10 (2.00/s)")  # 10 req / 5 s uptime
+        assert "/" in rows["latency p50 / p99"]
+        assert rows["pool workers"] == "2"
+        assert "  worker 0" in rows and "  worker 1" in rows
+        assert "4 chunks" in rows["  worker 0"]
+        assert rows["shm"] == "2.0 KiB in 1 segments"
+
+    def test_delta_mode_rates_use_the_scrape_interval(self):
+        previous = scrape(serve_registry(requests=10))
+        current = scrape(serve_registry(requests=30))
+        rows = dict(top_rows(current, previous=previous, interval=2.0))
+        assert "(10.00/s)" in rows["requests"]  # 20 new requests / 2 s
+
+    def test_worker_utilisation_clamped_to_100_percent(self):
+        previous = scrape(serve_registry())
+        registry = serve_registry()
+        registry.counter(
+            "repro_engine_worker_busy_seconds_total", labels=("pool", "worker")
+        ).inc(100.0, pool="engine", worker="0")
+        rows = dict(top_rows(scrape(registry), previous=previous, interval=1.0))
+        assert rows["  worker 0"].startswith("100.0% busy")
+
+    def test_empty_scrape_still_renders(self):
+        rows = dict(top_rows({}))
+        assert rows["requests"] == "0 (0.00/s)"
+        assert "—" in rows["latency p50 / p99"]  # NaN quantiles render as em-dash
+
+
+class TestRenderAndRun:
+    def test_render_top_aligns_rows_under_header(self):
+        frame = render_top(scrape(serve_registry()), source="test")
+        lines = frame.splitlines()
+        assert lines[0].startswith("repro top — test — ")
+        assert set(lines[1]) == {"─"}
+        assert any(line.startswith("requests") for line in lines)
+
+    def test_run_top_once_writes_one_frame(self):
+        stream = io.StringIO()
+        code = run_top(serve_registry(), once=True, stream=stream)
+        assert code == 0
+        assert stream.getvalue().count("repro top — ") == 1
+        assert "\x1b[2J" not in stream.getvalue()  # no screen clearing
+
+    def test_run_top_iterations_clears_between_frames(self):
+        stream = io.StringIO()
+        code = run_top(
+            serve_registry(), interval=0.01, iterations=2, stream=stream
+        )
+        assert code == 0
+        assert stream.getvalue().count("repro top — ") == 2
+        assert stream.getvalue().count("\x1b[2J") == 1
+
+    def test_unreachable_url_exits_nonzero(self, capsys):
+        code = run_top(
+            "http://127.0.0.1:1/metrics", once=True, stream=io.StringIO()
+        )
+        assert code == 1
+        assert "cannot scrape" in capsys.readouterr().err

@@ -2,8 +2,17 @@
 
 import threading
 
+import pytest
+
 from repro.obs import get_tracer, set_tracing
-from repro.obs.trace import Tracer, _NULL_SPAN, render_trace
+from repro.obs.context import TraceContext, use_context
+from repro.obs.trace import (
+    MAX_TIMELINE_EVENTS,
+    Tracer,
+    _NULL_SPAN,
+    chrome_trace,
+    render_trace,
+)
 
 
 class TestDisabled:
@@ -127,6 +136,147 @@ class TestGlobals:
             set_tracing(False)
         assert tracer.summary() is not None
         tracer.reset()
+
+
+class TestExceptionSafety:
+    def test_raising_span_body_still_records_and_pops(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError, match="mid-span"):
+            with tracer.span("work"):
+                raise RuntimeError("mid-span failure")
+        node = tracer.summary()["spans"][0]
+        assert node["name"] == "work"
+        assert node["count"] == 1
+        assert node["seconds"] >= 0.0
+        # The thread-local stack popped: a later span is a sibling root,
+        # not a child of the failed one.
+        with tracer.span("after"):
+            pass
+        names = {span["name"] for span in tracer.summary()["spans"]}
+        assert names == {"work", "after"}
+
+    def test_nested_raise_unwinds_every_level(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("deep failure")
+        outer = tracer.summary()["spans"][0]
+        assert outer["count"] == 1
+        assert outer["children"][0]["name"] == "inner"
+        assert outer["children"][0]["count"] == 1
+        # Tracer remains usable at the root level afterwards.
+        with tracer.span("next"):
+            tracer.add("n", 1)
+        spans = {span["name"]: span for span in tracer.summary()["spans"]}
+        assert spans["next"]["counters"] == {"n": 1.0}
+
+    def test_raising_span_records_timeline_event_too(self):
+        tracer = Tracer(enabled=True, timeline=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert [event["name"] for event in tracer.events()] == ["doomed"]
+
+
+class TestTimeline:
+    def test_disabled_timeline_records_no_events(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("work"):
+            pass
+        assert tracer.events() == []
+
+    def test_span_close_appends_one_event(self):
+        tracer = Tracer(enabled=True, timeline=True)
+        with tracer.span("work"):
+            pass
+        (event,) = tracer.events()
+        assert event["name"] == "work"
+        assert event["dur"] >= 0.0
+        assert event["ts"] > 0
+        assert event["pid"] > 0 and event["tid"] > 0
+
+    def test_record_synthesizes_an_event(self):
+        tracer = Tracer(enabled=True, timeline=True)
+        tracer.record("chunk", 0.5)
+        (event,) = tracer.events()
+        assert event["name"] == "chunk"
+        assert event["dur"] == 0.5
+
+    def test_record_event_false_folds_aggregate_only(self):
+        tracer = Tracer(enabled=True, timeline=True)
+        tracer.record("merged", 0.25, event=False)
+        assert tracer.events() == []
+        assert tracer.summary()["spans"][0]["seconds"] == 0.25
+
+    def test_events_stamp_the_active_trace_id(self):
+        tracer = Tracer(enabled=True, timeline=True)
+        with use_context(TraceContext(trace_id="t-123")):
+            with tracer.span("work"):
+                pass
+        assert tracer.events()[0]["trace_id"] == "t-123"
+
+    def test_add_event_preserves_foreign_pid_tid(self):
+        tracer = Tracer(enabled=True, timeline=True)
+        tracer.add_event("worker.chunk", 10.0, 0.1, pid=999, tid=7, trace_id="w1")
+        (event,) = tracer.events()
+        assert (event["pid"], event["tid"], event["trace_id"]) == (999, 7, "w1")
+
+    def test_cap_counts_dropped_events(self):
+        tracer = Tracer(enabled=True, timeline=True)
+        for index in range(MAX_TIMELINE_EVENTS + 5):
+            tracer.add_event("e", float(index), 0.0)
+        assert len(tracer.events()) == MAX_TIMELINE_EVENTS
+        assert tracer.events_dropped == 5
+        assert tracer.summary()["events_dropped"] == 5
+
+    def test_summary_carries_events_and_reset_clears(self):
+        tracer = Tracer(enabled=True, timeline=True)
+        with tracer.span("work"):
+            pass
+        assert len(tracer.summary()["events"]) == 1
+        tracer.reset()
+        assert tracer.events() == []
+        assert tracer.events_dropped == 0
+
+    def test_set_tracing_timeline_follows_enabled(self):
+        tracer = set_tracing(True)
+        try:
+            assert tracer.timeline
+            set_tracing(True, timeline=False)
+            assert not tracer.timeline
+        finally:
+            set_tracing(False)
+        assert not tracer.timeline
+
+
+class TestChromeTrace:
+    def test_events_become_complete_slices_in_microseconds(self):
+        events = [
+            {"name": "engine.run", "ts": 2.0, "dur": 0.5, "pid": 1, "tid": 2},
+            {"name": "serve.request", "ts": 1.0, "dur": 1.5, "pid": 1, "tid": 3,
+             "trace_id": "abc"},
+        ]
+        payload = chrome_trace(events, metadata={"run_id": "r1"})
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"] == {"run_id": "r1"}
+        first, second = payload["traceEvents"]  # sorted by ts
+        assert first["name"] == "serve.request"
+        assert first["ph"] == "X"
+        assert first["ts"] == 1_000_000 and first["dur"] == 1_500_000
+        assert first["args"]["trace_id"] == "abc"
+        assert first["cat"] == "serve"
+        assert second["cat"] == "engine"
+        assert "args" not in second
+
+    def test_round_trips_through_json(self):
+        import json
+
+        tracer = Tracer(enabled=True, timeline=True)
+        with tracer.span("a.b"):
+            pass
+        parsed = json.loads(json.dumps(chrome_trace(tracer.events())))
+        assert parsed["traceEvents"][0]["name"] == "a.b"
 
 
 class TestRender:

@@ -40,6 +40,7 @@ class TestParser:
             "cache",
             "trace",
             "bench",
+            "top",
         }
 
 
@@ -69,6 +70,7 @@ class TestHelpSmoke:
             ("cache", "ls"),
             ("cache", "gc"),
             ("trace", "show"),
+            ("trace", "export"),
             ("bench", "trend"),
             ("bench", "gate"),
         ],
