@@ -1,0 +1,110 @@
+"""Out-of-core evaluation at million-entity scale: flat RSS, full speed.
+
+Wraps the staged driver (``python -m repro.bench.out_of_core all``) under
+pytest.  Each stage runs as its own subprocess so the evaluation stage's
+peak RSS is an honest high-water mark, uncontaminated by the generator's
+or ingester's allocations.  Asserted claims:
+
+1. **Flat memory** — a sampled evaluation over a 1M-entity graph with
+   the mmap backend peaks below ``DEFAULT_CEILING_MB`` resident.  The
+   in-memory equivalent (materialised embeddings + dict filter index)
+   needs well over a gigabyte, so a regression to materialisation
+   cannot clear the ceiling.
+2. **Exactness** — at a scale where the in-memory twin is buildable,
+   mmap ranks are bitwise-identical to in-memory ranks.
+3. **Throughput** — the mmap backend stays within 2x of in-memory at
+   the same worker count (warm page cache; in practice it is on par).
+
+The emitted ``BENCH_out_of_core.json`` record feeds the bench gate:
+``rss_headroom`` (ceiling / measured peak) and ``throughput_ratio``
+gate relatively, ``evaluate_peak_rss_mb`` gates under ``--absolute``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.out_of_core import (
+    DEFAULT_CEILING_MB,
+    DEFAULT_MIN_THROUGHPUT_RATIO,
+    build_parser,
+    run_all,
+)
+
+#: Headline scale: the bench contract's >= 1M entities.
+ENTITIES = 1_000_000
+TRAIN = 1_500_000
+WORKERS = 4
+NUM_SAMPLES = 1_000
+
+#: Compare-stage scale (needs an in-memory twin, so deliberately smaller).
+COMPARE_ENTITIES = 50_000
+COMPARE_TRAIN = 100_000
+
+
+def test_out_of_core_flat_rss(benchmark, emit, emit_json):
+    args = build_parser().parse_args(
+        [
+            "all",
+            "--entities", str(ENTITIES),
+            "--train", str(TRAIN),
+            "--workers", str(WORKERS),
+            "--num-samples", str(NUM_SAMPLES),
+            "--ceiling-mb", str(DEFAULT_CEILING_MB),
+            "--min-ratio", str(DEFAULT_MIN_THROUGHPUT_RATIO),
+            "--compare-entities", str(COMPARE_ENTITIES),
+            "--compare-train", str(COMPARE_TRAIN),
+        ]
+    )
+    summary = benchmark.pedantic(run_all, args=(args,), rounds=1, iterations=1)
+
+    # The stage driver already hard-fails on ceiling/ratio breaches;
+    # re-assert here so the pytest report names the failing claim.
+    assert summary["ranks_equal"], "mmap ranks diverged from in-memory"
+    assert summary["evaluate_peak_rss_mb"] <= DEFAULT_CEILING_MB
+    assert summary["throughput_ratio"] >= DEFAULT_MIN_THROUGHPUT_RATIO
+
+    rows = [
+        {
+            "Stage": name,
+            "Seconds": stage.get("seconds", "-"),
+            "Peak RSS (MB)": stage["peak_rss_mb"],
+        }
+        for name, stage in summary["stages"].items()
+    ]
+    from repro.bench import render_table
+
+    emit(
+        "out_of_core",
+        render_table(
+            rows,
+            title=(
+                f"Out-of-core evaluation: {ENTITIES:,} entities, "
+                f"{WORKERS} workers, ceiling {DEFAULT_CEILING_MB:.0f} MB"
+            ),
+        ),
+    )
+    emit_json(
+        "out_of_core",
+        {
+            "bench": "bench_out_of_core",
+            "entities": ENTITIES,
+            "workers": WORKERS,
+            "evaluate_peak_rss_mb": summary["evaluate_peak_rss_mb"],
+            "rss_headroom": summary["rss_headroom"],
+            "queries_per_second": summary["queries_per_second"],
+            "throughput_ratio": summary["throughput_ratio"],
+            "ranks_equal": summary["ranks_equal"],
+        },
+        config={
+            "entities": ENTITIES,
+            "train": TRAIN,
+            "workers": WORKERS,
+            "num_samples": NUM_SAMPLES,
+            "ceiling_mb": DEFAULT_CEILING_MB,
+            "min_throughput_ratio": DEFAULT_MIN_THROUGHPUT_RATIO,
+            "compare_entities": COMPARE_ENTITIES,
+            "compare_train": COMPARE_TRAIN,
+            "model": "distmult",
+            "dim": 16,
+            "dtype": "float32",
+        },
+    )

@@ -28,7 +28,11 @@ first:
   ``/metrics`` (qps, latency quantiles, batch occupancy, cache hit rate,
   pool worker utilisation, shm bytes), ``--once`` for scripting;
 * ``bench``           — trend view over committed ``BENCH_*.json`` records
-  and the perf-regression gate CI runs against them.
+  and the perf-regression gate CI runs against them;
+* ``ingest``          — stream TSV / N-Triples split files into a compact
+  int32 triple store without materialising the raw files;
+* ``shard``           — convert a saved checkpoint into ``.npy`` mmap
+  shards for out-of-core evaluation (``--backend mmap``, docs/scale.md).
 
 ``train``, ``evaluate`` and ``serve`` are thin shims: each builds an
 :class:`repro.experiment.ExperimentSpec` from its flags and hands it to
@@ -307,7 +311,11 @@ def _spec_from_training_args(
 ) -> ExperimentSpec:
     """The spec equivalent of ``train``/``evaluate`` flags (the shim core)."""
     model = ModelSpec(
-        name=args.model, dim=args.dim, seed=args.seed, dtype=args.dtype
+        name=args.model,
+        dim=args.dim,
+        seed=args.seed,
+        dtype=args.dtype,
+        backend=getattr(args, "backend", ModelSpec.backend),
     )
     training = TrainingSpec(
         epochs=args.epochs,
@@ -544,6 +552,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# Out-of-core commands: ingest / shard
+# ----------------------------------------------------------------------
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.datasets.ingest import IngestError, ingest_directory
+
+    try:
+        result = ingest_directory(
+            args.input_dir, args.out, fmt=args.format, name=args.name
+        )
+    except IngestError as error:
+        print(f"ingest error: {error}", file=sys.stderr)
+        return 2
+    rows = []
+    for split, count in result.splits.items():
+        stats = result.stats.get(split, {})
+        rows.append(
+            {
+                "Split": split,
+                "Triples": count,
+                "Duplicates": stats.get("duplicates", 0),
+                "Unseen entities": (
+                    "-"
+                    if split == "train"
+                    else stats.get("unseen_in_train_entities", 0)
+                ),
+            }
+        )
+    print(
+        render_table(
+            rows,
+            title=f"Ingested {result.name}: {result.num_entities:,} entities, "
+            f"{result.num_relations:,} relations",
+        )
+    )
+    print(f"Compact store written to {result.directory}")
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from repro.models import load_model
+    from repro.models.io import save_sharded
+
+    model = load_model(args.checkpoint)
+    max_bytes = (
+        None if args.max_shard_mb is None else int(args.max_shard_mb * 1024 * 1024)
+    )
+    source = save_sharded(model, args.out, max_shard_bytes=max_bytes)
+    print(
+        f"Sharded {model.name} ({model.num_entities:,} entities, dim {model.dim}) "
+        f"to {source.directory}: {source.nbytes:,} bytes, digest {source.digest[:16]}"
+    )
+    print("Evaluate against it out of core with `repro evaluate --backend mmap`.")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # Store commands
 # ----------------------------------------------------------------------
 def _cmd_runs(args: argparse.Namespace) -> int:
@@ -767,6 +831,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument("--fraction", type=float, default=0.1)
     evaluate.add_argument(
+        "--backend",
+        default="memory",
+        choices=("memory", "mmap"),
+        help="parameter storage for the ranking passes: in-memory arrays, "
+        "or a .npy mmap round-trip (out-of-core; bit-identical metrics)",
+    )
+    evaluate.add_argument(
         "--save-model",
         "--save",  # original spelling, kept as an alias
         dest="save_model",
@@ -832,6 +903,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run",
         action="store_true",
         help="load models and print the serving table without binding the port",
+    )
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="stream TSV / N-Triples files into a compact triple store",
+    )
+    ingest.add_argument(
+        "input_dir",
+        metavar="INPUT_DIR",
+        help="directory holding train/valid/test .tsv/.txt/.nt files "
+        "(optionally .gz; valid/test optional)",
+    )
+    ingest.add_argument("--out", required=True, help="compact store directory to write")
+    ingest.add_argument(
+        "--format",
+        default="auto",
+        choices=("auto", "tsv", "nt"),
+        help="input format (auto: .nt files parse as N-Triples, rest as TSV)",
+    )
+    ingest.add_argument(
+        "--name",
+        default=None,
+        help="graph name in the store manifest (default: input directory name)",
+    )
+
+    shard = commands.add_parser(
+        "shard",
+        help="convert a checkpoint into .npy mmap shards (out-of-core eval)",
+    )
+    shard.add_argument(
+        "checkpoint", metavar="CHECKPOINT", help=".npz checkpoint to shard"
+    )
+    shard.add_argument("--out", required=True, help="shard directory to write")
+    shard.add_argument(
+        "--max-shard-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="split parameter files larger than this (default: one file each)",
     )
 
     runs = commands.add_parser("runs", help="inspect the run journal")
@@ -963,6 +1073,8 @@ _HANDLERS = {
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "serve": _cmd_serve,
+    "ingest": _cmd_ingest,
+    "shard": _cmd_shard,
     "runs": _cmd_runs,
     "cache": _cmd_cache,
     "trace": _cmd_trace,

@@ -1,5 +1,13 @@
 """Synthetic dataset substrate: typed KG generator + named dataset zoo."""
 
+from repro.datasets.ingest import (
+    IngestError,
+    IngestResult,
+    ingest_directory,
+    ingest_files,
+    iter_triples,
+)
+from repro.datasets.scale import SyntheticScaleConfig, generate_scale_tsv
 from repro.datasets.schema import Cardinality, RelationSchema
 from repro.datasets.synthetic import SyntheticConfig, SyntheticDataset, generate
 from repro.datasets.zoo import ZOO, available_datasets, clear_cache, load
@@ -7,11 +15,18 @@ from repro.datasets.zoo import ZOO, available_datasets, clear_cache, load
 __all__ = [
     "ZOO",
     "Cardinality",
+    "IngestError",
+    "IngestResult",
     "RelationSchema",
     "SyntheticConfig",
     "SyntheticDataset",
+    "SyntheticScaleConfig",
     "available_datasets",
     "clear_cache",
     "generate",
+    "generate_scale_tsv",
+    "ingest_directory",
+    "ingest_files",
+    "iter_triples",
     "load",
 ]

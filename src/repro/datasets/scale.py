@@ -1,0 +1,116 @@
+"""Streaming synthetic graph generator for out-of-core benchmarks.
+
+Writes million-entity-scale TSV split files **without ever holding the
+graph in memory**: triples are drawn and formatted in fixed-size batches,
+so peak memory is one batch regardless of the requested size.  The output
+feeds :func:`repro.datasets.ingest.ingest_directory`, which is how the
+out-of-core benchmark (:mod:`repro.bench.out_of_core`) and the CI
+``oom-smoke`` job obtain a ~1M-entity compact store.
+
+The generated graph is shaped to be honest about scale:
+
+* every entity appears at least once in train (the first ``num_entities``
+  train tails enumerate the vocabulary), so the ingested vocabulary has
+  exactly ``num_entities`` entities and valid/test never reference unseen
+  labels;
+* heads follow a power-law-ish skew (``floor(E * u**3)``), so filter-index
+  keys have the uneven fan-out of real graphs rather than a uniform one;
+* relations are uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+#: Triples formatted per write batch — bounds generator memory.
+_BATCH_ROWS = 200_000
+
+
+@dataclass(frozen=True)
+class SyntheticScaleConfig:
+    """Size knobs of one streamed synthetic graph."""
+
+    num_entities: int = 1_000_000
+    num_relations: int = 50
+    num_train: int = 1_500_000
+    num_valid: int = 5_000
+    num_test: int = 5_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_entities <= 0 or self.num_relations <= 0:
+            raise ValueError("need at least one entity and one relation")
+        if self.num_train < self.num_entities:
+            raise ValueError(
+                f"num_train ({self.num_train}) must be >= num_entities "
+                f"({self.num_entities}) so every entity is seen in train"
+            )
+
+
+def _skewed_entities(rng: np.random.Generator, n: int, num_entities: int) -> np.ndarray:
+    u = rng.random(n)
+    return np.minimum((u * u * u * num_entities).astype(np.int64), num_entities - 1)
+
+
+def _write_batches(
+    path: Path,
+    config: SyntheticScaleConfig,
+    rng: np.random.Generator,
+    n: int,
+    cover: bool,
+) -> None:
+    covered = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for start in range(0, n, _BATCH_ROWS):
+            rows = min(_BATCH_ROWS, n - start)
+            heads = _skewed_entities(rng, rows, config.num_entities)
+            relations = rng.integers(0, config.num_relations, rows)
+            if cover and covered < config.num_entities:
+                span = min(rows, config.num_entities - covered)
+                tails = np.empty(rows, dtype=np.int64)
+                tails[:span] = np.arange(covered, covered + span)
+                tails[span:] = _skewed_entities(
+                    rng, rows - span, config.num_entities
+                )
+                covered += span
+            else:
+                tails = _skewed_entities(rng, rows, config.num_entities)
+            handle.write(
+                "\n".join(
+                    f"e{h}\tr{r}\te{t}"
+                    for h, r, t in zip(heads, relations, tails)
+                )
+            )
+            handle.write("\n")
+
+
+def generate_scale_tsv(
+    directory: str | Path,
+    config: SyntheticScaleConfig | None = None,
+    **overrides,
+) -> dict[str, Path]:
+    """Write ``train.tsv`` / ``valid.tsv`` / ``test.tsv`` under ``directory``.
+
+    Returns the split → path mapping.  ``overrides`` are
+    :class:`SyntheticScaleConfig` fields (``num_entities=...`` etc.).
+    """
+    if config is None:
+        config = SyntheticScaleConfig(**overrides)
+    elif overrides:
+        raise TypeError("pass either a config or field overrides, not both")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    rng = np.random.default_rng(config.seed)
+    paths: dict[str, Path] = {}
+    for split, n, cover in (
+        ("train", config.num_train, True),
+        ("valid", config.num_valid, False),
+        ("test", config.num_test, False),
+    ):
+        path = directory / f"{split}.tsv"
+        _write_batches(path, config, rng, n, cover)
+        paths[split] = path
+    return paths

@@ -29,6 +29,13 @@ Models that do not expose ``parameter_arrays`` (wrapper scorers such as
 :class:`repro.bench.LatencyBoundScorer`) fall back to travelling as one
 pickle inside the manifest; everything else still goes through shared
 memory, and exactness is unaffected either way.
+
+Memory-mapped models (:func:`repro.models.io.open_mmap`) take a third
+route: their parameter bytes already live in files every process can map,
+so :func:`publish_state` ships only the shard manifest — workers re-open
+the same shards and share the pages through the OS cache, and the state
+fingerprint uses the manifest digest instead of hashing the mapped bytes,
+so repeat runs republish nothing (see ``docs/scale.md``).
 """
 
 from __future__ import annotations
@@ -179,6 +186,7 @@ class StateManifest:
     sides: tuple[Side, ...]
     model_spec: dict | None = None  # registry model: rebuild + attach arrays
     model_pickle: bytes | None = field(default=None, repr=False)  # wrapper fallback
+    model_shards: dict | None = None  # mmap model: workers re-open the shards
     pools_meta: dict | None = None
     num_queries: int = 0
 
@@ -210,7 +218,12 @@ def state_fingerprint(state: "EvaluationState") -> tuple:
     import hashlib
 
     model = state.model
-    if hasattr(model, "parameter_arrays"):
+    source = getattr(model, "shard_source", None)
+    if source is not None:
+        # Memory-mapped models carry a manifest digest computed at save
+        # time; hashing the mapped bytes would page the whole table in.
+        model_key: object = (id(model), ("mmap", source.digest))
+    elif hasattr(model, "parameter_arrays"):
         digest = hashlib.blake2b(digest_size=16)
         for name in sorted(model.parameter_arrays()):
             digest.update(name.encode())
@@ -243,7 +256,19 @@ def publish_state(state: "EvaluationState") -> PublishedState:
         model = state.model
         model_spec = None
         model_pickle = None
-        if hasattr(model, "parameter_arrays") and hasattr(model, "init_spec"):
+        model_shards = None
+        source = getattr(model, "shard_source", None)
+        if source is not None:
+            # Memory-mapped model: the shards on disk *are* the shared
+            # plane (every process maps the same file pages), so nothing
+            # is copied into shm — workers re-open the manifest.
+            model_spec = model.init_spec()
+            model_shards = {
+                "directory": source.directory,
+                "digest": source.digest,
+                "nbytes": source.nbytes,
+            }
+        elif hasattr(model, "parameter_arrays") and hasattr(model, "init_spec"):
             model_spec = model.init_spec()
             for name, array in model.parameter_arrays().items():
                 arena.put(f"param_{name}", array)
@@ -285,6 +310,7 @@ def publish_state(state: "EvaluationState") -> PublishedState:
             sides=state.sides,
             model_spec=model_spec,
             model_pickle=model_pickle,
+            model_shards=model_shards,
             pools_meta=pools_meta,
             num_queries=num_queries,
         )
@@ -345,6 +371,17 @@ def attach_state(manifest: StateManifest) -> AttachedState:
 
     if manifest.model_pickle is not None:
         model = pickle.loads(manifest.model_pickle)
+    elif manifest.model_shards is not None:
+        from repro.models.io import open_mmap
+
+        model = open_mmap(manifest.model_shards["directory"])
+        if model.shard_source.digest != manifest.model_shards["digest"]:
+            raise RuntimeError(
+                f"sharded model at {manifest.model_shards['directory']} "
+                f"changed underneath the published state "
+                f"({model.shard_source.digest} != "
+                f"{manifest.model_shards['digest']})"
+            )
     else:
         from repro.models.io import build_from_spec
 

@@ -16,6 +16,7 @@ dataset/model/training resolution and returns the populated
 
 from __future__ import annotations
 
+import tempfile
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
@@ -167,6 +168,30 @@ def _train(
     return model, history, train_seconds, triples_per_epoch
 
 
+def _to_mmap_backend(
+    model: KGEModel,
+    spec: ExperimentSpec,
+    store: "ExperimentStore | None",
+    say: Progress,
+) -> KGEModel:
+    """Round-trip a trained model through ``.npy`` shards and reattach.
+
+    With a store the shards live under ``<root>/mmap/<spec key>`` (stable
+    across runs, so a re-run re-saves in place); without one they go to a
+    fresh temp directory.  The returned model scores bit-identically to
+    the in-memory original — only the page residency changes.
+    """
+    from repro.models.io import open_mmap, save_sharded
+
+    if store is not None:
+        directory = store.root / "mmap" / spec_key(spec)
+    else:
+        directory = tempfile.mkdtemp(prefix="repro-mmap-")
+    source = save_sharded(model, directory)
+    say(f"Sharded {model.name} to {source.directory} ({source.nbytes} bytes)")
+    return open_mmap(source.directory)
+
+
 def run(
     spec: ExperimentSpec,
     store: "ExperimentStore | None" = None,
@@ -205,6 +230,10 @@ def run(
             save_model(model, spec.checkpoint)
             checkpoint_path = spec.checkpoint
             say(f"Saved checkpoint to {spec.checkpoint}")
+
+        if spec.model.backend == "mmap":
+            with tracer.span("model.shard"):
+                model = _to_mmap_backend(model, spec, store, say)
 
         preparation = truth = random_estimate = guided_estimate = None
         if spec.task == "evaluate":

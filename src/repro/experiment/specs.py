@@ -39,6 +39,9 @@ STRATEGIES = ("random", "probabilistic", "static")
 #: Splits an evaluation may rank.
 SPLITS = ("valid", "test")
 
+#: Model storage backends: in-memory arrays, or mmap shards on disk.
+BACKENDS = ("memory", "mmap")
+
 
 class SpecError(ValueError):
     """A spec failed validation; the message names the field path."""
@@ -133,17 +136,26 @@ class ModelSpec:
     ``options`` holds extra constructor kwargs of the specific model
     class (e.g. ConvE's reshape sizes); they are forwarded verbatim to
     :func:`repro.models.build_model`.
+
+    ``backend`` selects the parameter storage for evaluation:
+    ``"memory"`` (default) keeps the trained arrays in process;
+    ``"mmap"`` round-trips them through ``.npy`` shards
+    (:func:`repro.models.io.save_sharded` / ``open_mmap``) so the
+    evaluation reads file pages instead of resident memory — scores are
+    bit-identical either way (see ``docs/scale.md``).
     """
 
     name: str = "complex"
     dim: int = 32
     seed: int = 0
     dtype: str = "float64"
+    backend: str = "memory"
     options: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         _check_choice("model.name", self.name, available_models())
         _check_choice("model.dtype", self.dtype, sorted(DTYPES))
+        _check_choice("model.backend", self.backend, BACKENDS)
         _check_type("model.dim", self.dim, (int,), "a positive int")
         if self.dim <= 0:
             raise SpecError(f"model.dim: must be positive, got {self.dim}")
@@ -160,6 +172,7 @@ class ModelSpec:
             "dim": self.dim,
             "seed": self.seed,
             "dtype": self.dtype,
+            "backend": self.backend,
             "options": dict(self.options),
         }
 

@@ -12,10 +12,19 @@ from repro.kg.graph import (
     HEAD,
     SIDES,
     TAIL,
+    FilterIndexCSR,
     KnowledgeGraph,
     Side,
     TripleSet,
     build_graph,
+    id_dtype,
+)
+from repro.kg.triples import (
+    CompactGraph,
+    build_filter_csr,
+    open_compact,
+    save_compact,
+    unique_rows_in_order,
 )
 from repro.kg.split import SplitFractions, random_split, split_graph, transductive_split
 from repro.kg.stats import DatasetStatistics, dataset_statistics, distinct_query_pairs
@@ -26,8 +35,10 @@ __all__ = [
     "HEAD",
     "SIDES",
     "TAIL",
+    "CompactGraph",
     "ConnectivitySummary",
     "DatasetStatistics",
+    "FilterIndexCSR",
     "KnowledgeGraph",
     "RelationProfile",
     "Side",
@@ -35,13 +46,18 @@ __all__ = [
     "TripleSet",
     "TypeStore",
     "Vocabulary",
+    "build_filter_csr",
     "build_graph",
     "build_type_store",
     "classify_cardinality",
     "connectivity_summary",
     "dataset_statistics",
     "distinct_query_pairs",
+    "id_dtype",
+    "open_compact",
     "random_split",
+    "save_compact",
+    "unique_rows_in_order",
     "relation_profiles",
     "split_graph",
     "transductive_split",

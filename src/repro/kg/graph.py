@@ -32,6 +32,20 @@ HEAD: Side = "head"
 TAIL: Side = "tail"
 SIDES: tuple[Side, Side] = (HEAD, TAIL)
 
+#: First vocabulary size that no longer fits an int32 id.
+INT32_LIMIT = 2**31
+
+
+def id_dtype(num_entities: int) -> np.dtype:
+    """The narrowest integer dtype that can hold every entity id.
+
+    Entity-valued index buffers (filter-index answers, observed-entity
+    sets, the compact triple store) are stored as int32 whenever the
+    vocabulary allows it — halving their memory — and fall back to int64
+    for vocabularies of ``2**31`` entities or more.
+    """
+    return np.dtype(np.int32) if num_entities < INT32_LIMIT else np.dtype(np.int64)
+
 
 def _as_triple_array(triples: Iterable[tuple[int, int, int]] | np.ndarray) -> np.ndarray:
     array = np.asarray(list(triples) if not isinstance(triples, np.ndarray) else triples)
@@ -183,8 +197,9 @@ class KnowledgeGraph:
         for h, r, t in self.all_triples:
             index[TAIL].setdefault((h, r), []).append(t)
             index[HEAD].setdefault((t, r), []).append(h)
+        dtype = id_dtype(self.num_entities)
         return {
-            side: {key: np.unique(np.asarray(vals, dtype=np.int64)) for key, vals in mapping.items()}
+            side: {key: np.unique(np.asarray(vals, dtype=dtype)) for key, vals in mapping.items()}
             for side, mapping in index.items()
         }
 
@@ -210,8 +225,9 @@ class KnowledgeGraph:
         for h, r, t in self.train:
             observed[HEAD].setdefault(r, set()).add(h)
             observed[TAIL].setdefault(r, set()).add(t)
+        dtype = id_dtype(self.num_entities)
         return {
-            side: {r: np.asarray(sorted(vals), dtype=np.int64) for r, vals in mapping.items()}
+            side: {r: np.asarray(sorted(vals), dtype=dtype) for r, vals in mapping.items()}
             for side, mapping in observed.items()
         }
 
@@ -297,7 +313,16 @@ class FilterIndexCSR:
 
     @classmethod
     def from_graph(cls, graph: "KnowledgeGraph") -> "FilterIndexCSR":
-        """Flatten ``graph.filter_index`` (building it if necessary)."""
+        """Flatten ``graph.filter_index`` (building it if necessary).
+
+        Graph-like objects that already maintain a CSR index (for example
+        the out-of-core :class:`repro.kg.triples.CompactGraph`) can expose
+        a ``filter_csr()`` method; it is used directly so the dict index
+        is never materialized for large vocabularies.
+        """
+        maker = getattr(graph, "filter_csr", None)
+        if callable(maker):
+            return maker()
         keys: dict[Side, np.ndarray] = {}
         offsets: dict[Side, np.ndarray] = {}
         values: dict[Side, np.ndarray] = {}

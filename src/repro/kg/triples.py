@@ -1,0 +1,326 @@
+"""Compact on-disk triple store for out-of-core evaluation.
+
+A :class:`CompactGraph` is the million-entity counterpart of the in-memory
+:class:`~repro.kg.graph.KnowledgeGraph`: the three splits live on disk as
+``(n, 3)`` int32 ``.npy`` files (12 bytes per triple) that are memory-mapped
+on open, the vocabularies stay on disk as plain label files that are only
+read when labels are actually requested, and the filter index is built
+**directly in CSR form** with vectorised numpy passes — the dict-of-arrays
+index, whose per-key Python objects dominate memory at large vocabularies,
+is never materialised.
+
+The store directory layout is::
+
+    manifest.json     format/version, counts, dataset name, ingest stats
+    train.npy         (n_train, 3) int32 (int64 when ids do not fit)
+    valid.npy         (n_valid, 3)
+    test.npy          (n_test, 3)
+    entities.txt      one label per line, line i = label of entity id i
+    relations.txt     one label per line
+
+Per-query answers from the CSR index are equal, element for element, to
+:meth:`KnowledgeGraph.true_answers` on the same triples — both are sorted
+unique answer sets — so evaluation ranks are bitwise-identical between the
+two graph backends.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.kg.graph import (
+    HEAD,
+    SIDES,
+    FilterIndexCSR,
+    KnowledgeGraph,
+    Side,
+    TripleSet,
+    id_dtype,
+)
+
+COMPACT_FORMAT = "repro-compact-graph"
+COMPACT_VERSION = 1
+
+SPLITS = ("train", "valid", "test")
+
+
+def unique_rows_in_order(rows: np.ndarray) -> np.ndarray:
+    """Drop duplicate rows of an ``(n, k)`` integer array, keeping first
+    occurrences in encounter order.
+
+    Works on the raw row bytes (a void view), so it never forms composite
+    integer keys that could overflow for very large vocabularies.
+    """
+    if rows.shape[0] == 0:
+        return rows
+    contiguous = np.ascontiguousarray(rows)
+    void = contiguous.view(
+        np.dtype((np.void, contiguous.dtype.itemsize * contiguous.shape[1]))
+    ).ravel()
+    _, first = np.unique(void, return_index=True)
+    return contiguous[np.sort(first)]
+
+
+def build_filter_csr(
+    num_entities: int,
+    num_relations: int,
+    split_arrays: Sequence[np.ndarray],
+) -> FilterIndexCSR:
+    """Build the CSR filter index from raw ``(n, 3)`` triple arrays.
+
+    A fully vectorised equivalent of
+    :meth:`KnowledgeGraph._build_filter_index` +
+    :meth:`FilterIndexCSR.from_graph`: per side, sort the triples by
+    ``(anchor * num_relations + relation, answer)``, drop duplicate
+    (key, answer) pairs with one shifted comparison, and read the key
+    table and offsets off ``np.unique``.  Composite keys are int64 (they
+    can exceed int32 even when ids fit), answers use
+    :func:`~repro.kg.graph.id_dtype`.
+    """
+    arrays = [np.asarray(a) for a in split_arrays if np.asarray(a).shape[0]]
+    if arrays:
+        triples = (
+            arrays[0] if len(arrays) == 1 else np.concatenate(arrays, axis=0)
+        )
+    else:
+        triples = np.empty((0, 3), dtype=np.int64)
+    value_dtype = id_dtype(num_entities)
+    keys: dict[Side, np.ndarray] = {}
+    offsets: dict[Side, np.ndarray] = {}
+    values: dict[Side, np.ndarray] = {}
+    relations = triples[:, 1].astype(np.int64, copy=False)
+    for side in SIDES:
+        anchor = triples[:, 2] if side == HEAD else triples[:, 0]
+        answer = triples[:, 0] if side == HEAD else triples[:, 2]
+        composite = anchor.astype(np.int64) * num_relations + relations
+        order = np.lexsort((answer, composite))
+        composite = composite[order]
+        answer = answer[order].astype(value_dtype, copy=False)
+        if composite.size:
+            fresh = np.ones(composite.size, dtype=bool)
+            fresh[1:] = (composite[1:] != composite[:-1]) | (
+                answer[1:] != answer[:-1]
+            )
+            composite = composite[fresh]
+            answer = answer[fresh]
+        side_keys, counts = np.unique(composite, return_counts=True)
+        keys[side] = side_keys
+        offsets[side] = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
+        )
+        values[side] = np.ascontiguousarray(answer)
+    return FilterIndexCSR(
+        num_entities=num_entities,
+        num_relations=num_relations,
+        keys=keys,
+        offsets=offsets,
+        values=values,
+    )
+
+
+def _read_labels(path: Path) -> list[str]:
+    with path.open("r", encoding="utf-8") as handle:
+        return [line.rstrip("\n") for line in handle]
+
+
+def _write_labels(path: Path, labels: Sequence[str]) -> None:
+    with path.open("w", encoding="utf-8") as handle:
+        for label in labels:
+            handle.write(label)
+            handle.write("\n")
+
+
+class CompactGraph:
+    """A memory-mapped, evaluation-ready view of a compact store directory.
+
+    Duck-types the slice of the :class:`~repro.kg.graph.KnowledgeGraph`
+    interface the evaluation engine touches — ``num_entities`` /
+    ``num_relations`` / ``name``, the split :class:`TripleSet` properties,
+    ``filter_index`` warming and ``true_answers`` — while keeping memory
+    flat in the vocabulary size: split arrays are int32 memory maps,
+    the filter index is CSR-only, and label files are read lazily.
+
+    ``filter_index`` and ``true_answers`` are served by the CSR index;
+    :meth:`FilterIndexCSR.from_graph` short-circuits to :meth:`filter_csr`
+    so the shm engine transport publishes the index without any dict
+    round-trip.
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        manifest_path = self.directory / "manifest.json"
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        if manifest.get("format") != COMPACT_FORMAT:
+            raise ValueError(
+                f"{manifest_path} is not a {COMPACT_FORMAT} manifest"
+            )
+        if int(manifest.get("version", 0)) > COMPACT_VERSION:
+            raise ValueError(
+                f"compact store version {manifest['version']} is newer than "
+                f"supported version {COMPACT_VERSION}"
+            )
+        self.manifest = manifest
+        self.name: str = manifest.get("name", self.directory.name)
+        self.num_entities: int = int(manifest["num_entities"])
+        self.num_relations: int = int(manifest["num_relations"])
+        self._splits: dict[str, np.ndarray] = {}
+        self._triple_sets: dict[str, TripleSet] = {}
+        self._filter_csr: FilterIndexCSR | None = None
+        self._entity_labels: list[str] | None = None
+        self._relation_labels: list[str] | None = None
+
+    # ------------------------------------------------------------------
+    # Splits
+    # ------------------------------------------------------------------
+    def split_array(self, split: str) -> np.ndarray:
+        """The raw ``(n, 3)`` memory-mapped array of one split."""
+        if split not in SPLITS:
+            raise KeyError(
+                f"unknown split {split!r}; expected train, valid or test"
+            )
+        if split not in self._splits:
+            self._splits[split] = np.load(
+                self.directory / f"{split}.npy", mmap_mode="r"
+            )
+        return self._splits[split]
+
+    def _triple_set(self, split: str) -> TripleSet:
+        # TripleSet casts to int64; eval splits are small so this is cheap,
+        # and the filter index below never goes through TripleSet at all.
+        if split not in self._triple_sets:
+            self._triple_sets[split] = TripleSet(
+                np.asarray(self.split_array(split))
+            )
+        return self._triple_sets[split]
+
+    @property
+    def train(self) -> TripleSet:
+        return self._triple_set("train")
+
+    @property
+    def valid(self) -> TripleSet:
+        return self._triple_set("valid")
+
+    @property
+    def test(self) -> TripleSet:
+        return self._triple_set("test")
+
+    def num_triples(self, split: str) -> int:
+        return int(self.manifest["splits"][split])
+
+    # ------------------------------------------------------------------
+    # Filter index (CSR only — the dict index is never built)
+    # ------------------------------------------------------------------
+    def filter_csr(self) -> FilterIndexCSR:
+        """The CSR filter index over all splits, built once, lazily."""
+        if self._filter_csr is None:
+            self._filter_csr = build_filter_csr(
+                self.num_entities,
+                self.num_relations,
+                [self.split_array(split) for split in SPLITS],
+            )
+        return self._filter_csr
+
+    @property
+    def filter_index(self) -> FilterIndexCSR:
+        """CSR index; accessing it warms the index like the dict path."""
+        return self.filter_csr()
+
+    def true_answers(self, anchor: int, relation: int, side: Side) -> np.ndarray:
+        """Known true answers across all splits — CSR-served."""
+        return self.filter_csr().true_answers(anchor, relation, side)
+
+    # ------------------------------------------------------------------
+    # Vocabularies (lazy — label files are only read when asked for)
+    # ------------------------------------------------------------------
+    def entity_labels(self) -> list[str]:
+        if self._entity_labels is None:
+            self._entity_labels = _read_labels(self.directory / "entities.txt")
+        return self._entity_labels
+
+    def relation_labels(self) -> list[str]:
+        if self._relation_labels is None:
+            self._relation_labels = _read_labels(
+                self.directory / "relations.txt"
+            )
+        return self._relation_labels
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def to_knowledge_graph(self) -> KnowledgeGraph:
+        """Materialise a full in-memory :class:`KnowledgeGraph`.
+
+        Intended for small stores (tests, inspection); this loads the
+        vocabularies and casts every split to int64.
+        """
+        from repro.kg.vocabulary import Vocabulary
+
+        return KnowledgeGraph(
+            entities=Vocabulary(self.entity_labels()),
+            relations=Vocabulary(self.relation_labels()),
+            train=self.train,
+            valid=self.valid,
+            test=self.test,
+            name=self.name,
+        )
+
+    def __iter__(self) -> Iterator[str]:  # pragma: no cover — guard
+        raise TypeError("CompactGraph is not iterable; use .train/.valid/.test")
+
+    def __repr__(self) -> str:
+        splits = self.manifest.get("splits", {})
+        return (
+            f"CompactGraph(name={self.name!r}, |E|={self.num_entities}, "
+            f"|R|={self.num_relations}, "
+            + ", ".join(f"{s}={splits.get(s, '?')}" for s in SPLITS)
+            + f", dir={str(self.directory)!r})"
+        )
+
+
+def save_compact(
+    graph: KnowledgeGraph,
+    directory: str | Path,
+    stats: Mapping[str, object] | None = None,
+) -> Path:
+    """Write an in-memory graph as a compact store directory.
+
+    The inverse of :func:`open_compact` for graphs that already fit in
+    memory; the streaming ingestion path
+    (:func:`repro.datasets.ingest.ingest_directory`) writes the same layout
+    without ever holding a full graph.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    dtype = id_dtype(graph.num_entities)
+    counts: dict[str, int] = {}
+    for split in SPLITS:
+        array = getattr(graph, split).array
+        np.save(directory / f"{split}.npy", array.astype(dtype, copy=False))
+        counts[split] = int(array.shape[0])
+    _write_labels(directory / "entities.txt", graph.entities.labels())
+    _write_labels(directory / "relations.txt", graph.relations.labels())
+    manifest = {
+        "format": COMPACT_FORMAT,
+        "version": COMPACT_VERSION,
+        "name": graph.name,
+        "num_entities": graph.num_entities,
+        "num_relations": graph.num_relations,
+        "id_dtype": dtype.name,
+        "splits": counts,
+    }
+    if stats:
+        manifest["stats"] = dict(stats)
+    (directory / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return directory
+
+
+def open_compact(directory: str | Path) -> CompactGraph:
+    """Open a compact store directory as a :class:`CompactGraph`."""
+    return CompactGraph(directory)

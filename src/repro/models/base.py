@@ -142,7 +142,9 @@ class KGEModel(abc.ABC):
         """
         return {name: tensor.data for name, tensor in self._params.items()}
 
-    def attach_parameter_arrays(self, arrays: Mapping[str, Array]) -> None:
+    def attach_parameter_arrays(
+        self, arrays: Mapping[str, Array], strict: bool = True
+    ) -> None:
         """Replace every parameter's storage with the given arrays, zero-copy.
 
         Each array must match the existing parameter's shape and dtype
@@ -150,13 +152,27 @@ class KGEModel(abc.ABC):
         worker processes back a freshly built model with shared-memory
         views instead of private copies.  Gradients are reset because
         they no longer correspond to the new storage.
+
+        With ``strict=False`` the *first* axis may differ while dtype and
+        trailing axes still must match.  This is the out-of-core loader's
+        hook (:func:`repro.models.io.open_mmap`): it builds a probe model
+        with a tiny entity vocabulary, attaches full-size memory-mapped
+        tables, and then corrects ``num_entities`` — the full xavier
+        initialisation is never materialised.  Callers own the semantic
+        check that only entity-indexed tables actually grow.
         """
         missing = set(self._params) - set(arrays)
         if missing:
             raise KeyError(f"missing parameter arrays: {sorted(missing)}")
         for name, tensor in self._params.items():
             array = arrays[name]
-            if array.shape != tensor.data.shape or array.dtype != tensor.data.dtype:
+            expected = tensor.data.shape if strict else tensor.data.shape[1:]
+            got = array.shape if strict else array.shape[1:]
+            if (
+                got != expected
+                or array.ndim != tensor.data.ndim
+                or array.dtype != tensor.data.dtype
+            ):
                 raise ValueError(
                     f"parameter {name!r} expects {tensor.data.shape} "
                     f"{tensor.data.dtype}, got {array.shape} {array.dtype}"

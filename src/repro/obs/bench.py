@@ -41,8 +41,8 @@ NOISY_MARKERS = ("cpu_bound",)
 
 _IGNORED_KEYS = frozenset({"bench", "min_speedup_asserted", *STAMP_FIELDS})
 
-_HIGHER_MARKERS = ("speedup", "throughput", "per_second", "hit_rate")
-_LOWER_MARKERS = ("seconds", "latency")
+_HIGHER_MARKERS = ("speedup", "throughput", "per_second", "hit_rate", "headroom")
+_LOWER_MARKERS = ("seconds", "latency", "peak_rss")
 
 
 def config_fingerprint(config: dict[str, Any]) -> str:
@@ -69,6 +69,10 @@ def metric_direction(key: str) -> str | None:
     --------
     >>> metric_direction("latency_bound_speedup")
     'higher'
+    >>> metric_direction("rss_headroom")
+    'higher'
+    >>> metric_direction("peak_rss_mb")
+    'lower'
     >>> metric_direction("fused_seconds_per_epoch")
     'lower'
     >>> metric_direction("cpu_bound_speedup") is None  # noisy: never gated

@@ -120,7 +120,26 @@ def model_fingerprint(model) -> str:
     so this fingerprint is exactly the right ground-truth cache key: a
     re-trained model with the same seeds hits, a further-trained one
     misses.
+
+    Models attached to mmap shards (``model.shard_source``) fingerprint
+    by the shard manifest digest instead — it was computed from the same
+    bytes at save time, and re-hashing here would stream the whole
+    out-of-core parameter file through memory.  The mmap fingerprint
+    therefore differs from the in-memory one for equal parameters; the
+    two backends keep separate ground-truth cache entries by design.
     """
+    source = getattr(model, "shard_source", None)
+    if source is not None:
+        return cache_key(
+            "model-shards",
+            {
+                "name": model.name,
+                "num_entities": model.num_entities,
+                "num_relations": model.num_relations,
+                "dim": model.dim,
+                "digest": source.digest,
+            },
+        )
     digest = hashlib.sha256()
     meta = {
         "name": model.name,

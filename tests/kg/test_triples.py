@@ -1,0 +1,169 @@
+"""The compact triple store: CSR equality, round-trips, id dtypes."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.kg import (
+    CompactGraph,
+    FilterIndexCSR,
+    KnowledgeGraph,
+    build_filter_csr,
+    build_graph,
+    id_dtype,
+    open_compact,
+    save_compact,
+    unique_rows_in_order,
+)
+from repro.kg.graph import INT32_LIMIT
+
+
+@pytest.fixture
+def labelled_triples():
+    train = [
+        ("a", "likes", "b"),
+        ("a", "likes", "c"),
+        ("b", "likes", "c"),
+        ("d", "knows", "e"),
+        ("f", "made", "a"),
+    ]
+    valid = [("e", "knows", "f")]
+    test = [("a", "likes", "d")]
+    return train, valid, test
+
+
+@pytest.fixture
+def graph(labelled_triples) -> KnowledgeGraph:
+    train, valid, test = labelled_triples
+    return build_graph(
+        {"train": train, "valid": valid, "test": test}, name="compact-toy"
+    )
+
+
+@pytest.fixture
+def compact(graph, tmp_path) -> CompactGraph:
+    save_compact(graph, tmp_path / "store")
+    return open_compact(tmp_path / "store")
+
+
+class TestIdDtype:
+    def test_small_vocabulary_is_int32(self):
+        assert id_dtype(6) == np.dtype(np.int32)
+        assert id_dtype(INT32_LIMIT - 1) == np.dtype(np.int32)
+
+    def test_boundary_falls_back_to_int64(self):
+        assert id_dtype(INT32_LIMIT) == np.dtype(np.int64)
+        assert id_dtype(INT32_LIMIT + 7) == np.dtype(np.int64)
+
+    def test_filter_index_buffers_downcast(self, graph):
+        index = graph.filter_index
+        for answers in index["head"].values():
+            assert answers.dtype == np.int32
+        for answers in index["tail"].values():
+            assert answers.dtype == np.int32
+
+    def test_observed_buffers_downcast(self, graph):
+        assert graph.observed(0, "head").dtype == np.int32
+
+
+class TestUniqueRowsInOrder:
+    def test_keeps_first_occurrence_in_encounter_order(self):
+        rows = np.array(
+            [[1, 0, 2], [0, 0, 1], [1, 0, 2], [0, 0, 1], [2, 1, 0]],
+            dtype=np.int32,
+        )
+        out = unique_rows_in_order(rows)
+        np.testing.assert_array_equal(
+            out, np.array([[1, 0, 2], [0, 0, 1], [2, 1, 0]], dtype=np.int32)
+        )
+
+    def test_no_duplicates_is_identity(self):
+        rows = np.array([[0, 0, 1], [1, 0, 2]], dtype=np.int32)
+        np.testing.assert_array_equal(unique_rows_in_order(rows), rows)
+
+    def test_empty(self):
+        rows = np.empty((0, 3), dtype=np.int32)
+        assert unique_rows_in_order(rows).shape == (0, 3)
+
+
+class TestBuildFilterCSR:
+    """The vectorised CSR build must match the dict-index flatten exactly."""
+
+    def test_matches_dict_filter_index(self, graph):
+        csr = build_filter_csr(
+            graph.num_entities,
+            graph.num_relations,
+            [getattr(graph, split).array for split in ("train", "valid", "test")],
+        )
+        index = graph.filter_index
+        for side in ("head", "tail"):
+            for (anchor, relation), expected in index[side].items():
+                got = csr.true_answers(int(anchor), int(relation), side)
+                np.testing.assert_array_equal(got, expected)
+                assert got.dtype == expected.dtype
+
+    def test_missing_key_is_empty(self, graph):
+        csr = FilterIndexCSR.from_graph(graph)
+        assert csr.true_answers(5, 2, "head").size == 0
+
+
+class TestCompactRoundTrip:
+    def test_vocabulary_and_sizes_survive(self, graph, compact):
+        assert compact.num_entities == graph.num_entities
+        assert compact.num_relations == graph.num_relations
+        assert compact.name == graph.name
+        assert compact.entity_labels() == list(graph.entities.labels())
+        assert compact.relation_labels() == list(graph.relations.labels())
+
+    def test_split_arrays_bitwise_equal(self, graph, compact):
+        for split in ("train", "valid", "test"):
+            np.testing.assert_array_equal(
+                getattr(compact, split).array, getattr(graph, split).array
+            )
+
+    def test_stored_ids_are_int32(self, compact):
+        assert compact.split_array("train").dtype == np.int32
+
+    def test_triple_sets_are_int64_views(self, compact):
+        # Evaluation code consumes TripleSet; materialisation is int64.
+        assert compact.train.array.dtype == np.int64
+
+    def test_to_knowledge_graph_round_trips(self, graph, compact):
+        back = compact.to_knowledge_graph()
+        for split in ("train", "valid", "test"):
+            np.testing.assert_array_equal(
+                getattr(back, split).array, getattr(graph, split).array
+            )
+        assert list(back.entities.labels()) == list(graph.entities.labels())
+
+    def test_filter_index_property_serves_csr(self, graph, compact):
+        csr = compact.filter_index
+        assert csr is compact.filter_csr()
+        index = graph.filter_index
+        for side in ("head", "tail"):
+            for (anchor, relation), expected in index[side].items():
+                np.testing.assert_array_equal(
+                    compact.true_answers(int(anchor), int(relation), side),
+                    expected,
+                )
+
+    def test_from_graph_dispatches_to_compact_csr(self, compact):
+        assert FilterIndexCSR.from_graph(compact) is compact.filter_csr()
+
+    def test_manifest_validation_rejects_foreign_format(self, tmp_path, graph):
+        save_compact(graph, tmp_path / "store")
+        manifest_path = tmp_path / "store" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format"] = "something-else"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="manifest"):
+            open_compact(tmp_path / "store")
+
+    def test_iteration_is_rejected(self, compact):
+        # A CompactGraph is not a triple sequence; looping over a
+        # million-entity store entity-by-entity is always a bug.
+        with pytest.raises(TypeError):
+            iter(compact)

@@ -36,6 +36,8 @@ class TestParser:
             "train",
             "evaluate",
             "serve",
+            "ingest",
+            "shard",
             "runs",
             "cache",
             "trace",
@@ -536,3 +538,47 @@ class TestStoreCommands:
         monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
         assert main(["runs", "list"]) == 0
         assert "env-store" in capsys.readouterr().out
+
+
+class TestIngestShard:
+    """The out-of-core commands: ingest, shard, evaluate --backend mmap."""
+
+    def test_ingest_directory(self, tmp_path, capsys):
+        (tmp_path / "train.tsv").write_text("a\tr\tb\nb\tr\tc\na\tr\tb\n")
+        (tmp_path / "valid.tsv").write_text("a\tr\tc\n")
+        assert main(["ingest", str(tmp_path), "--out", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "3 entities" in out and "Compact store written" in out
+        assert (tmp_path / "store" / "manifest.json").exists()
+
+    def test_ingest_error_exits_2(self, tmp_path, capsys):
+        (tmp_path / "train.tsv").write_text("broken line\n")
+        code = main(["ingest", str(tmp_path), "--out", str(tmp_path / "store")])
+        assert code == 2
+        assert "ingest error" in capsys.readouterr().err
+
+    def test_shard_checkpoint(self, tmp_path, capsys):
+        from repro.models import build_model, save_model
+
+        model = build_model("distmult", 10, 2, dim=4, seed=0)
+        save_model(model, tmp_path / "ckpt.npz")
+        assert main(
+            ["shard", str(tmp_path / "ckpt.npz"), "--out", str(tmp_path / "shards")]
+        ) == 0
+        assert "Sharded distmult" in capsys.readouterr().out
+        assert (tmp_path / "shards" / "manifest.json").exists()
+
+    def test_evaluate_backend_mmap(self, tmp_path, capsys):
+        assert main(
+            [
+                "evaluate",
+                "--dataset", "codex-s-lite",
+                "--model", "distmult",
+                "--epochs", "1",
+                "--dim", "8",
+                "--backend", "mmap",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Sharded distmult" in out
+        assert "full filtered ranking" in out
