@@ -1,0 +1,69 @@
+"""Project-specific static analysis and concurrency sanitizing.
+
+``repro.analysis`` makes the repository's correctness conventions —
+seeded-RNG discipline, shm create/unlink pairing, lock discipline,
+worker import layering, hot-path determinism, metric/doc parity,
+export docstrings — *machine-checked properties* instead of review
+lore.  Two halves:
+
+* the **static engine** (:func:`run_analysis` + the rule plugins in
+  :mod:`repro.analysis.rules`), surfaced as ``repro lint``;
+* the **dynamic sanitizer** (:mod:`repro.analysis.sanitizer`), a
+  test-mode lock-order/race harness wired into tier-1 through the
+  ``lock_sanitizer`` pytest fixture.
+
+See ``docs/analysis.md`` for the rule catalog and rationale.
+"""
+
+from __future__ import annotations
+
+from .baseline import load_baseline, split_by_baseline, write_baseline
+from .engine import AnalysisReport, run_analysis
+from .noqa import collect_noqa, is_suppressed
+from .project import AnalysisConfig, LayeringContract, ModuleInfo, ProjectIndex, build_index
+from .registry import Rule, UnknownRuleError, all_rule_codes, iter_rules, register, resolve_rules
+from .sanitizer import (
+    GuardedDict,
+    LockOrderError,
+    LockSanitizer,
+    RestoreHandle,
+    SanitizedLock,
+    sanitize_lock_attr,
+    sanitize_many,
+    sanitize_pool,
+    sanitize_registry,
+    sanitize_tracer,
+)
+from .violations import Violation
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisReport",
+    "GuardedDict",
+    "LayeringContract",
+    "LockOrderError",
+    "LockSanitizer",
+    "ModuleInfo",
+    "ProjectIndex",
+    "RestoreHandle",
+    "Rule",
+    "SanitizedLock",
+    "UnknownRuleError",
+    "Violation",
+    "all_rule_codes",
+    "build_index",
+    "collect_noqa",
+    "is_suppressed",
+    "iter_rules",
+    "load_baseline",
+    "register",
+    "resolve_rules",
+    "run_analysis",
+    "sanitize_lock_attr",
+    "sanitize_many",
+    "sanitize_pool",
+    "sanitize_registry",
+    "sanitize_tracer",
+    "split_by_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,71 @@
+"""Baseline file handling for ``repro lint``.
+
+The baseline grandfathers known violations: findings whose
+``(rule, path, line)`` appear in the baseline are reported as
+*baselined* rather than failing the run.  The project's committed
+baseline (``analysis-baseline.json``) is required to stay **empty**
+— it exists so that, should an emergency ever force a temporary
+exception, the debt is visible in review and ``--strict`` (used by
+CI) still refuses it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from .violations import Violation
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised when a baseline file is malformed."""
+
+
+def load_baseline(path: Path) -> set[tuple[str, str, int]]:
+    """Read baseline keys from *path*; missing file means empty."""
+    if not path.exists():
+        return set()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, OSError) as error:
+        raise BaselineError(f"cannot read baseline {path}: {error}") from error
+    if not isinstance(payload, dict) or "violations" not in payload:
+        raise BaselineError(f"baseline {path} missing 'violations' list")
+    entries = payload["violations"]
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path} 'violations' is not a list")
+    keys: set[tuple[str, str, int]] = set()
+    for entry in entries:
+        try:
+            keys.add((str(entry["rule"]), str(entry["path"]), int(entry["line"])))
+        except (KeyError, TypeError, ValueError) as error:
+            raise BaselineError(
+                f"baseline {path} has malformed entry {entry!r}"
+            ) from error
+    return keys
+
+
+def write_baseline(path: Path, violations: Sequence[Violation]) -> None:
+    """Write *violations* as the new baseline (sorted, stable diffs)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "violations": [
+            {"rule": v.rule, "path": v.path, "line": v.line}
+            for v in sorted(violations, key=Violation.sort_key)
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_by_baseline(
+    violations: Sequence[Violation], baseline: set[tuple[str, str, int]]
+) -> tuple[list[Violation], list[Violation]]:
+    """Partition into (new, baselined) against the baseline keys."""
+    new: list[Violation] = []
+    old: list[Violation] = []
+    for violation in violations:
+        (old if violation.key in baseline else new).append(violation)
+    return new, old

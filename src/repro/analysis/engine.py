@@ -1,0 +1,137 @@
+"""Analysis driver: parse files, run rules, apply suppressions.
+
+:func:`run_analysis` is the single entry point used by the ``repro
+lint`` CLI and by the rule tests.  It builds a :class:`ProjectIndex`
+over the requested paths, runs every resolved rule's module and
+project hooks, filters findings through ``# repro: noqa`` directives,
+and returns a :class:`AnalysisReport` with deterministic ordering.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .noqa import collect_noqa, is_suppressed
+from .project import AnalysisConfig, build_index, discover_files
+from .registry import Rule, resolve_rules
+from .violations import Violation
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+    rules_run: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        """The ``repro lint --format json`` payload."""
+        return {
+            "files_checked": self.files_checked,
+            "rules_run": list(self.rules_run),
+            "suppressed": self.suppressed,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def _syntax_error_violations(
+    paths: Iterable[Path], root: Path, indexed: frozenset[str]
+) -> list[Violation]:
+    """Report files that failed to parse (they are absent from the index)."""
+    found: list[Violation] = []
+    for path in discover_files(paths):
+        try:
+            rel = str(path.relative_to(root))
+        except ValueError:
+            rel = str(path)
+        if rel in indexed:
+            continue
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            found.append(Violation("E000", rel, 1, 0, f"unreadable file: {error}"))
+            continue
+        try:
+            ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            found.append(
+                Violation(
+                    "E000",
+                    rel,
+                    error.lineno or 1,
+                    error.offset or 0,
+                    f"syntax error: {error.msg}",
+                )
+            )
+    return found
+
+
+def run_analysis(
+    paths: Sequence[Path],
+    root: Path,
+    *,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+    config: AnalysisConfig | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> AnalysisReport:
+    """Run the analysis over *paths* and return the report.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to analyse.
+    root:
+        Project root; violation paths are reported relative to it.
+    select / ignore:
+        Rule-code filters (mutually composable: select narrows, then
+        ignore removes).
+    config:
+        Project policy; defaults to this repository's layout.
+    rules:
+        Pre-instantiated rules, overriding select/ignore resolution —
+        used by tests that exercise a single rule instance.
+    """
+    config = config or AnalysisConfig()
+    active = list(rules) if rules is not None else resolve_rules(select, ignore)
+    project = build_index(paths, root)
+
+    raw: list[Violation] = []
+    for rule in active:
+        for module in project:
+            raw.extend(rule.check_module(module, project, config))
+        raw.extend(rule.check_project(project, config))
+    raw.extend(_syntax_error_violations(paths, root, project.rel_paths()))
+
+    # Apply per-line suppressions; count what they hid.
+    noqa_by_path = {
+        module.rel_path: collect_noqa(module.source) for module in project
+    }
+    kept: list[Violation] = []
+    suppressed = 0
+    seen: set[tuple[str, str, int]] = set()
+    for violation in sorted(raw, key=Violation.sort_key):
+        if violation.key in seen:
+            continue
+        seen.add(violation.key)
+        directives = noqa_by_path.get(violation.path, {})
+        if is_suppressed(directives, violation.rule, violation.line):
+            suppressed += 1
+            continue
+        kept.append(violation)
+
+    return AnalysisReport(
+        violations=kept,
+        suppressed=suppressed,
+        files_checked=len(project.modules),
+        rules_run=[rule.code for rule in active],
+    )

@@ -1,0 +1,59 @@
+"""Per-line suppression comments for ``repro lint``.
+
+The project uses its own marker so suppressions are greppable and
+cannot be confused with tool-generic ``# noqa`` comments:
+
+``# repro: noqa``
+    suppress every rule on this line;
+``# repro: noqa[R003]`` / ``# repro: noqa[R001, R006]``
+    suppress only the listed rule codes.
+
+Suppressions apply to the physical line a violation is reported on.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+# Matches "# repro: noqa" with an optional bracketed code list.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Z0-9,\s]+)\])?")
+
+# line number -> frozenset of rule codes, or None meaning "all rules".
+NoqaDirectives = Mapping[int, "frozenset[str] | None"]
+
+
+def collect_noqa(source: str) -> dict[int, frozenset[str] | None]:
+    """Scan *source* for suppression comments, keyed by 1-based line.
+
+    >>> directives = collect_noqa("x = 1  # repro: noqa[R001]\\n")
+    >>> directives[1]
+    frozenset({'R001'})
+    >>> collect_noqa("y = 2  # repro: noqa\\n")[1] is None
+    True
+    """
+    directives: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        codes = match.group(1)
+        if codes is None:
+            directives[lineno] = None
+        else:
+            parsed = frozenset(
+                code.strip() for code in codes.split(",") if code.strip()
+            )
+            # "# repro: noqa[]" suppresses nothing rather than everything.
+            directives[lineno] = parsed if parsed else frozenset()
+    return directives
+
+
+def is_suppressed(
+    directives: NoqaDirectives, rule: str, line: int
+) -> bool:
+    """True when *rule* is suppressed on *line* by a noqa directive."""
+    if line not in directives:
+        return False
+    codes = directives[line]
+    return codes is None or rule in codes

@@ -1,0 +1,102 @@
+"""Rule-plugin registry for the static-analysis engine.
+
+A rule is a class with ``code``/``name``/``summary`` attributes and
+one or both hooks:
+
+``check_module(module, project, config)``
+    called once per analysed file — most rules live here;
+``check_project(project, config)``
+    called once with the whole index — for cross-file rules such as
+    import layering (R004) and metrics/docs parity (R007).
+
+Rules self-register via the :func:`register` decorator; the CLI and
+tests resolve them with :func:`resolve_rules` which honours
+``--select`` / ``--ignore``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from .project import AnalysisConfig, ModuleInfo, ProjectIndex
+from .violations import Violation
+
+
+class Rule:
+    """Base class for analysis rules; subclass and :func:`register`."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check_module(
+        self,
+        module: ModuleInfo,
+        project: ProjectIndex,
+        config: AnalysisConfig,
+    ) -> Iterable[Violation]:
+        """Per-file hook; default: nothing."""
+        return ()
+
+    def check_project(
+        self, project: ProjectIndex, config: AnalysisConfig
+    ) -> Iterable[Violation]:
+        """Whole-project hook; default: nothing."""
+        return ()
+
+
+_RULES: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding *rule_cls* to the registry.
+
+    Codes must be unique — a duplicate registration is a programming
+    error, not a configuration one, so it raises immediately.
+    """
+    code = rule_cls.code
+    if not code:
+        raise ValueError(f"rule {rule_cls.__name__} has no code")
+    if code in _RULES and _RULES[code] is not rule_cls:
+        raise ValueError(f"duplicate rule code {code!r}")
+    _RULES[code] = rule_cls
+    return rule_cls
+
+
+def all_rule_codes() -> list[str]:
+    """Sorted codes of every registered rule."""
+    _ensure_builtin_rules()
+    return sorted(_RULES)
+
+
+def iter_rules() -> Iterator[type[Rule]]:
+    """Registered rule classes in code order."""
+    _ensure_builtin_rules()
+    for code in sorted(_RULES):
+        yield _RULES[code]
+
+
+class UnknownRuleError(ValueError):
+    """Raised when ``--select``/``--ignore`` names an unknown code."""
+
+
+def resolve_rules(
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Rule]:
+    """Instantiate the rules to run, honouring select/ignore lists."""
+    _ensure_builtin_rules()
+    known = set(_RULES)
+    for code in list(select or []) + list(ignore or []):
+        if code not in known:
+            raise UnknownRuleError(
+                f"unknown rule code {code!r}; known: {', '.join(sorted(known))}"
+            )
+    chosen = set(select) if select else known
+    chosen -= set(ignore or [])
+    return [_RULES[code]() for code in sorted(chosen)]
+
+
+def _ensure_builtin_rules() -> None:
+    """Import the built-in rule modules so they self-register."""
+    from . import rules  # noqa: F401  (import for side effect)

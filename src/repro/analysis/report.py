@@ -1,0 +1,45 @@
+"""Rendering for ``repro lint`` output (table and JSON formats)."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .engine import AnalysisReport
+from .registry import iter_rules
+from .violations import Violation
+
+
+def render_json(report: AnalysisReport, *, baselined: int = 0) -> str:
+    """Machine-readable report; schema covered by the CLI tests."""
+    payload = report.to_dict()
+    payload["baselined"] = baselined
+    payload["clean"] = not payload["violations"]
+    return json.dumps(payload, indent=2)
+
+
+def render_table(
+    violations: Sequence[Violation],
+    *,
+    files_checked: int,
+    suppressed: int,
+    baselined: int = 0,
+) -> str:
+    """Human-readable report: one finding per line plus a summary."""
+    lines = [str(violation) for violation in violations]
+    summary = (
+        f"{len(violations)} violation(s) in {files_checked} file(s)"
+        f" [suppressed: {suppressed}, baselined: {baselined}]"
+    )
+    if lines:
+        lines.append("")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_rule_catalog() -> str:
+    """``repro lint --list-rules``: code, name, one-line summary."""
+    rows = []
+    for rule_cls in iter_rules():
+        rows.append(f"{rule_cls.code}  {rule_cls.name}: {rule_cls.summary}")
+    return "\n".join(rows)

@@ -1,0 +1,104 @@
+"""R006 — no silently swallowed exceptions.
+
+A worker that dies silently looks exactly like a worker that is slow;
+the pool's liveness poller then burns its timeout budget before
+replacing it.  The engine's fault model therefore requires every
+broad handler to *do something observable*: re-raise, reference the
+caught exception (log it, ship it over the result queue), or at
+minimum call into some reporting function.
+
+Flagged:
+
+* bare ``except:`` — always;
+* ``except Exception:`` / ``except BaseException:`` (alone or in a
+  tuple) whose body neither raises, nor references the bound
+  exception name, nor makes any call.
+
+Narrow handlers (``except (ValueError, OSError): pass``) encode a
+deliberate, reviewable decision about specific failure modes and are
+allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..project import AnalysisConfig, ModuleInfo, ProjectIndex
+from ..registry import Rule, register
+from ..violations import Violation
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _exception_names(node: ast.expr | None) -> list[str]:
+    if node is None:
+        return []
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        return [node.attr]
+    if isinstance(node, ast.Tuple):
+        names: list[str] = []
+        for element in node.elts:
+            names.extend(_exception_names(element))
+        return names
+    return []
+
+
+def _body_is_silent(handler: ast.ExceptHandler) -> bool:
+    """True when the handler neither raises, nor uses the bound
+    exception, nor calls anything — i.e. the failure vanishes."""
+    bound = handler.name
+    for node in ast.walk(handler):
+        if isinstance(node, (ast.Raise, ast.Call)):
+            return False
+        if isinstance(node, ast.Return) and node.value is not None:
+            return False
+        if bound and isinstance(node, ast.Name) and node.id == bound:
+            return False
+    return True
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    code = "R006"
+    name = "swallowed-exception"
+    summary = (
+        "bare except / silently swallowed Exception-or-broader makes "
+        "worker failures invisible; re-raise, log, or report it"
+    )
+
+    def check_module(
+        self,
+        module: ModuleInfo,
+        project: ProjectIndex,
+        config: AnalysisConfig,
+    ) -> Iterable[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Violation(
+                    self.code,
+                    module.rel_path,
+                    node.lineno,
+                    node.col_offset,
+                    "bare except: catches everything (including "
+                    "KeyboardInterrupt) invisibly; name the exception "
+                    "types or report the failure",
+                )
+                continue
+            caught = _exception_names(node.type)
+            broad = sorted(set(caught) & _BROAD)
+            if broad and _body_is_silent(node):
+                yield Violation(
+                    self.code,
+                    module.rel_path,
+                    node.lineno,
+                    node.col_offset,
+                    f"except {broad[0]} swallows the failure silently; "
+                    "re-raise, reference the caught exception, or "
+                    "report it (workers that die silently look like "
+                    "slow workers)",
+                )

@@ -1,0 +1,125 @@
+"""R008 — exported public symbols carry docstrings.
+
+Every ``__init__.py`` ``__all__`` entry is a promise to users of the
+package; the project's doctest-audit discipline (tier-1 runs
+``--doctest-modules`` over several packages) only bites where a
+docstring exists at all.  This rule resolves each exported name to
+its definition — a ``def``/``class`` in the ``__init__`` itself, or
+one reached through a ``from .module import name`` — and flags
+definitions without a docstring.
+
+Names that cannot be resolved inside the analysed file set
+(re-exports of constants, third-party objects, or modules outside
+the lint scope) are skipped: the rule reports missing docstrings, not
+missing resolution power.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..project import AnalysisConfig, ModuleInfo, ProjectIndex
+from ..registry import Rule, register
+from ..violations import Violation
+
+
+def _exported_names(module: ModuleInfo) -> list[str]:
+    """String entries of a top-level ``__all__`` list/tuple literal."""
+    for node in module.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            continue
+        if isinstance(node.value, (ast.List, ast.Tuple)):
+            return [
+                element.value
+                for element in node.value.elts
+                if isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ]
+    return []
+
+
+def _top_level_defs(
+    module: ModuleInfo,
+) -> dict[str, ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef]:
+    defs: dict[str, ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef] = {}
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defs[node.name] = node
+    return defs
+
+
+def _import_sources(module: ModuleInfo, project: ProjectIndex) -> dict[str, str]:
+    """Exported-name -> dotted source module, from ``from X import name``."""
+    sources: dict[str, str] = {}
+    for node in module.tree.body:
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        if node.level:
+            base_parts = module.name.split(".")
+            strip = node.level - 1 if module.is_package else node.level
+            if len(base_parts) < strip:
+                continue
+            base = ".".join(base_parts[: len(base_parts) - strip])
+            if node.module:
+                base = f"{base}.{node.module}" if base else node.module
+        else:
+            base = node.module or ""
+        if not base:
+            continue
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            sources[alias.asname or alias.name] = base
+    return sources
+
+
+@register
+class ExportDocstringRule(Rule):
+    code = "R008"
+    name = "export-docstrings"
+    summary = (
+        "symbols exported via __all__ in __init__.py must have "
+        "docstrings (they are the package's public API)"
+    )
+
+    def check_module(
+        self,
+        module: ModuleInfo,
+        project: ProjectIndex,
+        config: AnalysisConfig,
+    ) -> Iterable[Violation]:
+        if not module.is_package:
+            return
+        exported = _exported_names(module)
+        if not exported:
+            return
+        local_defs = _top_level_defs(module)
+        sources = _import_sources(module, project)
+        for name in exported:
+            definition = local_defs.get(name)
+            def_module = module
+            if definition is None:
+                source_name = sources.get(name)
+                if source_name is None:
+                    continue
+                source_module = project.get(source_name)
+                if source_module is None:
+                    continue
+                definition = _top_level_defs(source_module).get(name)
+                def_module = source_module
+            if definition is None:
+                continue
+            if ast.get_docstring(definition) is None:
+                yield Violation(
+                    self.code,
+                    def_module.rel_path,
+                    definition.lineno,
+                    definition.col_offset,
+                    f"{name} is exported from {module.name}.__all__ "
+                    "but has no docstring",
+                )

@@ -1,0 +1,122 @@
+"""R005 — determinism in kernel and ranking hot paths.
+
+The configured hot modules (``AnalysisConfig.hot_modules``) compute
+the numbers the paper's exactness guarantee is about.  Two classes of
+construct are banned there:
+
+* wall-clock reads (``time.time()``, ``datetime.now()`` and friends)
+  — timing belongs in the observability layer, where spans and
+  metrics already capture it; a wall-clock read in a kernel is either
+  dead code or a hidden input;
+* iteration over sets (``for x in {...}`` / ``set(...)``), whose
+  order varies with hash seeding across processes — a worker-count-
+  dependent iteration order is exactly the bug class the engine's
+  merge invariants exist to prevent.
+
+``time.perf_counter``/``monotonic`` are *not* flagged: they cannot
+leak into results as timestamps and are legitimate for local probes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..project import AnalysisConfig, ModuleInfo, ProjectIndex
+from ..registry import Rule, register
+from ..violations import Violation
+
+_WALL_CLOCK = {
+    ("time", "time"): "time.time()",
+    ("time", "time_ns"): "time.time_ns()",
+    ("datetime", "now"): "datetime.now()",
+    ("datetime", "utcnow"): "datetime.utcnow()",
+    ("datetime", "today"): "datetime.today()",
+    ("date", "today"): "date.today()",
+}
+
+
+def _call_head_and_attr(node: ast.Call) -> tuple[str, str] | None:
+    """``time.time()`` -> ("time", "time"); ``datetime.datetime.now()``
+    -> ("datetime", "now") (the two trailing components)."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    attr = func.attr
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id, attr
+    if isinstance(value, ast.Attribute):
+        return value.attr, attr
+    return None
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in ("set", "frozenset")
+    return False
+
+
+@register
+class HotPathDeterminismRule(Rule):
+    code = "R005"
+    name = "hotpath-determinism"
+    summary = (
+        "no wall-clock reads or set-order iteration in kernel/ranking "
+        "hot paths (order must not depend on hash seeding or time)"
+    )
+
+    def check_module(
+        self,
+        module: ModuleInfo,
+        project: ProjectIndex,
+        config: AnalysisConfig,
+    ) -> Iterable[Violation]:
+        if not any(
+            module.name == hot or module.name.startswith(hot + ".")
+            for hot in config.hot_modules
+        ):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                head = _call_head_and_attr(node)
+                if head in _WALL_CLOCK:
+                    yield Violation(
+                        self.code,
+                        module.rel_path,
+                        node.lineno,
+                        node.col_offset,
+                        f"wall-clock read {_WALL_CLOCK[head]} in a hot "
+                        "path; timing belongs to the obs layer "
+                        "(use spans/metrics), results must not "
+                        "depend on time",
+                    )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter):
+                    yield Violation(
+                        self.code,
+                        module.rel_path,
+                        node.lineno,
+                        node.col_offset,
+                        "iteration over a set in a hot path has "
+                        "hash-seed-dependent order; sort it or use a "
+                        "list/tuple",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter):
+                        yield Violation(
+                            self.code,
+                            module.rel_path,
+                            node.lineno,
+                            node.col_offset,
+                            "comprehension over a set in a hot path "
+                            "has hash-seed-dependent order; sort it "
+                            "or use a list/tuple",
+                        )

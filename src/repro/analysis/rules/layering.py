@@ -1,0 +1,71 @@
+"""R004 — import layering for the worker process.
+
+``repro.engine.worker`` runs in every spawned worker process.  Its
+transitive import closure is the worker's startup cost and failure
+surface: pulling in the HTTP server, the CLI, or the curses dashboard
+would slow every pool start, drag extra state across ``spawn``, and
+couple the hot path to modules that are free to import heavyweight
+dependencies.  The contract (``AnalysisConfig.layering``) says which
+roots must not reach which prefixes; the rule builds the project
+import graph and reports the first offending edge on every path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from ..project import AnalysisConfig, ProjectIndex
+from ..registry import Rule, register
+from ..violations import Violation
+
+
+def _matches_prefix(module: str, prefixes: tuple[str, ...]) -> str | None:
+    for prefix in prefixes:
+        if module == prefix or module.startswith(prefix + "."):
+            return prefix
+    return None
+
+
+@register
+class ImportLayeringRule(Rule):
+    code = "R004"
+    name = "import-layering"
+    summary = (
+        "worker-reachable modules must not import serve/cli/obs.top "
+        "(keeps worker processes lean and spawn-safe)"
+    )
+
+    def check_project(
+        self, project: ProjectIndex, config: AnalysisConfig
+    ) -> Iterable[Violation]:
+        for contract in config.layering:
+            root_module = project.get(contract.root)
+            if root_module is None:
+                continue
+            # BFS over project-internal import edges from the root;
+            # report the edge that first crosses into forbidden
+            # territory (the importer is the module to fix).
+            visited = {contract.root}
+            queue = deque([root_module])
+            while queue:
+                module = queue.popleft()
+                for edge in project.project_imports(module):
+                    prefix = _matches_prefix(edge.target, contract.forbidden)
+                    if prefix is not None:
+                        yield Violation(
+                            self.code,
+                            module.rel_path,
+                            edge.line,
+                            0,
+                            f"{module.name} is reachable from "
+                            f"{contract.root} but imports {edge.target} "
+                            f"(forbidden layer {prefix})",
+                        )
+                        continue
+                    if edge.target in visited:
+                        continue
+                    visited.add(edge.target)
+                    target = project.get(edge.target)
+                    if target is not None:
+                        queue.append(target)

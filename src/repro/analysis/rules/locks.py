@@ -1,0 +1,254 @@
+"""R003 — lock discipline for shared mutable state.
+
+The observability registry and engine pool are mutated from many
+threads (HTTP handler threads, the pool's liveness poller, worker
+telemetry merges).  The convention is lexical: state that a class
+mutates under ``with self._lock`` anywhere must be mutated under that
+lock *everywhere*.
+
+The rule infers the guarded set per class rather than hard-coding
+attribute names: any ``self.<attr>`` the class ever mutates inside a
+``with self.<lock>`` block (where ``self.<lock>`` is assigned a
+``threading.Lock/RLock/Condition`` in the class) becomes guarded, and
+every other mutation of it is flagged.  Two exemptions keep the rule
+honest about real patterns:
+
+* ``__init__`` — construction happens before the object is shared;
+* methods whose name contains ``locked`` — the Chromium-style
+  "caller holds the lock" naming convention (e.g.
+  ``_series_for_locked``), which makes the transfer of lock
+  ownership visible at every call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..project import AnalysisConfig, ModuleInfo, ProjectIndex
+from ..registry import Rule, register
+from ..violations import Violation
+
+_LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition"})
+
+# dict/list/set methods that mutate their receiver.
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "clear",
+        "update",
+        "setdefault",
+        "remove",
+        "discard",
+        "add",
+        "appendleft",
+    }
+)
+
+
+def _is_lock_factory_call(node: ast.expr) -> bool:
+    """True for ``threading.Lock()``, ``Lock()``, ``threading.Condition()``…"""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in _LOCK_FACTORIES
+    if isinstance(func, ast.Name):
+        return func.id in _LOCK_FACTORIES
+    return False
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.foo`` -> ``"foo"``; anything else -> None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _mutated_self_attr(node: ast.AST) -> tuple[str, ast.AST] | None:
+    """If *node* mutates ``self.<attr>``, return (attr, report_node).
+
+    Covers assignment/augmented assignment to ``self.a`` and
+    ``self.a[...]``, ``del self.a[...]``, and calls of mutating
+    container methods ``self.a.append(...)`` etc.
+    """
+    if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            base = target
+            if isinstance(base, ast.Subscript):
+                base = base.value
+            attr = _self_attr(base)
+            if attr is not None:
+                return attr, node
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            base = target
+            if isinstance(base, ast.Subscript):
+                base = base.value
+            attr = _self_attr(base)
+            if attr is not None:
+                return attr, node
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATING_METHODS
+        ):
+            attr = _self_attr(func.value)
+            if attr is not None:
+                return attr, node
+    return None
+
+
+class _ClassLockAnalysis:
+    """Collects lock attrs, guarded attrs, and mutation sites per class."""
+
+    def __init__(self, class_node: ast.ClassDef) -> None:
+        self.class_node = class_node
+        self.lock_attrs: set[str] = set()
+        # (attr, node, method_name, under_lock)
+        self.mutations: list[tuple[str, ast.AST, str, bool]] = []
+        self._analyse()
+
+    def _analyse(self) -> None:
+        for stmt in self.class_node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._collect_lock_attrs(stmt)
+        for stmt in self.class_node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._collect_mutations(stmt)
+
+    def _collect_lock_attrs(self, method: ast.AST) -> None:
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign) and _is_lock_factory_call(node.value):
+                for target in node.targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        self.lock_attrs.add(attr)
+
+    def _collect_mutations(self, method: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._walk(method.body, method.name, under_lock=False)
+
+    def _walk(
+        self, statements: list[ast.stmt], method_name: str, under_lock: bool
+    ) -> None:
+        for stmt in statements:
+            if isinstance(stmt, ast.With):
+                holds = under_lock or any(
+                    self._is_lock_ctx(item.context_expr) for item in stmt.items
+                )
+                self._record_non_body(stmt, method_name, under_lock)
+                self._walk(stmt.body, method_name, holds)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Nested function: conservatively treated as outside
+                # the lock (it may run later on another thread).
+                self._walk(stmt.body, method_name, under_lock=False)
+            elif isinstance(stmt, (ast.If, ast.For, ast.AsyncFor, ast.While)):
+                self._record_non_body(stmt, method_name, under_lock)
+                self._walk(stmt.body, method_name, under_lock)
+                self._walk(stmt.orelse, method_name, under_lock)
+            elif isinstance(stmt, ast.Try):
+                self._walk(stmt.body, method_name, under_lock)
+                for handler in stmt.handlers:
+                    self._walk(handler.body, method_name, under_lock)
+                self._walk(stmt.orelse, method_name, under_lock)
+                self._walk(stmt.finalbody, method_name, under_lock)
+            else:
+                self._record_stmt(stmt, method_name, under_lock)
+
+    def _record_stmt(
+        self, stmt: ast.stmt, method_name: str, under_lock: bool
+    ) -> None:
+        for node in ast.walk(stmt):
+            hit = _mutated_self_attr(node)
+            if hit is not None:
+                attr, report = hit
+                self.mutations.append((attr, report, method_name, under_lock))
+
+    def _record_non_body(
+        self, stmt: ast.stmt, method_name: str, under_lock: bool
+    ) -> None:
+        """Record mutations in a compound statement's header expression
+        (e.g. the iterable of a for-loop), which shares the enclosing
+        lock context."""
+        header_exprs: list[ast.expr] = []
+        if isinstance(stmt, (ast.If, ast.While)):
+            header_exprs.append(stmt.test)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            header_exprs.append(stmt.iter)
+        elif isinstance(stmt, ast.With):
+            header_exprs.extend(item.context_expr for item in stmt.items)
+        for expr in header_exprs:
+            for node in ast.walk(expr):
+                hit = _mutated_self_attr(node)
+                if hit is not None:
+                    attr, report = hit
+                    self.mutations.append((attr, report, method_name, under_lock))
+
+    def _is_lock_ctx(self, expr: ast.expr) -> bool:
+        attr = _self_attr(expr)
+        return attr is not None and attr in self.lock_attrs
+
+    def guarded_attrs(self) -> set[str]:
+        """Attrs this class ever mutates under one of its locks."""
+        return {
+            attr
+            for attr, _node, method, under in self.mutations
+            if under and method != "__init__"
+        } - self.lock_attrs
+
+    def unguarded_mutations(self) -> list[tuple[str, ast.AST, str]]:
+        guarded = self.guarded_attrs()
+        findings = []
+        for attr, node, method, under in self.mutations:
+            if under or attr not in guarded:
+                continue
+            if method == "__init__" or "locked" in method:
+                continue
+            findings.append((attr, node, method))
+        return findings
+
+
+@register
+class LockDisciplineRule(Rule):
+    code = "R003"
+    name = "lock-discipline"
+    summary = (
+        "state a class mutates under `with self._lock` must be "
+        "mutated under that lock everywhere (except __init__ and "
+        "*_locked methods)"
+    )
+
+    def check_module(
+        self,
+        module: ModuleInfo,
+        project: ProjectIndex,
+        config: AnalysisConfig,
+    ) -> Iterable[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            analysis = _ClassLockAnalysis(node)
+            if not analysis.lock_attrs:
+                continue
+            for attr, site, method in analysis.unguarded_mutations():
+                yield Violation(
+                    self.code,
+                    module.rel_path,
+                    getattr(site, "lineno", node.lineno),
+                    getattr(site, "col_offset", 0),
+                    f"self.{attr} is lock-guarded elsewhere in "
+                    f"{node.name} but mutated without the lock in "
+                    f"{method}(); hold the lock or rename the method "
+                    "*_locked",
+                )

@@ -1,0 +1,151 @@
+"""R007 — metric names and the observability docs must agree.
+
+``docs/observability.md`` carries the table operators grep when a
+dashboard shows an unfamiliar series.  Metric names registered in
+code but absent from the docs are invisible to operators; names in
+the docs but absent from code are stale promises.  This rule extracts
+both sets and flags the symmetric difference.
+
+Code-side collection covers the three registration idioms the repo
+uses:
+
+* literal first arguments of ``.counter("repro_…")`` /
+  ``.gauge(…)`` / ``.histogram(…)`` calls;
+* module constants named ``*_COUNTER`` / ``*_GAUGE`` /
+  ``*_HISTOGRAM`` assigned a ``"repro_…"`` literal;
+* keys of dict literals assigned to names containing
+  ``COUNTER_HELP`` (the worker-telemetry help tables).
+
+Docs-side names are ``repro_[a-z0-9_]+`` tokens; tokens ending in an
+underscore (prose prefix mentions like ``repro_engine_``) are
+ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from ..project import AnalysisConfig, ModuleInfo, ProjectIndex
+from ..registry import Rule, register
+from ..violations import Violation
+
+_REGISTRATION_METHODS = frozenset({"counter", "gauge", "histogram"})
+_CONSTANT_SUFFIX = re.compile(r"_(COUNTER|GAUGE|HISTOGRAM)$")
+_METRIC_NAME = re.compile(r"^repro_[a-z0-9_]+$")
+# Negative lookbehind: `.repro_store` (a filesystem path) and
+# `xrepro_foo` (an identifier fragment) are not metric mentions.
+_DOC_TOKEN = re.compile(r"(?<![\w.])repro_[a-z0-9_]+")
+
+
+def _code_metric_sites(module: ModuleInfo) -> list[tuple[str, int]]:
+    """(metric_name, line) pairs registered in *module*."""
+    sites: list[tuple[str, int]] = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _REGISTRATION_METHODS
+                and node.args
+            ):
+                first = node.args[0]
+                if (
+                    isinstance(first, ast.Constant)
+                    and isinstance(first.value, str)
+                    and _METRIC_NAME.match(first.value)
+                ):
+                    sites.append((first.value, node.lineno))
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            if node.value is None:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if _CONSTANT_SUFFIX.search(target.id):
+                    value = node.value
+                    if (
+                        isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)
+                        and _METRIC_NAME.match(value.value)
+                    ):
+                        sites.append((value.value, node.lineno))
+                if "COUNTER_HELP" in target.id and isinstance(
+                    node.value, ast.Dict
+                ):
+                    for key in node.value.keys:
+                        if (
+                            isinstance(key, ast.Constant)
+                            and isinstance(key.value, str)
+                            and _METRIC_NAME.match(key.value)
+                        ):
+                            sites.append((key.value, key.lineno))
+    return sites
+
+
+def _doc_metric_names(text: str) -> dict[str, int]:
+    """Metric tokens in the docs page, mapped to first line seen."""
+    names: dict[str, int] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for token in _DOC_TOKEN.findall(line):
+            if token.endswith("_"):
+                continue
+            names.setdefault(token, lineno)
+    return names
+
+
+@register
+class MetricsDocsParityRule(Rule):
+    code = "R007"
+    name = "metrics-docs-parity"
+    summary = (
+        "every repro_* metric registered in code must appear in "
+        "docs/observability.md and vice versa"
+    )
+
+    def check_project(
+        self, project: ProjectIndex, config: AnalysisConfig
+    ) -> Iterable[Violation]:
+        code_sites: dict[str, tuple[str, int]] = {}
+        for module in project:
+            for name, line in _code_metric_sites(module):
+                code_sites.setdefault(name, (module.rel_path, line))
+        docs_path = project.root / config.metrics_docs
+        if not docs_path.exists():
+            if code_sites:
+                first = min(code_sites.items(), key=lambda kv: kv[1])
+                yield Violation(
+                    self.code,
+                    first[1][0],
+                    first[1][1],
+                    0,
+                    f"metrics are registered but {config.metrics_docs} "
+                    "does not exist; document every repro_* series",
+                )
+            return
+        doc_names = _doc_metric_names(
+            docs_path.read_text(encoding="utf-8")
+        )
+        for name in sorted(set(code_sites) - set(doc_names)):
+            path, line = code_sites[name]
+            yield Violation(
+                self.code,
+                path,
+                line,
+                0,
+                f"metric {name} is registered here but missing from "
+                f"{config.metrics_docs}; add it to the metrics table",
+            )
+        for name in sorted(set(doc_names) - set(code_sites)):
+            yield Violation(
+                self.code,
+                config.metrics_docs,
+                doc_names[name],
+                0,
+                f"metric {name} is documented but never registered "
+                "in code; remove the stale row or restore the metric",
+            )

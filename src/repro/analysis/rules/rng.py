@@ -1,0 +1,184 @@
+"""R001 — seeded-RNG discipline.
+
+The paper's guarantee (sampled estimators reproduce the full ranking
+bitwise at any worker count) only holds because every random draw
+flows through an explicitly seeded ``numpy.random.Generator`` that
+the call sites thread as an argument.  A single call to the ambient
+``np.random.*`` legacy API, ``np.random.default_rng()`` with no seed,
+or the stdlib ``random`` module breaks that chain silently: results
+still *look* plausible, they just stop being reproducible.
+
+This rule flags any such call outside the configured sanctioned
+modules (``AnalysisConfig.rng_sanctioned``; empty for this repo —
+even test helpers construct ``default_rng(seed)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..project import AnalysisConfig, ModuleInfo, ProjectIndex
+from ..registry import Rule, register
+from ..violations import Violation
+
+# Legacy numpy RNG entry points that consult hidden global state.
+_NUMPY_LEGACY = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "normal",
+        "uniform",
+        "standard_normal",
+        "binomial",
+        "poisson",
+        "beta",
+        "gamma",
+        "exponential",
+        "bytes",
+        "get_state",
+        "set_state",
+    }
+)
+
+# stdlib `random` functions that consult the module-global Random().
+_STDLIB_RANDOM = frozenset(
+    {
+        "seed",
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "gauss",
+        "normalvariate",
+        "betavariate",
+        "expovariate",
+        "triangular",
+        "getrandbits",
+        "randbytes",
+    }
+)
+
+
+def _alias_map(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the canonical module they refer to.
+
+    Tracks ``import numpy as np`` (np -> numpy), ``import random``
+    (random -> random), ``from numpy import random as npr``
+    (npr -> numpy.random), and ``from numpy.random import shuffle``
+    (shuffle -> numpy.random.shuffle).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    aliases[head] = head
+        elif isinstance(node, ast.ImportFrom) and not node.level:
+            base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{base}.{alias.name}"
+    return aliases
+
+
+def _canonical_call_target(node: ast.Call, aliases: dict[str, str]) -> str | None:
+    """Resolve a call like ``np.random.shuffle(...)`` to its dotted path."""
+    parts: list[str] = []
+    current: ast.expr = node.func
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    head = aliases.get(current.id)
+    if head is None:
+        return None
+    parts.append(head)
+    return ".".join(reversed(parts))
+
+
+@register
+class UnseededRandomRule(Rule):
+    code = "R001"
+    name = "unseeded-rng"
+    summary = (
+        "global numpy/stdlib RNG calls break bitwise reproducibility; "
+        "thread a seeded numpy Generator instead"
+    )
+
+    def check_module(
+        self,
+        module: ModuleInfo,
+        project: ProjectIndex,
+        config: AnalysisConfig,
+    ) -> Iterable[Violation]:
+        if any(
+            module.name == prefix or module.name.startswith(prefix + ".")
+            for prefix in config.rng_sanctioned
+        ):
+            return
+        aliases = _alias_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _canonical_call_target(node, aliases)
+            if target is None:
+                continue
+            violation = self._classify(target, node)
+            if violation is not None:
+                yield Violation(
+                    self.code,
+                    module.rel_path,
+                    node.lineno,
+                    node.col_offset,
+                    violation,
+                )
+
+    @staticmethod
+    def _classify(target: str, node: ast.Call) -> str | None:
+        parts = target.split(".")
+        # numpy.random.<legacy fn>()  — hidden global RandomState.
+        if (
+            len(parts) >= 3
+            and parts[0] == "numpy"
+            and parts[1] == "random"
+            and parts[2] in _NUMPY_LEGACY
+        ):
+            return (
+                f"call to global numpy.random.{parts[2]}(); "
+                "thread a seeded numpy.random.Generator instead"
+            )
+        # default_rng() with no arguments seeds from the OS — not
+        # reproducible.  default_rng(seed) is the sanctioned pattern.
+        if target in ("numpy.random.default_rng", "numpy.default_rng") and not (
+            node.args or node.keywords
+        ):
+            return (
+                "numpy.random.default_rng() without a seed is "
+                "non-reproducible; pass an explicit seed"
+            )
+        # stdlib random module.
+        if len(parts) == 2 and parts[0] == "random" and parts[1] in _STDLIB_RANDOM:
+            return (
+                f"call to stdlib random.{parts[1]}(); use a seeded "
+                "numpy.random.Generator threaded from the caller"
+            )
+        return None

@@ -1,0 +1,188 @@
+"""R002 — shared-memory create/cleanup pairing.
+
+POSIX shared memory outlives the creating process: a
+``SharedMemory(create=True, ...)`` segment that is never unlinked
+leaks until reboot (and on Linux counts against ``/dev/shm``).  The
+engine's fault model (worker crashes mid-publish, pool shutdown on
+exception) means cleanup must be guaranteed on *all* paths, not just
+the happy one.
+
+A creation site is sanctioned when any of the following hold:
+
+* it occurs inside a class that defines a ``close``/``unlink``
+  method — ownership types such as :class:`repro.engine.shm.ShmArena`
+  centralise cleanup there;
+* the enclosing function wraps the segment's lifetime in a
+  ``try``/``except``/``finally`` whose handler or finaliser calls
+  ``.close()`` or ``.unlink()`` on the created object;
+* the creation is the context expression of a ``with`` block.
+
+Everything else is a leak waiting for a crash.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..project import AnalysisConfig, ModuleInfo, ProjectIndex
+from ..registry import Rule, register
+from ..violations import Violation
+
+_CLEANUP_METHODS = frozenset({"close", "unlink"})
+_CREATOR_CALLEES = frozenset({"SharedMemory", "ShmArena"})
+
+
+def _callee_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_shm_create(node: ast.Call) -> bool:
+    name = _callee_name(node)
+    if name == "ShmArena":
+        return True
+    if name == "SharedMemory":
+        for keyword in node.keywords:
+            if keyword.arg == "create":
+                value = keyword.value
+                return isinstance(value, ast.Constant) and value.value is True
+        return False
+    return False
+
+
+def _calls_cleanup(nodes: list[ast.stmt], names: set[str]) -> bool:
+    """True when any statement calls ``<name>.close()``/``.unlink()``
+    or ``self.close()`` for one of the bound *names*."""
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in _CLEANUP_METHODS:
+                continue
+            value = func.value
+            if isinstance(value, ast.Name) and value.id in names:
+                return True
+            if isinstance(value, ast.Attribute) and isinstance(
+                value.value, ast.Name
+            ):
+                # self.arena.close() / obj.shm.unlink()
+                return True
+    return False
+
+
+class _SiteVisitor(ast.NodeVisitor):
+    """Walk one module tracking class/function/with/try context."""
+
+    def __init__(self) -> None:
+        self.findings: list[ast.Call] = []
+        self._class_has_cleanup: list[bool] = []
+        self._function_stack: list[ast.AST] = []
+        self._with_exprs: set[int] = set()
+
+    # -- context tracking ------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        has_cleanup = any(
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name in _CLEANUP_METHODS
+            for stmt in node.body
+        )
+        self._class_has_cleanup.append(has_cleanup)
+        self.generic_visit(node)
+        self._class_has_cleanup.pop()
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self._function_stack.append(node)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            self._with_exprs.add(id(item.context_expr))
+        self.generic_visit(node)
+
+    # -- the check -------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if _is_shm_create(node) and not self._sanctioned(node):
+            self.findings.append(node)
+        self.generic_visit(node)
+
+    def _sanctioned(self, node: ast.Call) -> bool:
+        if self._class_has_cleanup and self._class_has_cleanup[-1]:
+            return True
+        if id(node) in self._with_exprs:
+            return True
+        if self._function_stack:
+            return _function_guards_cleanup(self._function_stack[-1], node)
+        return False
+
+
+def _function_guards_cleanup(function: ast.AST, creation: ast.Call) -> bool:
+    """True when the enclosing function pairs *creation* with cleanup
+    in a try handler/finally (the assigned name, or any name when the
+    creation isn't bound)."""
+    bound = _binding_names(function, creation)
+    for node in ast.walk(function):
+        if not isinstance(node, ast.Try):
+            continue
+        cleanup_blocks: list[ast.stmt] = list(node.finalbody)
+        for handler in node.handlers:
+            cleanup_blocks.extend(handler.body)
+        if not cleanup_blocks:
+            continue
+        if _calls_cleanup(cleanup_blocks, bound):
+            return True
+    return False
+
+
+def _binding_names(function: ast.AST, creation: ast.Call) -> set[str]:
+    """Names the creation result is assigned to (``arena = ShmArena(...)``)."""
+    names: set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Assign) and node.value is creation:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if node.value is creation and isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+@register
+class ShmCleanupRule(Rule):
+    code = "R002"
+    name = "shm-unlink-pairing"
+    summary = (
+        "SharedMemory/ShmArena creations must guarantee close/unlink "
+        "on every path (owning class, try/finally, or with-block)"
+    )
+
+    def check_module(
+        self,
+        module: ModuleInfo,
+        project: ProjectIndex,
+        config: AnalysisConfig,
+    ) -> Iterable[Violation]:
+        visitor = _SiteVisitor()
+        visitor.visit(module.tree)
+        for call in visitor.findings:
+            yield Violation(
+                self.code,
+                module.rel_path,
+                call.lineno,
+                call.col_offset,
+                "shared-memory creation without guaranteed cleanup; "
+                "pair with close()/unlink() in an owning class, "
+                "try/finally, or with-block",
+            )

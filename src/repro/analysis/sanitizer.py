@@ -1,0 +1,361 @@
+"""Dynamic lock-order / race sanitizer for tests.
+
+The static rule R003 checks the *lexical* lock discipline; this
+module checks the *dynamic* half under real test traffic:
+
+* **lock-order inversions** — if one thread ever acquires lock B
+  while holding lock A, no thread may acquire A while holding B.
+  Inversions are recorded (with both acquisition sites) even when the
+  interleaving that would deadlock never fires in this run, which is
+  the whole point: the sanitizer turns a probabilistic deadlock into
+  a deterministic test failure;
+* **unguarded mutations** — shared dicts (a registry's metric table,
+  a metric family's series map) wrapped in :class:`GuardedDict` must
+  only be mutated while the associated :class:`SanitizedLock` is held
+  by the mutating thread.
+
+Usage (what the ``lock_sanitizer`` pytest fixture does)::
+
+    sanitizer = LockSanitizer()
+    handle = sanitize_registry(registry, sanitizer)
+    try:
+        ...  # exercise the code under test
+        sanitizer.assert_clean()
+    finally:
+        handle.restore()
+
+The sanitizer is a test harness: it trades a little per-acquisition
+overhead for determinism and must never be installed in production
+paths (nothing in ``src/repro`` imports it outside this module).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+
+def _call_site(depth: int = 2) -> str:
+    """``file:line`` of the first caller outside this module."""
+    frame = sys._getframe(depth)
+    while frame is not None and frame.f_globals.get("__name__") == __name__:
+        frame = frame.f_back
+    if frame is None:
+        return "<unknown>"
+    return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+
+@dataclass(frozen=True)
+class SanitizerViolation:
+    """One finding: an inversion or an unguarded mutation."""
+
+    kind: str  # "lock-order-inversion" | "unguarded-mutation"
+    message: str
+    site: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.message} (at {self.site})"
+
+
+class LockOrderError(AssertionError):
+    """Raised by :meth:`LockSanitizer.assert_clean` on any finding."""
+
+
+@dataclass
+class _Edge:
+    site: str
+    thread: str
+
+
+class LockSanitizer:
+    """Records lock-acquisition order across threads and judges it."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        # (first_name, then_name) -> where/who first established it.
+        self._edges: dict[tuple[str, str], _Edge] = {}
+        self._held = threading.local()
+        self.violations: list[SanitizerViolation] = []
+
+    # -- held-lock bookkeeping (called by SanitizedLock) -----------------
+    def _stack(self) -> list[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def notify_acquired(self, name: str) -> None:
+        site = _call_site()
+        thread = threading.current_thread().name
+        stack = self._stack()
+        with self._mutex:
+            for held in stack:
+                if held == name:
+                    continue
+                edge = (held, name)
+                inverse = (name, held)
+                if inverse in self._edges and edge not in self._edges:
+                    prior = self._edges[inverse]
+                    self.violations.append(
+                        SanitizerViolation(
+                            "lock-order-inversion",
+                            f"{held!r} -> {name!r} here, but thread "
+                            f"{prior.thread!r} took {name!r} -> {held!r} "
+                            f"at {prior.site}",
+                            site,
+                        )
+                    )
+                self._edges.setdefault(edge, _Edge(site, thread))
+        stack.append(name)
+
+    def notify_released(self, name: str) -> None:
+        stack = self._stack()
+        if name in stack:
+            # Remove the most recent acquisition of this lock; release
+            # order need not mirror acquisition order.
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index] == name:
+                    del stack[index]
+                    break
+
+    def notify_unguarded(self, message: str) -> None:
+        with self._mutex:
+            self.violations.append(
+                SanitizerViolation("unguarded-mutation", message, _call_site())
+            )
+
+    # -- verdicts --------------------------------------------------------
+    def edges(self) -> dict[tuple[str, str], str]:
+        """Snapshot of the recorded acquisition-order edges."""
+        with self._mutex:
+            return {pair: edge.site for pair, edge in self._edges.items()}
+
+    def assert_clean(self) -> None:
+        """Raise :class:`LockOrderError` listing every finding."""
+        with self._mutex:
+            findings = list(self.violations)
+        if findings:
+            detail = "\n".join(f"  - {finding}" for finding in findings)
+            raise LockOrderError(
+                f"lock sanitizer recorded {len(findings)} violation(s):\n{detail}"
+            )
+
+
+class SanitizedLock:
+    """A drop-in lock proxy that reports to a :class:`LockSanitizer`.
+
+    Wraps any object with ``acquire``/``release`` (Lock, RLock).  Also
+    tracks the owning thread so :class:`GuardedDict` can ask
+    :meth:`held_by_current`.
+    """
+
+    def __init__(self, inner: Any, name: str, sanitizer: LockSanitizer) -> None:
+        self._inner = inner
+        self._name = name
+        self._sanitizer = sanitizer
+        self._owner: int | None = None
+        self._depth = 0
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._owner = threading.get_ident()
+            self._depth += 1
+            self._sanitizer.notify_acquired(self._name)
+        return acquired
+
+    def release(self) -> None:
+        self._depth -= 1
+        if self._depth <= 0:
+            self._owner = None
+            self._depth = 0
+        self._sanitizer.notify_released(self._name)
+        self._inner.release()
+
+    def held_by_current(self) -> bool:
+        return self._owner == threading.get_ident()
+
+    def locked(self) -> bool:
+        return bool(getattr(self._inner, "locked", lambda: self._owner is not None)())
+
+    def __enter__(self) -> "SanitizedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+class GuardedDict(dict):
+    """A dict whose mutations must happen under a given sanitized lock."""
+
+    def __init__(
+        self,
+        data: dict | None,
+        guard: SanitizedLock,
+        sanitizer: LockSanitizer,
+        label: str,
+    ) -> None:
+        super().__init__(data or {})
+        self._guard = guard
+        self._sanitizer = sanitizer
+        self._label = label
+
+    def _check(self) -> None:
+        if not self._guard.held_by_current():
+            self._sanitizer.notify_unguarded(
+                f"{self._label} mutated without holding {self._guard.name!r}"
+            )
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._check()
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key: Any) -> None:
+        self._check()
+        super().__delitem__(key)
+
+    def setdefault(self, key: Any, default: Any = None) -> Any:
+        self._check()
+        return super().setdefault(key, default)
+
+    def pop(self, *args: Any) -> Any:
+        self._check()
+        return super().pop(*args)
+
+    def popitem(self) -> Any:
+        self._check()
+        return super().popitem()
+
+    def clear(self) -> None:
+        self._check()
+        super().clear()
+
+    def update(self, *args: Any, **kwargs: Any) -> None:
+        self._check()
+        super().update(*args, **kwargs)
+
+
+@dataclass
+class RestoreHandle:
+    """Undoes a ``sanitize_*`` call; safe to invoke exactly once."""
+
+    _restores: list[Callable[[], None]] = field(default_factory=list)
+    _restored: bool = False
+
+    def add(self, restore: Callable[[], None]) -> None:
+        self._restores.append(restore)
+
+    def restore(self) -> None:
+        if self._restored:
+            return
+        self._restored = True
+        # Undo in reverse order so nested instrumentation unwinds
+        # cleanly.
+        for restore in reversed(self._restores):
+            restore()
+
+
+def sanitize_lock_attr(
+    obj: Any, attr: str, name: str, sanitizer: LockSanitizer, handle: RestoreHandle
+) -> SanitizedLock:
+    """Replace ``obj.<attr>`` with a :class:`SanitizedLock` wrapper."""
+    original = getattr(obj, attr)
+    if isinstance(original, SanitizedLock):
+        return original
+    wrapped = SanitizedLock(original, name, sanitizer)
+    setattr(obj, attr, wrapped)
+    handle.add(lambda: setattr(obj, attr, original))
+    return wrapped
+
+
+def _sanitize_metric(
+    metric: Any, sanitizer: LockSanitizer, handle: RestoreHandle
+) -> None:
+    lock = sanitize_lock_attr(
+        metric, "_lock", f"{metric.name}._lock", sanitizer, handle
+    )
+    series = metric._series
+    if not isinstance(series, GuardedDict):
+        guarded = GuardedDict(series, lock, sanitizer, f"{metric.name}._series")
+        metric._series = guarded
+        # Restore by downgrading whatever is current back to a plain
+        # dict — mutations made while sanitized must survive.
+        handle.add(lambda m=metric: setattr(m, "_series", dict(m._series)))
+
+
+def sanitize_registry(registry: Any, sanitizer: LockSanitizer) -> RestoreHandle:
+    """Instrument a :class:`repro.obs.metrics.MetricsRegistry`.
+
+    Wraps the registry lock, guards the metric table, instruments every
+    existing metric family, and patches the instance's
+    ``_get_or_create`` so families created *after* sanitization are
+    instrumented too.
+    """
+    handle = RestoreHandle()
+    registry_lock = sanitize_lock_attr(
+        registry, "_lock", "MetricsRegistry._lock", sanitizer, handle
+    )
+    metrics = registry._metrics
+    if not isinstance(metrics, GuardedDict):
+        guarded = GuardedDict(
+            metrics, registry_lock, sanitizer, "MetricsRegistry._metrics"
+        )
+        registry._metrics = guarded
+        handle.add(
+            lambda r=registry: setattr(r, "_metrics", dict(r._metrics))
+        )
+    for metric in list(registry._metrics.values()):
+        _sanitize_metric(metric, sanitizer, handle)
+
+    original_goc = registry._get_or_create
+
+    def instrumented_get_or_create(*args: Any, **kwargs: Any) -> Any:
+        metric = original_goc(*args, **kwargs)
+        _sanitize_metric(metric, sanitizer, handle)
+        return metric
+
+    registry._get_or_create = instrumented_get_or_create
+    handle.add(lambda: delattr(registry, "_get_or_create"))
+    return handle
+
+
+def sanitize_tracer(tracer: Any, sanitizer: LockSanitizer) -> RestoreHandle:
+    """Instrument a :class:`repro.obs.trace.Tracer`'s shared-tree lock."""
+    handle = RestoreHandle()
+    sanitize_lock_attr(tracer, "_lock", "Tracer._lock", sanitizer, handle)
+    return handle
+
+
+def sanitize_pool(pool: Any, sanitizer: LockSanitizer) -> RestoreHandle:
+    """Instrument a :class:`repro.engine.pool.PersistentWorkerPool` lock."""
+    handle = RestoreHandle()
+    sanitize_lock_attr(
+        pool, "_lock", "PersistentWorkerPool._lock", sanitizer, handle
+    )
+    return handle
+
+
+def sanitize_many(
+    pairs: Iterable[tuple[Any, str]], sanitizer: LockSanitizer
+) -> RestoreHandle:
+    """Wrap ``(obj, attr)`` lock attributes in one restorable handle.
+
+    Lock names default to ``ClassName.attr`` — distinct objects of the
+    same class share a name, which is what lock-order analysis wants
+    (the *role* of the lock defines the ordering contract, not the
+    instance).
+    """
+    handle = RestoreHandle()
+    for obj, attr in pairs:
+        sanitize_lock_attr(
+            obj, attr, f"{type(obj).__name__}.{attr}", sanitizer, handle
+        )
+    return handle

@@ -1,0 +1,59 @@
+"""The violation record every analysis rule emits.
+
+A :class:`Violation` is one finding: which rule fired, where
+(``path:line:col``), and a human-readable message.  Violations are
+plain data — hashable on their identity key ``(rule, path, line)`` so
+baseline matching and deduplication are dictionary lookups — and
+render to the same JSON shape ``repro lint --format json`` emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One static-analysis finding.
+
+    Examples
+    --------
+    >>> v = Violation("R006", "src/x.py", 3, 0, "bare except swallows everything")
+    >>> v.location
+    'src/x.py:3'
+    >>> v.to_dict()["rule"]
+    'R006'
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def location(self) -> str:
+        """``path:line`` — the clickable anchor the CLI prints."""
+        return f"{self.path}:{self.line}"
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        """The identity used for baseline matching and dedup."""
+        return (self.rule, self.path, self.line)
+
+    def sort_key(self) -> tuple[str, int, str]:
+        return (self.path, self.line, self.rule)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-ready form (`repro lint --format json` rows)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

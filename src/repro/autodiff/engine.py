@@ -168,6 +168,7 @@ def parameter(data: Array) -> Tensor:
 # Arithmetic
 # ----------------------------------------------------------------------
 def add(a: Tensor, b: Tensor) -> Tensor:
+    """Broadcasting elementwise ``a + b``."""
     out_data = a.data + b.data
 
     def backward(grad: Array) -> None:
@@ -180,6 +181,7 @@ def add(a: Tensor, b: Tensor) -> Tensor:
 
 
 def sub(a: Tensor, b: Tensor) -> Tensor:
+    """Broadcasting elementwise ``a - b``."""
     out_data = a.data - b.data
 
     def backward(grad: Array) -> None:
@@ -192,6 +194,7 @@ def sub(a: Tensor, b: Tensor) -> Tensor:
 
 
 def mul(a: Tensor, b: Tensor) -> Tensor:
+    """Broadcasting elementwise ``a * b``."""
     out_data = a.data * b.data
 
     def backward(grad: Array) -> None:
@@ -204,6 +207,8 @@ def mul(a: Tensor, b: Tensor) -> Tensor:
 
 
 def neg(a: Tensor) -> Tensor:
+    """Elementwise ``-a``."""
+
     def backward(grad: Array) -> None:
         if a.requires_grad:
             a.accumulate_grad(-grad)
@@ -215,6 +220,7 @@ def neg(a: Tensor) -> Tensor:
 # Element-wise non-linearities
 # ----------------------------------------------------------------------
 def abs_(a: Tensor) -> Tensor:
+    """Elementwise ``|a|`` (subgradient 0 at 0, via ``sign``)."""
     sign = np.sign(a.data)
 
     def backward(grad: Array) -> None:
@@ -225,6 +231,7 @@ def abs_(a: Tensor) -> Tensor:
 
 
 def relu(a: Tensor) -> Tensor:
+    """Elementwise ``max(a, 0)``."""
     mask = a.data > 0
 
     def backward(grad: Array) -> None:
@@ -235,6 +242,7 @@ def relu(a: Tensor) -> Tensor:
 
 
 def sigmoid(a: Tensor) -> Tensor:
+    """Elementwise logistic ``1 / (1 + exp(-a))``, input-clipped for stability."""
     value = 1.0 / (1.0 + np.exp(-np.clip(a.data, -60.0, 60.0)))
 
     def backward(grad: Array) -> None:
@@ -258,6 +266,7 @@ def softplus(a: Tensor) -> Tensor:
 
 
 def sqrt(a: Tensor, eps: float = 1e-12) -> Tensor:
+    """Elementwise ``sqrt(a + eps)``; ``eps`` keeps the gradient finite at 0."""
     value = np.sqrt(a.data + eps)
 
     def backward(grad: Array) -> None:
@@ -268,6 +277,8 @@ def sqrt(a: Tensor, eps: float = 1e-12) -> Tensor:
 
 
 def square(a: Tensor) -> Tensor:
+    """Elementwise ``a ** 2``."""
+
     def backward(grad: Array) -> None:
         if a.requires_grad:
             a.accumulate_grad(grad * 2.0 * a.data)
@@ -276,6 +287,7 @@ def square(a: Tensor) -> Tensor:
 
 
 def tanh(a: Tensor) -> Tensor:
+    """Elementwise hyperbolic tangent."""
     value = np.tanh(a.data)
 
     def backward(grad: Array) -> None:
@@ -286,6 +298,7 @@ def tanh(a: Tensor) -> Tensor:
 
 
 def sin(a: Tensor) -> Tensor:
+    """Elementwise sine (RotatE uses sin/cos for phase rotations)."""
     cos_data = np.cos(a.data)
 
     def backward(grad: Array) -> None:
@@ -296,6 +309,7 @@ def sin(a: Tensor) -> Tensor:
 
 
 def cos(a: Tensor) -> Tensor:
+    """Elementwise cosine (RotatE uses sin/cos for phase rotations)."""
     sin_data = np.sin(a.data)
 
     def backward(grad: Array) -> None:
@@ -323,6 +337,7 @@ def dropout(a: Tensor, rate: float, rng: np.random.Generator, training: bool) ->
 # Reductions and shape ops
 # ----------------------------------------------------------------------
 def sum_(a: Tensor, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> Tensor:
+    """Sum over ``axis`` (all elements when None); trailing underscore avoids the builtin."""
     out_data = a.data.sum(axis=axis, keepdims=keepdims)
 
     def backward(grad: Array) -> None:
@@ -337,11 +352,13 @@ def sum_(a: Tensor, axis: int | tuple[int, ...] | None = None, keepdims: bool = 
 
 
 def mean(a: Tensor, axis: int | None = None) -> Tensor:
+    """Arithmetic mean over ``axis``, composed from ``sum_`` and a scale."""
     count = a.data.size if axis is None else a.data.shape[axis]
     return mul(sum_(a, axis=axis), _lift(1.0 / count))
 
 
 def reshape(a: Tensor, shape: tuple[int, ...]) -> Tensor:
+    """View ``a`` with ``shape``; the gradient reshapes back."""
     original = a.shape
 
     def backward(grad: Array) -> None:
@@ -352,6 +369,7 @@ def reshape(a: Tensor, shape: tuple[int, ...]) -> Tensor:
 
 
 def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis``; gradients split at the seams."""
     sizes = [t.data.shape[axis] for t in tensors]
     out_data = np.concatenate([t.data for t in tensors], axis=axis)
     offsets = np.cumsum([0] + sizes)

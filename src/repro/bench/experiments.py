@@ -16,7 +16,6 @@ count; correlation experiments train real models via
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 

@@ -31,6 +31,11 @@ first:
   and the perf-regression gate CI runs against them;
 * ``ingest``          — stream TSV / N-Triples split files into a compact
   int32 triple store without materialising the raw files;
+* ``lint``            — project-specific static analysis (seeded-RNG
+  discipline, shm unlink pairing, lock discipline, worker import
+  layering, hot-path determinism, metric/doc parity — docs/analysis.md),
+  with ``--select``/``--ignore``, ``# repro: noqa[RULE]`` suppressions
+  and a committed baseline that CI requires to stay empty;
 * ``shard``           — convert a saved checkpoint into ``.npy`` mmap
   shards for out-of-core evaluation (``--backend mmap``, docs/scale.md).
 
@@ -731,6 +736,68 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        UnknownRuleError,
+        load_baseline,
+        run_analysis,
+        split_by_baseline,
+        write_baseline,
+    )
+    from repro.analysis.baseline import BaselineError
+    from repro.analysis.report import render_json, render_rule_catalog, render_table
+
+    if args.list_rules:
+        print(render_rule_catalog())
+        return 0
+    root = Path(args.root).resolve()
+    paths = [Path(p) for p in args.paths or ["src"]]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    try:
+        report = run_analysis(paths, root, select=select, ignore=ignore)
+    except UnknownRuleError as error:
+        print(f"lint: {error}", file=sys.stderr)
+        return 2
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        write_baseline(baseline_path, report.violations)
+        print(
+            f"wrote {len(report.violations)} violation(s) to {baseline_path}"
+        )
+        return 0
+    try:
+        baseline = load_baseline(baseline_path)
+    except BaselineError as error:
+        print(f"lint: {error}", file=sys.stderr)
+        return 2
+    if args.strict and baseline:
+        print(
+            f"lint: --strict requires an empty baseline, but "
+            f"{baseline_path} grandfathers {len(baseline)} violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    new, baselined = split_by_baseline(report.violations, baseline)
+    if args.format == "json":
+        report.violations = new
+        print(render_json(report, baselined=len(baselined)))
+    else:
+        print(
+            render_table(
+                new,
+                files_checked=report.files_checked,
+                suppressed=report.suppressed,
+                baselined=len(baselined),
+            )
+        )
+    return 1 if new else 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -1016,6 +1083,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="render a single frame and exit (scripting / CI)",
     )
 
+    lint = commands.add_parser(
+        "lint",
+        help="project-specific static analysis (rule catalog: docs/analysis.md)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to analyse (default: src)",
+    )
+    lint.add_argument(
+        "--root",
+        default=".",
+        metavar="DIR",
+        help="project root violations are reported relative to",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    lint.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule codes to skip",
+    )
+    lint.add_argument(
+        "--baseline",
+        default="analysis-baseline.json",
+        metavar="FILE",
+        help="baseline file of grandfathered violations",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail if the baseline file is non-empty (CI mode)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    _add_format_argument(lint)
+
     bench = commands.add_parser(
         "bench", help="benchmark records: trend view + regression gate"
     )
@@ -1074,6 +1193,7 @@ _HANDLERS = {
     "evaluate": _cmd_evaluate,
     "serve": _cmd_serve,
     "ingest": _cmd_ingest,
+    "lint": _cmd_lint,
     "shard": _cmd_shard,
     "runs": _cmd_runs,
     "cache": _cmd_cache,

@@ -14,7 +14,7 @@ practice one always folds the already-seen candidates in.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -48,7 +48,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.kg.graph import SIDES, FilterIndexCSR, Side
+from repro.kg.graph import FilterIndexCSR, Side
 from repro.obs import get_registry
 
 if TYPE_CHECKING:
@@ -228,7 +228,7 @@ def state_fingerprint(state: "EvaluationState") -> tuple:
         for name in sorted(model.parameter_arrays()):
             digest.update(name.encode())
             digest.update(np.ascontiguousarray(model.parameter_arrays()[name]).view(np.uint8))
-        model_key: object = (id(model), digest.hexdigest())
+        model_key = (id(model), digest.hexdigest())
     else:
         model_key = (id(model), None)
     return (

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autodiff.engine import Tensor, gather, mul, sum_
-from repro.kg.graph import HEAD, Side
+from repro.kg.graph import Side
 from repro.models.base import Array, KGEModel, check_ids, xavier_uniform
 
 

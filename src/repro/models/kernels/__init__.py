@@ -87,6 +87,7 @@ def get_kernel(model: KGEModel | str) -> AnalyticKernel | None:
 
 
 def has_kernel(model: KGEModel | str) -> bool:
+    """True when a fused analytic kernel exists for ``model``."""
     return get_kernel(model) is not None
 
 

@@ -19,6 +19,8 @@ from repro.models.kernels.base import AnalyticKernel, Array, RowGrad
 
 
 class ComplExKernel(AnalyticKernel):
+    """Fused ComplEx scoring: Re(<h, r, conj(t)>) over split re/im halves."""
+
     model_name = "complex"
 
     def score(self, model, heads: Array, relations: Array, tails: Array):

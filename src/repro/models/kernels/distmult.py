@@ -18,6 +18,8 @@ from repro.models.kernels.base import AnalyticKernel, Array, RowGrad
 
 
 class DistMultKernel(AnalyticKernel):
+    """Fused DistMult scoring: the trilinear product ``sum(h * r * t)``."""
+
     model_name = "distmult"
 
     def score(self, model, heads: Array, relations: Array, tails: Array):

@@ -29,6 +29,7 @@ def register_fused_loss(name: str):
 
 
 def available_fused_losses() -> list[str]:
+    """Names with a fused gradient implementation, sorted."""
     return sorted(_FUSED_LOSSES)
 
 

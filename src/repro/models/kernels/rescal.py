@@ -14,6 +14,8 @@ from repro.models.kernels.base import AnalyticKernel, Array, RowGrad
 
 
 class RESCALKernel(AnalyticKernel):
+    """Fused RESCAL scoring: the bilinear form ``h^T R t`` per relation matrix."""
+
     model_name = "rescal"
 
     def score(self, model, heads: Array, relations: Array, tails: Array):

@@ -20,6 +20,8 @@ from repro.models.kernels.base import AnalyticKernel, Array, RowGrad
 
 
 class RotatEKernel(AnalyticKernel):
+    """Fused RotatE scoring: relation-phase rotation distance in the complex plane."""
+
     model_name = "rotate"
 
     def score(self, model, heads: Array, relations: Array, tails: Array):

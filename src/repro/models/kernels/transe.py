@@ -15,6 +15,8 @@ from repro.models.kernels.base import AnalyticKernel, Array, RowGrad
 
 
 class TransEKernel(AnalyticKernel):
+    """Fused TransE scoring: negative translation distance ``-||h + r - t||``."""
+
     model_name = "transe"
 
     def score(self, model, heads: Array, relations: Array, tails: Array):

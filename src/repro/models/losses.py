@@ -29,6 +29,7 @@ def register_loss(name: str):
 
 
 def available_losses() -> list[str]:
+    """Registered loss names, sorted."""
     return sorted(_LOSSES)
 
 

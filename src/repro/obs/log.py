@@ -110,12 +110,12 @@ class StructuredLogger:
         payload.update(fields)
         line = json.dumps(payload, default=str, separators=(",", ":"))
         with self._lock:
-            sink = self._sink()
+            sink = self._sink_locked()
             sink.write(line + "\n")
             sink.flush()
             self.lines_written += 1
 
-    def _sink(self) -> IO[str]:
+    def _sink_locked(self) -> IO[str]:
         if self._stream is not None:
             return self._stream
         if self._file is None:

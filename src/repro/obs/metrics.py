@@ -233,7 +233,7 @@ class Histogram(_Metric):
             raise ValueError(f"bucket bounds must be strictly ascending: {bounds}")
         self.buckets = bounds
 
-    def _series_for(self, labels: dict[str, object]) -> _HistogramSeries:
+    def _series_for_locked(self, labels: dict[str, object]) -> _HistogramSeries:
         key = self._key(labels)
         series = self._series.get(key)
         if series is None:
@@ -243,7 +243,7 @@ class Histogram(_Metric):
     def observe(self, value: float, **labels: object) -> None:
         index = bisect.bisect_left(self.buckets, float(value))
         with self._lock:
-            series = self._series_for(labels)
+            series = self._series_for_locked(labels)
             series.counts[index] += 1
             series.sum += float(value)
             series.count += 1

@@ -23,7 +23,7 @@ import math
 import sys
 import time
 import urllib.request
-from typing import IO, Any
+from typing import IO
 
 from repro.obs.metrics import MetricsRegistry, parse_prometheus
 

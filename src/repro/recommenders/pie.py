@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro.autodiff.engine import Tensor, einsum, mul, relu, sigmoid, softplus, sub, mean
+from repro.autodiff.engine import Tensor, einsum, mul, relu, softplus, sub, mean
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.typing import TypeStore
 from repro.models.base import xavier_uniform

@@ -64,6 +64,7 @@ def save_pools(pools: NegativePools, path) -> None:
 
 
 def load_pools(path) -> NegativePools:
+    """Load a negative-pools artifact written by :func:`save_pools`."""
     arrays, meta = _read_npz(path)
     if meta.get("artifact") != "negative-pools":
         raise ValueError(f"{os.fspath(path)} is not a pools artifact")
@@ -106,6 +107,7 @@ def save_candidates(sets: CandidateSets, path) -> None:
 
 
 def load_candidates(path) -> CandidateSets:
+    """Load a candidate-sets artifact written by :func:`save_candidates`."""
     arrays, meta = _read_npz(path)
     if meta.get("artifact") != "candidate-sets":
         raise ValueError(f"{os.fspath(path)} is not a candidate-sets artifact")
@@ -133,6 +135,7 @@ def load_candidates(path) -> CandidateSets:
 # Ranking metrics and full evaluation results (JSON)
 # ----------------------------------------------------------------------
 def metrics_to_dict(metrics: RankingMetrics) -> dict:
+    """JSON-ready form of :class:`RankingMetrics`."""
     return {
         "mrr": metrics.mrr,
         "hits": {str(k): v for k, v in metrics.hits.items()},
@@ -142,6 +145,7 @@ def metrics_to_dict(metrics: RankingMetrics) -> dict:
 
 
 def metrics_from_dict(payload: dict) -> RankingMetrics:
+    """Inverse of :func:`metrics_to_dict`."""
     return RankingMetrics(
         mrr=float(payload["mrr"]),
         hits={int(k): float(v) for k, v in payload["hits"].items()},
@@ -161,6 +165,7 @@ def _query_from_str(text: str) -> Query:
 
 
 def full_result_to_dict(result: FullEvaluationResult) -> dict:
+    """JSON-ready form of a full evaluation (metrics plus per-query ranks)."""
     return {
         "artifact": "full-evaluation",
         "metrics": metrics_to_dict(result.metrics),
@@ -171,6 +176,7 @@ def full_result_to_dict(result: FullEvaluationResult) -> dict:
 
 
 def full_result_from_dict(payload: dict) -> FullEvaluationResult:
+    """Inverse of :func:`full_result_to_dict`; validates the artifact tag."""
     if payload.get("artifact") != "full-evaluation":
         raise ValueError("payload is not a full-evaluation artifact")
     return FullEvaluationResult(

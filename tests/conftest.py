@@ -16,6 +16,31 @@ def rng():
 
 
 @pytest.fixture
+def lock_sanitizer():
+    """Lock-order/race sanitizer over the process-global obs state.
+
+    Wraps the global :class:`~repro.obs.metrics.MetricsRegistry` and
+    :class:`~repro.obs.trace.Tracer` locks for the duration of the
+    test: any lock-order inversion or mutation of their shared dicts
+    without the owning lock fails the test at teardown.  The test body
+    receives the :class:`~repro.analysis.LockSanitizer` and may call
+    ``assert_clean()`` earlier, or inspect ``violations`` directly.
+    """
+    from repro.analysis import LockSanitizer, sanitize_registry, sanitize_tracer
+    from repro.obs import get_registry, get_tracer
+
+    sanitizer = LockSanitizer()
+    registry_handle = sanitize_registry(get_registry(), sanitizer)
+    tracer_handle = sanitize_tracer(get_tracer(), sanitizer)
+    try:
+        yield sanitizer
+        sanitizer.assert_clean()
+    finally:
+        tracer_handle.restore()
+        registry_handle.restore()
+
+
+@pytest.fixture
 def tiny_graph() -> KnowledgeGraph:
     """A 6-entity, 3-relation graph with train/valid/test splits.
 

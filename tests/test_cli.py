@@ -37,6 +37,7 @@ class TestParser:
             "evaluate",
             "serve",
             "ingest",
+            "lint",
             "shard",
             "runs",
             "cache",
